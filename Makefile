@@ -1,0 +1,59 @@
+# Standard targets for the DISCS reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-race bench fuzz report figures cost sim examples cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Per-figure/table reproduction benches (bench_test.go at the root).
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Short fuzz pass over every parser (extend -fuzztime for deeper runs).
+fuzz:
+	$(GO) test ./internal/packet/ -fuzz FuzzParseIPv4 -fuzztime 15s
+	$(GO) test ./internal/packet/ -fuzz FuzzParseIPv6 -fuzztime 15s
+	$(GO) test ./internal/packet/ -fuzz FuzzScrubICMPv4 -fuzztime 15s
+	$(GO) test ./internal/packet/ -fuzz FuzzFragmentReassemble -fuzztime 15s
+	$(GO) test ./internal/core/ -fuzz FuzzDecodeControlMsg -fuzztime 15s
+	$(GO) test ./internal/core/ -fuzz FuzzParseInvocation -fuzztime 15s
+	$(GO) test ./internal/flowexport/ -fuzz FuzzUnmarshal -fuzztime 15s
+	$(GO) test ./internal/securechan/ -fuzz FuzzOpen -fuzztime 15s
+	$(GO) test ./internal/securechan/ -fuzz FuzzHandshakeFrames -fuzztime 15s
+
+# Paper-vs-measured reproduction artifacts.
+report:
+	$(GO) run ./cmd/discs-report
+
+figures:
+	$(GO) run ./cmd/discs-eval -fig all
+
+cost:
+	$(GO) run ./cmd/discs-cost
+
+sim:
+	$(GO) run ./cmd/discs-sim
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/reflection
+	$(GO) run ./examples/alarm
+	$(GO) run ./examples/incremental
+	$(GO) run ./examples/priority
+	$(GO) run ./examples/campaign
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	$(GO) clean ./...

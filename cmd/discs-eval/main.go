@@ -1,0 +1,148 @@
+// Command discs-eval regenerates the evaluation figures of the DISCS
+// paper (ICPP 2015) as tab-separated tables:
+//
+//	discs-eval -fig 5     deployment incentives vs deployment ratio (Fig. 5)
+//	discs-eval -fig 6a    cumulated address ratio per strategy (Fig. 6a)
+//	discs-eval -fig 6b    incentives per strategy, whole process (Fig. 6b)
+//	discs-eval -fig 6c    incentives per strategy, early stage (Fig. 6c)
+//	discs-eval -fig 7a    global spoofing reduction, whole process (Fig. 7a)
+//	discs-eval -fig 7b    global spoofing reduction, early stage (Fig. 7b)
+//	discs-eval -fig all   everything, with headers
+//
+// The Internet is synthetic (see DESIGN.md substitution #1) but
+// paper-scale by default: 44 036 ASes, ~179k prefixes, piecewise-Pareto address
+// space.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"discs/internal/eval"
+	"discs/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("discs-eval: ")
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, 7a, 7b, all")
+		nASes   = flag.Int("ases", 44036, "number of ASes in the synthetic Internet")
+		nPfx    = flag.Int("prefixes", 442000, "target number of prefixes")
+		zipf    = flag.Float64("zipf", 1.1, "Zipf exponent of the AS size distribution")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		runs    = flag.Int("runs", 50, "random-deployment repetitions for figure 5")
+		samples = flag.Int("samples", 60, "sample points per curve")
+		early   = flag.Int("early", 200, "deployer cutoff for the early-stage figures (6c uses this; 7b uses 1000)")
+	)
+	flag.Parse()
+
+	topo, err := topology.GenerateInternet(topology.GenConfig{
+		NumASes: *nASes, NumPrefixes: *nPfx, ZipfExponent: *zipf,
+		Seed: *seed, SkipLinks: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := eval.FromTopology(topo)
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("# figure %s\n", name)
+		if err := fn(); err != nil {
+			log.Fatalf("figure %s: %v", name, err)
+		}
+		fmt.Println()
+	}
+
+	figures := map[string]func() error{
+		"5": func() error {
+			pts, err := eval.MeanIncentiveCurve(r, *runs, *samples, *seed)
+			if err != nil {
+				return err
+			}
+			return eval.WriteTSV(os.Stdout, []string{"DP", "CDP", "DP+CDP"}, pts)
+		},
+		"6a": func() error {
+			curves, err := eval.StrategyCurves(r, *samples, *seed,
+				func(r *eval.Ratios, order []topology.ASN, samples int) ([]eval.Point, error) {
+					return eval.CumulativeRatioCurve(r, order, samples), nil
+				})
+			if err != nil {
+				return err
+			}
+			return writeStrategies(curves, "cumulated")
+		},
+		"6b": func() error {
+			curves, err := eval.StrategyCurves(r, *samples, *seed, incentiveBoth)
+			if err != nil {
+				return err
+			}
+			return writeStrategies(curves, "DP+CDP")
+		},
+		"6c": func() error {
+			curves, err := earlyStrategyCurves(r, *early, *samples, *seed, incentiveBoth)
+			if err != nil {
+				return err
+			}
+			return writeStrategies(curves, "DP+CDP")
+		},
+		"7a": func() error {
+			curves, err := eval.StrategyCurves(r, *samples, *seed, eval.EffectivenessCurve)
+			if err != nil {
+				return err
+			}
+			return writeStrategies(curves, "effectiveness")
+		},
+		"7b": func() error {
+			curves, err := earlyStrategyCurves(r, 1000, *samples, *seed, eval.EffectivenessCurve)
+			if err != nil {
+				return err
+			}
+			return writeStrategies(curves, "effectiveness")
+		},
+	}
+
+	if *fig == "all" {
+		for _, name := range []string{"5", "6a", "6b", "6c", "7a", "7b"} {
+			run(name, figures[name])
+		}
+		return
+	}
+	fn, ok := figures[*fig]
+	if !ok {
+		log.Fatalf("unknown figure %q (want 5, 6a, 6b, 6c, 7a, 7b, all)", *fig)
+	}
+	run(*fig, fn)
+}
+
+// incentiveBoth adapts IncentiveCurve to the single DP+CDP series used
+// by figures 6b/6c.
+func incentiveBoth(r *eval.Ratios, order []topology.ASN, samples int) ([]eval.Point, error) {
+	return eval.IncentiveCurve(r, order, samples)
+}
+
+// earlyStrategyCurves truncates each strategy's order to the first
+// `cut` deployers (the "early stage" panels).
+func earlyStrategyCurves(r *eval.Ratios, cut, samples int, seed int64,
+	fn func(*eval.Ratios, []topology.ASN, int) ([]eval.Point, error)) (map[string][]eval.Point, error) {
+	trunc := func(rr *eval.Ratios, order []topology.ASN, s int) ([]eval.Point, error) {
+		if len(order) > cut {
+			order = order[:cut]
+		}
+		return fn(rr, order, s)
+	}
+	return eval.StrategyCurves(r, samples, seed, trunc)
+}
+
+// writeStrategies prints one TSV block per strategy.
+func writeStrategies(curves map[string][]eval.Point, series string) error {
+	for _, name := range []string{"uniform", "random", "optimal"} {
+		fmt.Printf("## strategy %s\n", name)
+		if err := eval.WriteTSV(os.Stdout, []string{series}, curves[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

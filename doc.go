@@ -1,0 +1,10 @@
+// Package discs is a from-scratch Go reproduction of
+//
+//	"DISCS: A DIStributed Collaboration System for Inter-AS Spoofing
+//	 Defense", Bingyang Liu and Jun Bi, ICPP 2015.
+//
+// The implementation lives under internal/ (one package per
+// subsystem — see DESIGN.md for the inventory), the executables under
+// cmd/, runnable examples under examples/, and the per-figure
+// benchmark harness in bench_test.go at the repository root.
+package discs

@@ -1,0 +1,56 @@
+// Incremental deployment (§VI-A): DISCS's incentive grows
+// monotonically with the deployment set. This example grows a DAS
+// population on a synthetic Internet largest-first (the §VI-A3 optimal
+// strategy), and after each step measures — analytically and by
+// flow-level Monte Carlo — the incentive an undecided LAS would gain
+// by joining.
+//
+//	go run ./examples/incremental
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"discs/internal/attack"
+	"discs/internal/eval"
+	"discs/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	topo, err := topology.GenerateInternet(topology.GenConfig{
+		NumASes: 2000, NumPrefixes: 6000,
+		ZipfExponent: 0.95, HeadRanks: 30, TailExponent: 2.5,
+		Seed: 3, SkipLinks: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := eval.FromTopology(topo)
+	order := r.OptimalOrder()
+	prospect := order[len(order)-1] // the tiny LAS weighing whether to join
+
+	fmt.Println("deployers  space-share  inc(DP+CDP) closed-form  Monte-Carlo   effectiveness")
+	acc := eval.NewAccumulator(r)
+	var deployed []topology.ASN
+	next := 0
+	for _, step := range []int{1, 2, 5, 10, 20, 50, 100, 200} {
+		for next < step {
+			if err := acc.Deploy(order[next]); err != nil {
+				log.Fatal(err)
+			}
+			deployed = append(deployed, order[next])
+			next++
+		}
+		closed := acc.IncBothFor(prospect)
+		mc := eval.MonteCarloIncentive(topo, deployed, prospect, attack.DDDoS, 20000, int64(step))
+		fmt.Printf("%9d  %11.3f  %22.3f  %11.3f  %13.3f\n",
+			step, acc.DeployedRatio(), closed, mc, acc.Effectiveness())
+	}
+
+	fmt.Println("\nThe incentive column never decreases (the §VI-A monotonicity")
+	fmt.Println("theorem), and the Monte-Carlo flow simulation tracks the closed")
+	fmt.Println("form — joining DISCS pays off more the larger the system gets.")
+}

@@ -1,0 +1,3 @@
+module discs
+
+go 1.22

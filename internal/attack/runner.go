@@ -1,0 +1,63 @@
+package attack
+
+import (
+	"math/rand"
+
+	"discs/internal/core"
+	"discs/internal/topology"
+)
+
+// Result aggregates the fate of attack traffic injected through a
+// DISCS system.
+type Result struct {
+	Sent      int
+	Delivered int
+	Dropped   int
+	// DroppedAt counts drops per AS — shows whether filtering happened
+	// at the peers (far from the victim, saving bandwidth) or at the
+	// victim's own border.
+	DroppedAt map[topology.ASN]int
+	// AmplifiedDelivered weighs delivered s-DDoS requests by the
+	// amplification factor; for d-DDoS it equals Delivered.
+	AmplifiedDelivered float64
+}
+
+// Run injects `perFlow` packets for each flow into the system at the
+// flow's agent AS and tallies the outcome. For s-DDoS, a delivered
+// request reaches the reflector and its (amplified) reply floods the
+// victim; the reply path is not simulated because reflector replies
+// are legitimate traffic no defense filters.
+func Run(sys *core.System, flows []Flow, perFlow int, seed int64) (Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	res := Result{DroppedAt: make(map[topology.ASN]int)}
+	for _, f := range flows {
+		pkts, err := f.Packets(sys.Net.Topo, perFlow, rng)
+		if err != nil {
+			return res, err
+		}
+		for _, p := range pkts {
+			res.Sent++
+			d := sys.SendV4(f.Agent, p)
+			if d.Delivered {
+				res.Delivered++
+				if f.Kind == SDDoS {
+					res.AmplifiedDelivered += AmplificationFactor
+				} else {
+					res.AmplifiedDelivered++
+				}
+			} else {
+				res.Dropped++
+				res.DroppedAt[d.DroppedAt]++
+			}
+		}
+	}
+	return res, nil
+}
+
+// DropRate returns the fraction of attack packets filtered.
+func (r Result) DropRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Dropped) / float64(r.Sent)
+}

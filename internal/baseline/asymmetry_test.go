@@ -1,0 +1,132 @@
+package baseline
+
+import (
+	"net/netip"
+	"testing"
+
+	"discs/internal/topology"
+)
+
+// asymTopo builds a dual-homed pair whose forward and reverse paths
+// differ — the route asymmetry that, per §II, "impedes [uRPF's]
+// universal deployment":
+//
+//	 P1 (1)    P2 (2)
+//	 /   \     /  \
+//	A(3)  ────┤    B(4)
+//	 \________/
+//
+// A prefers P1 (providers listed [P1, P2]); B prefers P2 ([P2, P1]).
+// Traffic A→B flows A-P1-B; traffic B→A flows B-P2-A.
+func asymTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	tp := topology.New()
+	for i := topology.ASN(1); i <= 4; i++ {
+		if _, err := tp.AddAS(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link := func(a, b topology.ASN) {
+		if err := tp.Link(a, b, topology.CustomerToProvider); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Order matters: the Path BFS visits providers in list order, so
+	// the first provider wins equal-length ties.
+	link(3, 1) // A prefers P1
+	link(3, 2)
+	link(4, 2) // B prefers P2
+	link(4, 1)
+	if err := tp.Link(1, 2, topology.PeerToPeer); err != nil {
+		t.Fatal(err)
+	}
+	for i := topology.ASN(1); i <= 4; i++ {
+		p := netip.MustParsePrefix("10." + string('0'+byte(i)) + ".0.0/16")
+		if err := tp.AddPrefix(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tp
+}
+
+func TestAsymmetricRoutesExist(t *testing.T) {
+	tp := asymTopo(t)
+	fwd, ok1 := tp.Path(3, 4)
+	rev, ok2 := tp.Path(4, 3)
+	if !ok1 || !ok2 {
+		t.Fatal("paths missing")
+	}
+	if len(fwd) != 3 || len(rev) != 3 {
+		t.Fatalf("paths %v / %v", fwd, rev)
+	}
+	if fwd[1] == rev[1] {
+		t.Fatalf("topology not asymmetric: both via AS%d", fwd[1])
+	}
+}
+
+// TestURPFFalsePositiveUnderAsymmetry reproduces the §II claim: strict
+// uRPF at the destination drops *genuine* traffic when the reverse
+// path differs from the arrival path. DISCS on the same deployment has
+// no false positives.
+func TestURPFFalsePositiveUnderAsymmetry(t *testing.T) {
+	tp := asymTopo(t)
+	d := dep(4) // the destination deploys
+	// Genuine flow A→B: arrives at B from P1, but B routes toward A
+	// via P2 → strict uRPF drops it.
+	if !(URPF{}).FalsePositive(tp, d, 3, 4) {
+		t.Fatal("uRPF should false-positive under route asymmetry")
+	}
+	// Reverse direction is equally broken for A.
+	if !(URPF{}).FalsePositive(tp, dep(3), 4, 3) {
+		t.Fatal("uRPF should false-positive in the reverse direction too")
+	}
+	// DISCS: end/e2e based, IFP-free regardless of paths.
+	if (DISCS{}).FalsePositive(tp, dep(3, 4), 3, 4) {
+		t.Fatal("DISCS must not false-positive")
+	}
+	// Symmetric deployments elsewhere don't trip it: provider P1 sees
+	// A's traffic arrive straight from A.
+	if (URPF{}).FalsePositive(tp, dep(1), 3, 4) {
+		t.Fatal("uRPF at the first hop should accept the customer's own traffic")
+	}
+}
+
+// TestURPFFalsePositiveRate quantifies the §II trade-off on a random
+// Internet: count genuine src/dst pairs dropped by destination-side
+// strict uRPF. With realistic multi-homing the rate is materially
+// non-zero, while DISCS stays at exactly zero.
+func TestURPFFalsePositiveRate(t *testing.T) {
+	tp, err := topology.GenerateInternet(topology.GenConfig{
+		NumASes: 400, NumPrefixes: 800, ZipfExponent: 1.0, TierOneCount: 5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := make(Deployment)
+	for _, asn := range tp.ASNs() {
+		d[asn] = true // universal uRPF: worst case for asymmetry
+	}
+	fp, total, discsFP := 0, 0, 0
+	asns := tp.ASNs()
+	for i := 0; i < 200; i++ {
+		src := asns[(i*7)%len(asns)]
+		dst := asns[(i*13+5)%len(asns)]
+		if src == dst {
+			continue
+		}
+		total++
+		if (URPF{}).FalsePositive(tp, d, src, dst) {
+			fp++
+		}
+		if (DISCS{}).FalsePositive(tp, d, src, dst) {
+			discsFP++
+		}
+	}
+	if discsFP != 0 {
+		t.Fatalf("DISCS produced %d false positives", discsFP)
+	}
+	if fp == 0 {
+		t.Fatal("uRPF produced no false positives; topology lacks multi-homing asymmetry")
+	}
+	t.Logf("uRPF false positives: %d/%d genuine pairs (%.1f%%); DISCS: 0", fp, total, 100*float64(fp)/float64(total))
+}

@@ -1,0 +1,292 @@
+// Package baseline implements the related-work spoofing defenses the
+// paper compares DISCS against (§II): ingress filtering (IF), strict
+// uRPF, SPM, Passport, MEF, hop-count filtering (HCF) and route-based
+// distributed packet filtering (DPF).
+//
+// Each defense is an analytic flow filter in the framework of the
+// comparative-evaluation methodology the paper cites ([23], Mirkovic &
+// Kissel): given a deployment set D and a spoofing flow (a, i, v), it
+// decides whether the flow is filtered. This level of abstraction is
+// what the deployment-incentive and effectiveness measures are defined
+// over, and lets the benches put DISCS and the baselines on one axis.
+package baseline
+
+import (
+	"discs/internal/attack"
+	"discs/internal/topology"
+)
+
+// Deployment is the set of ASes that deployed a defense.
+type Deployment map[topology.ASN]bool
+
+// Defense decides whether a deployment filters a spoofing flow.
+type Defense interface {
+	Name() string
+	// Filters reports whether the flow is dropped somewhere before (or
+	// at) its destination when D has deployed the defense.
+	Filters(topo *topology.Topology, d Deployment, f attack.Flow) bool
+	// FalsePositive reports whether a *genuine* flow from src to dst
+	// would be dropped (inherent false positives, §III-A). Path-based
+	// methods exhibit these under partial deployment and asymmetry.
+	FalsePositive(topo *topology.Topology, d Deployment, src, dst topology.ASN) bool
+}
+
+// flowEndpoints returns the packet-level source-claim AS and the
+// destination AS of a flow's packets.
+func flowEndpoints(f attack.Flow) (srcClaim, dst topology.ASN) {
+	if f.Kind == attack.DDDoS {
+		return f.Innocent, f.Victim
+	}
+	return f.Victim, f.Innocent
+}
+
+// --- Ingress Filtering (RFC 2827) ---------------------------------------
+
+// IF drops packets leaving an AS whose source address is not local
+// (§II, end based). It has notoriously weak incentives: deploying it
+// protects others, not yourself.
+type IF struct{}
+
+// Name returns "IF".
+func (IF) Name() string { return "IF" }
+
+// Filters reports true iff the agent AS deployed IF (the spoofed
+// source is by construction not the agent's own).
+func (IF) Filters(_ *topology.Topology, d Deployment, f attack.Flow) bool {
+	srcClaim, _ := flowEndpoints(f)
+	return d[f.Agent] && srcClaim != f.Agent
+}
+
+// FalsePositive is always false: genuine packets carry local sources.
+func (IF) FalsePositive(*topology.Topology, Deployment, topology.ASN, topology.ASN) bool {
+	return false
+}
+
+// --- Strict uRPF (RFC 3704) ----------------------------------------------
+
+// URPF accepts a packet only if it arrives over the interface the
+// router would use to reach the packet's source — at AS granularity:
+// the previous hop must equal the next hop toward the source.
+type URPF struct{}
+
+// Name returns "uRPF".
+func (URPF) Name() string { return "uRPF" }
+
+// Filters walks the attack path and applies the check at every
+// deployed transit/destination AS.
+func (URPF) Filters(topo *topology.Topology, d Deployment, f attack.Flow) bool {
+	srcClaim, dst := flowEndpoints(f)
+	return urpfDropsOnPath(topo, d, f.Agent, srcClaim, dst)
+}
+
+// FalsePositive: genuine traffic (src == its true origin) can still be
+// dropped when the reverse path is asymmetric at a deployed AS.
+func (URPF) FalsePositive(topo *topology.Topology, d Deployment, src, dst topology.ASN) bool {
+	return urpfDropsOnPath(topo, d, src, src, dst)
+}
+
+func urpfDropsOnPath(topo *topology.Topology, d Deployment, from, srcClaim, dst topology.ASN) bool {
+	path, ok := topo.Path(from, dst)
+	if !ok {
+		return false
+	}
+	for idx := 1; idx < len(path); idx++ {
+		x := path[idx]
+		if !d[x] {
+			continue
+		}
+		prev := path[idx-1]
+		if srcClaim == x {
+			// Packets claiming the checking AS's own space arriving
+			// from outside are trivially invalid.
+			return true
+		}
+		rev, ok := topo.Path(x, srcClaim)
+		if !ok || len(rev) < 2 {
+			return true // no route back to the source: drop
+		}
+		if rev[1] != prev {
+			return true
+		}
+	}
+	return false
+}
+
+// --- SPM (Bremler-Barr & Levy) --------------------------------------------
+
+// SPM members share deterministic e2e marks per (source, destination)
+// member pair; the destination filters unmarked packets claiming a
+// member source. Defense against d-DDoS only (§II: "weak incentives
+// against s-DDoS").
+type SPM struct{}
+
+// Name returns "SPM".
+func (SPM) Name() string { return "SPM" }
+
+// Filters reports true when the destination and the claimed source are
+// both members and the claim is false.
+func (SPM) Filters(_ *topology.Topology, d Deployment, f attack.Flow) bool {
+	if f.Kind != attack.DDDoS {
+		return false
+	}
+	return d[f.Victim] && d[f.Innocent] && f.Agent != f.Innocent
+}
+
+// FalsePositive is false: e2e marks do not depend on paths.
+func (SPM) FalsePositive(*topology.Topology, Deployment, topology.ASN, topology.ASN) bool {
+	return false
+}
+
+// --- Passport (Liu, Li, Yang, Wetherall) -----------------------------------
+
+// Passport stamps keyed MACs for every AS on the forwarding path, so
+// intermediate members can demote/drop invalidly marked packets too.
+type Passport struct{}
+
+// Name returns "Passport".
+func (Passport) Name() string { return "Passport" }
+
+// Filters reports true when the claimed source is a member and some
+// member on the path to the destination (intermediate or final)
+// verifies — spoofed packets lack valid MACs for that verifier.
+func (Passport) Filters(topo *topology.Topology, d Deployment, f attack.Flow) bool {
+	if f.Kind != attack.DDDoS {
+		return false
+	}
+	if !d[f.Innocent] {
+		return false
+	}
+	path, ok := topo.Path(f.Agent, f.Victim)
+	if !ok {
+		return false
+	}
+	for _, x := range path[1:] {
+		if d[x] {
+			return true
+		}
+	}
+	return false
+}
+
+// FalsePositive is false for the destination check; Passport's
+// intermediate checks demote rather than drop, so genuine traffic
+// passes.
+func (Passport) FalsePositive(*topology.Topology, Deployment, topology.ASN, topology.ASN) bool {
+	return false
+}
+
+// --- MEF (Liu, Bi, Vasilakos) ----------------------------------------------
+
+// MEF members run on-demand *egress* filtering for each other: when a
+// member is attacked, the other members drop outbound packets toward
+// it whose sources are not local (d-DDoS) and outbound packets
+// claiming the victim's sources (s-DDoS). Unlike DISCS it has no
+// cryptographic functions, so the victim cannot classify inbound
+// packets itself (§I).
+type MEF struct{}
+
+// Name returns "MEF".
+func (MEF) Name() string { return "MEF" }
+
+// Filters reports true when both the agent and victim are members.
+func (MEF) Filters(_ *topology.Topology, d Deployment, f attack.Flow) bool {
+	srcClaim, _ := flowEndpoints(f)
+	return d[f.Agent] && d[f.Victim] && srcClaim != f.Agent
+}
+
+// FalsePositive is false: egress filtering is end based.
+func (MEF) FalsePositive(*topology.Topology, Deployment, topology.ASN, topology.ASN) bool {
+	return false
+}
+
+// --- Hop-count filtering (Wang, Jin, Shin) -----------------------------------
+
+// HCF is victim-deployed: it learns the hop count from each source and
+// drops packets whose TTL-inferred hop count mismatches. At AS
+// granularity we compare AS-path lengths; attackers whose path length
+// coincides with the legitimate one evade it.
+type HCF struct{}
+
+// Name returns "HCF".
+func (HCF) Name() string { return "HCF" }
+
+// Filters compares the true path length (agent→victim) with the
+// learned one (innocent→victim).
+func (HCF) Filters(topo *topology.Topology, d Deployment, f attack.Flow) bool {
+	if f.Kind != attack.DDDoS || !d[f.Victim] {
+		return false
+	}
+	actual, ok1 := topo.Path(f.Agent, f.Victim)
+	learned, ok2 := topo.Path(f.Innocent, f.Victim)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return len(actual) != len(learned)
+}
+
+// FalsePositive: false at AS abstraction (stable paths); route changes
+// would create IFP, which the paper charges against path-based methods.
+func (HCF) FalsePositive(*topology.Topology, Deployment, topology.ASN, topology.ASN) bool {
+	return false
+}
+
+// --- DPF (Park & Lee) --------------------------------------------------------
+
+// DPF deploys route-based filters at transit ASes: a packet claiming
+// source i is dropped if it arrives from a neighbor that is not on a
+// valid forwarding path from i.
+type DPF struct{}
+
+// Name returns "DPF".
+func (DPF) Name() string { return "DPF" }
+
+// Filters walks the attack path; a deployed AS whose incoming neighbor
+// differs from the incoming neighbor of the legitimate path from the
+// claimed source drops the packet.
+func (DPF) Filters(topo *topology.Topology, d Deployment, f attack.Flow) bool {
+	srcClaim, dst := flowEndpoints(f)
+	path, ok := topo.Path(f.Agent, dst)
+	if !ok {
+		return false
+	}
+	for idx := 1; idx < len(path); idx++ {
+		x := path[idx]
+		if !d[x] {
+			continue
+		}
+		if srcClaim == x {
+			return true
+		}
+		legit, ok := topo.Path(srcClaim, dst)
+		if !ok {
+			return true
+		}
+		// Find x on the legitimate path and compare predecessors.
+		onLegit := false
+		for j := 1; j < len(legit); j++ {
+			if legit[j] == x {
+				onLegit = true
+				if legit[j-1] != path[idx-1] {
+					return true
+				}
+				break
+			}
+		}
+		if !onLegit {
+			return true
+		}
+	}
+	return false
+}
+
+// FalsePositive is false with exact paths; real DPF uses feasible-path
+// supersets to avoid FP under multipath, which our single-path
+// topology does not model.
+func (DPF) FalsePositive(*topology.Topology, Deployment, topology.ASN, topology.ASN) bool {
+	return false
+}
+
+// All returns every baseline defense.
+func All() []Defense {
+	return []Defense{IF{}, URPF{}, SPM{}, Passport{}, MEF{}, HCF{}, DPF{}}
+}

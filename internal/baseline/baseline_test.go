@@ -1,0 +1,246 @@
+package baseline
+
+import (
+	"net/netip"
+	"testing"
+
+	"discs/internal/attack"
+	"discs/internal/topology"
+)
+
+// chainTopo builds a line topology with a shared provider fan:
+//
+//	   P (1)
+//	 / | \  \
+//	A  B  C  V        A=2 B=3 C=4 V=5 (all customers of P)
+//
+// plus D=6, a customer of C (two hops from P).
+func chainTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	tp := topology.New()
+	for i := topology.ASN(1); i <= 6; i++ {
+		if _, err := tp.AddAS(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range []topology.ASN{2, 3, 4, 5} {
+		if err := tp.Link(c, 1, topology.CustomerToProvider); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tp.Link(6, 4, topology.CustomerToProvider); err != nil {
+		t.Fatal(err)
+	}
+	for i := topology.ASN(1); i <= 6; i++ {
+		p := netip.MustParsePrefix("10." + string('0'+byte(i)) + ".0.0/16")
+		if err := tp.AddPrefix(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tp
+}
+
+func dep(asns ...topology.ASN) Deployment {
+	d := make(Deployment)
+	for _, a := range asns {
+		d[a] = true
+	}
+	return d
+}
+
+var (
+	// Agent 2 spoofs innocent 3 attacking victim 5.
+	dFlow = attack.Flow{Kind: attack.DDDoS, Agent: 2, Innocent: 3, Victim: 5}
+	// Agent 2 reflects off innocent 3 against victim 5.
+	sFlow = attack.Flow{Kind: attack.SDDoS, Agent: 2, Innocent: 3, Victim: 5}
+)
+
+func TestIF(t *testing.T) {
+	tp := chainTopo(t)
+	f := IF{}
+	if !f.Filters(tp, dep(2), dFlow) {
+		t.Error("IF at agent must filter d-DDoS")
+	}
+	if !f.Filters(tp, dep(2), sFlow) {
+		t.Error("IF at agent must filter s-DDoS")
+	}
+	if f.Filters(tp, dep(3, 5), dFlow) {
+		t.Error("IF not at agent must not filter (no self-protection: weak incentive)")
+	}
+	if f.FalsePositive(tp, dep(2), 2, 5) {
+		t.Error("IF has no false positives")
+	}
+}
+
+func TestURPFFiltersSpoofing(t *testing.T) {
+	tp := chainTopo(t)
+	f := URPF{}
+	// Path 2→5 is 2-1-5. At P(1), packet claims src AS3; P reaches AS3
+	// directly (next hop 3), but the packet arrived from 2 → drop.
+	if !f.Filters(tp, dep(1), dFlow) {
+		t.Error("uRPF at provider must filter spoofed flow")
+	}
+	// Claiming the checker's own space.
+	own := attack.Flow{Kind: attack.DDDoS, Agent: 2, Innocent: 1, Victim: 5}
+	if !f.Filters(tp, dep(1), own) {
+		t.Error("uRPF must drop packets claiming its own space from outside")
+	}
+	// Not deployed on path: no filtering.
+	if f.Filters(tp, dep(4), dFlow) {
+		t.Error("uRPF off-path must not filter")
+	}
+	// Spoofing a source behind the same previous hop evades uRPF:
+	// agent 6 spoofs sources of 4 (its provider)... path 6→5 is
+	// 6-4-1-5; at P(1) a claim of AS6's own customer-cone source
+	// arriving from 4 looks valid.
+	evade := attack.Flow{Kind: attack.DDDoS, Agent: 6, Innocent: 4, Victim: 5}
+	if f.Filters(tp, dep(1), evade) {
+		t.Error("uRPF should accept sources reachable via the arrival interface")
+	}
+}
+
+func TestSPM(t *testing.T) {
+	tp := chainTopo(t)
+	f := SPM{}
+	if !f.Filters(tp, dep(3, 5), dFlow) {
+		t.Error("SPM must filter when victim and claimed source are members")
+	}
+	if f.Filters(tp, dep(5), dFlow) {
+		t.Error("SPM needs the claimed source to be a member")
+	}
+	if f.Filters(tp, dep(3), dFlow) {
+		t.Error("SPM needs the victim to be a member")
+	}
+	if f.Filters(tp, dep(3, 5), sFlow) {
+		t.Error("SPM gives no s-DDoS protection (§II)")
+	}
+}
+
+func TestPassport(t *testing.T) {
+	tp := chainTopo(t)
+	f := Passport{}
+	// Victim not a member but transit P is: intermediate verification.
+	if !f.Filters(tp, dep(3, 1), dFlow) {
+		t.Error("Passport must filter at intermediate members")
+	}
+	if !f.Filters(tp, dep(3, 5), dFlow) {
+		t.Error("Passport must filter at the destination member")
+	}
+	if f.Filters(tp, dep(1, 5), dFlow) {
+		t.Error("Passport needs the claimed source to be a member")
+	}
+	if f.Filters(tp, dep(3, 1), sFlow) {
+		t.Error("Passport gives no s-DDoS protection here (§II)")
+	}
+}
+
+func TestMEF(t *testing.T) {
+	tp := chainTopo(t)
+	f := MEF{}
+	if !f.Filters(tp, dep(2, 5), dFlow) {
+		t.Error("MEF must filter when agent and victim are members")
+	}
+	if !f.Filters(tp, dep(2, 5), sFlow) {
+		t.Error("MEF egress filtering covers s-DDoS too")
+	}
+	if f.Filters(tp, dep(3, 5), dFlow) {
+		t.Error("MEF needs the agent AS to be a member")
+	}
+	if f.Filters(tp, dep(2, 3), dFlow) {
+		t.Error("MEF needs the victim to be a member")
+	}
+}
+
+func TestHCF(t *testing.T) {
+	tp := chainTopo(t)
+	f := HCF{}
+	// Path 2→5 has length 3 (2,1,5); learned path 3→5 also 3 → evades.
+	if f.Filters(tp, dep(5), dFlow) {
+		t.Error("HCF must be evaded by equal hop counts")
+	}
+	// Agent 6 (path 6-4-1-5: length 4) spoofing 3 (learned length 3):
+	// mismatch → filtered.
+	far := attack.Flow{Kind: attack.DDDoS, Agent: 6, Innocent: 3, Victim: 5}
+	if !f.Filters(tp, dep(5), far) {
+		t.Error("HCF must filter mismatched hop counts")
+	}
+	if f.Filters(tp, dep(1), far) {
+		t.Error("HCF is victim-deployed only")
+	}
+}
+
+func TestDPF(t *testing.T) {
+	tp := chainTopo(t)
+	f := DPF{}
+	// At P(1), the legitimate path 3→5 enters P from 3, but the attack
+	// path enters from 2: filtered.
+	if !f.Filters(tp, dep(1), dFlow) {
+		t.Error("DPF at transit must filter")
+	}
+	// Agent 6 spoofing its provider 4: arrival neighbor at P is 4 for
+	// both the attack (6-4-1-5) and legitimate (4-1-5) paths → evades.
+	evade := attack.Flow{Kind: attack.DDDoS, Agent: 6, Innocent: 4, Victim: 5}
+	if f.Filters(tp, dep(1), evade) {
+		t.Error("DPF should be evaded when arrival neighbors coincide")
+	}
+}
+
+func TestDISCSFilter(t *testing.T) {
+	tp := chainTopo(t)
+	f := DISCS{}
+	// Victim not deployed: never filtered (on-demand, no protection for
+	// legacy ASes — the incentive property).
+	if f.Filters(tp, dep(2, 3), dFlow) {
+		t.Error("DISCS must not protect a legacy victim")
+	}
+	// Victim + agent deployed: DP drops at egress.
+	if !f.Filters(tp, dep(2, 5), dFlow) {
+		t.Error("DISCS DP case")
+	}
+	// Victim + innocent deployed: CDP verification drops.
+	if !f.Filters(tp, dep(3, 5), dFlow) {
+		t.Error("DISCS CDP case")
+	}
+	// Victim alone: nothing filters this flow.
+	if f.Filters(tp, dep(5), dFlow) {
+		t.Error("DISCS victim alone cannot filter")
+	}
+	// s-DDoS symmetric cases (SP / CSP).
+	if !f.Filters(tp, dep(2, 5), sFlow) || !f.Filters(tp, dep(3, 5), sFlow) {
+		t.Error("DISCS SP/CSP cases")
+	}
+	if f.FalsePositive(tp, dep(2, 3, 5), 2, 5) {
+		t.Error("DISCS is IFP-free")
+	}
+}
+
+func TestAllNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range All() {
+		if d.Name() == "" || seen[d.Name()] {
+			t.Fatalf("bad or duplicate name %q", d.Name())
+		}
+		seen[d.Name()] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("expected 7 baselines, got %d", len(seen))
+	}
+}
+
+// TestDISCSBeatsBaselinesAtVictim encodes the qualitative comparison
+// of §II: with only {victim, one other AS} deployed, DISCS filters
+// flows that IF (not at agent) and SPM/Passport (source not a member)
+// miss.
+func TestDISCSBeatsBaselinesAtVictim(t *testing.T) {
+	tp := chainTopo(t)
+	d := dep(2, 5) // agent + victim deployed
+	if !(DISCS{}).Filters(tp, d, dFlow) {
+		t.Fatal("DISCS should filter with agent+victim deployed")
+	}
+	if (SPM{}).Filters(tp, d, dFlow) {
+		t.Fatal("SPM should miss (claimed source not a member)")
+	}
+	if (Passport{}).Filters(tp, d, dFlow) {
+		t.Fatal("Passport should miss (claimed source not a member)")
+	}
+}

@@ -1,0 +1,55 @@
+package baseline
+
+import (
+	"discs/internal/attack"
+	"discs/internal/topology"
+)
+
+// DISCS is the analytic flow-filter model of DISCS itself with all
+// four functions invoked (the regime of the §VI-B effectiveness
+// simulation), expressed in the same framework as the baselines so the
+// benches can compare them directly.
+//
+// A flow (a, i, v) is filtered iff the victim is a DAS and either
+//   - the agent's AS is a DAS: DP (d-DDoS) or SP (s-DDoS) drops the
+//     packets at the agent's egress, or
+//   - the innocent's AS is a DAS: CDP verification at the victim
+//     (d-DDoS, spoofed peer source lacks a valid mark) or CSP
+//     verification at the reflector's AS (s-DDoS) drops them.
+//
+// This is exactly the integral filter behind the closed forms of
+// §VI-A1 (see internal/eval).
+type DISCS struct{}
+
+// Name returns "DISCS".
+func (DISCS) Name() string { return "DISCS" }
+
+// Filters implements the integral filter described above.
+func (DISCS) Filters(_ *topology.Topology, d Deployment, f attack.Flow) bool {
+	if !d[f.Victim] {
+		return false // on-demand: only DASes invoke protection
+	}
+	if d[f.Agent] && agentSpoofs(f) {
+		return true // DP / SP at the agent's egress
+	}
+	if d[f.Innocent] && f.Agent != f.Innocent {
+		return true // CDP / CSP verification
+	}
+	return false
+}
+
+// agentSpoofs reports whether the flow's packets carry a non-local
+// source at the agent (always true for sampled flows, but kept
+// explicit for directly constructed flows).
+func agentSpoofs(f attack.Flow) bool {
+	if f.Kind == attack.DDDoS {
+		return f.Innocent != f.Agent
+	}
+	return f.Victim != f.Agent
+}
+
+// FalsePositive is always false: DISCS is IFP-free (§VI-D) — every
+// function is end or e2e based.
+func (DISCS) FalsePositive(*topology.Topology, Deployment, topology.ASN, topology.ASN) bool {
+	return false
+}

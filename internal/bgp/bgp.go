@@ -1,0 +1,464 @@
+// Package bgp implements a simplified BGP-4 on top of the netsim
+// simulator: per-AS speakers with eBGP sessions along topology links,
+// Adj-RIB-In / Loc-RIB structures, Gao-Rexford export policies, and
+// best-path selection.
+//
+// Its role in this repository is to carry the DISCS-Ad (§IV-B of the
+// paper): an optional transitive path attribute announcing a DAS and
+// its controller address. Legacy ASes forward the attribute without
+// understanding it — exactly the property DISCS relies on for
+// Internet-wide, incrementally-deployable discovery.
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"discs/internal/netsim"
+	"discs/internal/topology"
+)
+
+// Path attribute flags (RFC 4271 §4.3).
+const (
+	AttrFlagOptional   = 0x80
+	AttrFlagTransitive = 0x40
+)
+
+// AttrCodeDISCSAd is the (to-be-IANA-assigned) path attribute type
+// code for the DISCS advertisement.
+const AttrCodeDISCSAd = 0xF0
+
+// Attr is a BGP path attribute. Unrecognized optional transitive
+// attributes are retained and propagated (RFC 4271 §5), which is what
+// lets DISCS-Ads cross legacy ASes.
+type Attr struct {
+	Flags uint8
+	Code  uint8
+	Data  []byte
+}
+
+// DISCSAd is the payload of a DISCS advertisement: the origin DAS and
+// the name (or address) of its controller.
+type DISCSAd struct {
+	Origin     topology.ASN
+	Controller string
+}
+
+// Encode serializes the Ad into attribute data.
+func (ad DISCSAd) Encode() []byte {
+	b := make([]byte, 4+len(ad.Controller))
+	binary.BigEndian.PutUint32(b[:4], uint32(ad.Origin))
+	copy(b[4:], ad.Controller)
+	return b
+}
+
+// DecodeDISCSAd parses attribute data into a DISCSAd.
+func DecodeDISCSAd(b []byte) (DISCSAd, error) {
+	if len(b) < 4 {
+		return DISCSAd{}, fmt.Errorf("bgp: DISCS-Ad too short (%d bytes)", len(b))
+	}
+	return DISCSAd{
+		Origin:     topology.ASN(binary.BigEndian.Uint32(b[:4])),
+		Controller: string(b[4:]),
+	}, nil
+}
+
+// NewDISCSAdAttr wraps an Ad in an optional transitive attribute.
+func NewDISCSAdAttr(ad DISCSAd) Attr {
+	return Attr{Flags: AttrFlagOptional | AttrFlagTransitive, Code: AttrCodeDISCSAd, Data: ad.Encode()}
+}
+
+// Update is a BGP UPDATE message for a single prefix.
+type Update struct {
+	Prefix    netip.Prefix
+	Withdrawn bool
+	ASPath    []topology.ASN
+	Attrs     []Attr
+}
+
+// Size approximates the wire size for netsim bandwidth accounting.
+func (u *Update) Size() int {
+	n := 23 + 5 + 2*len(u.ASPath) // header + NLRI + AS path
+	for _, a := range u.Attrs {
+		n += 3 + len(a.Data)
+	}
+	return n
+}
+
+// Route is an entry in a RIB.
+type Route struct {
+	Prefix  netip.Prefix
+	ASPath  []topology.ASN // first element is the neighbor the route came from
+	Attrs   []Attr
+	From    topology.ASN          // advertising neighbor; 0 for locally originated
+	FromRel topology.Relationship // relationship of the hop to From (our perspective)
+	Local   bool
+}
+
+// preferenceClass ranks routes by business preference: customer routes
+// earn money (best), then peers, then providers.
+func (r *Route) preferenceClass() int {
+	if r.Local {
+		return 3
+	}
+	switch r.FromRel {
+	case topology.ProviderToCustomer: // From is our customer
+		return 2
+	case topology.PeerToPeer:
+		return 1
+	default: // From is our provider
+		return 0
+	}
+}
+
+// better reports whether r is preferred over s: local > customer >
+// peer > provider, then shorter AS path, then lower neighbor ASN.
+func (r *Route) better(s *Route) bool {
+	if s == nil {
+		return true
+	}
+	if a, b := r.preferenceClass(), s.preferenceClass(); a != b {
+		return a > b
+	}
+	if len(r.ASPath) != len(s.ASPath) {
+		return len(r.ASPath) < len(s.ASPath)
+	}
+	return r.From < s.From
+}
+
+// AdHandler receives DISCS-Ads extracted from propagated updates.
+type AdHandler func(ad DISCSAd)
+
+// Speaker is the BGP process of one AS, attached to one netsim node
+// (the AS's border-router abstraction).
+type Speaker struct {
+	ASN  topology.ASN
+	node *netsim.Node
+	topo *topology.Topology
+
+	neighbors map[topology.ASN]*netsim.Node
+	rels      map[topology.ASN]topology.Relationship // our perspective of hop to neighbor
+
+	adjIn  map[netip.Prefix]map[topology.ASN]*Route
+	locRib map[netip.Prefix]*Route
+
+	adHandlers []AdHandler
+	seenAds    map[topology.ASN]string // dedup: origin -> controller
+
+	// Stats.
+	UpdatesSent, UpdatesRecv uint64
+}
+
+// NewSpeaker creates a speaker for asn on node. Neighbors are attached
+// with AddNeighbor.
+func NewSpeaker(asn topology.ASN, node *netsim.Node, topo *topology.Topology) *Speaker {
+	s := &Speaker{
+		ASN:       asn,
+		node:      node,
+		topo:      topo,
+		neighbors: make(map[topology.ASN]*netsim.Node),
+		rels:      make(map[topology.ASN]topology.Relationship),
+		adjIn:     make(map[netip.Prefix]map[topology.ASN]*Route),
+		locRib:    make(map[netip.Prefix]*Route),
+		seenAds:   make(map[topology.ASN]string),
+	}
+	node.SetHandler(netsim.HandlerFunc(s.receive))
+	node.Meta["bgp"] = s
+	return s
+}
+
+// Node returns the netsim node this speaker runs on.
+func (s *Speaker) Node() *netsim.Node { return s.node }
+
+// AddNeighbor declares an eBGP session to the neighbor speaker's node.
+// rel is the relationship of the hop from this AS to the neighbor.
+func (s *Speaker) AddNeighbor(asn topology.ASN, node *netsim.Node, rel topology.Relationship) {
+	s.neighbors[asn] = node
+	s.rels[asn] = rel
+}
+
+// OnAd registers a handler invoked once per newly learned DISCS-Ad
+// (deduplicated by origin+controller).
+func (s *Speaker) OnAd(h AdHandler) { s.adHandlers = append(s.adHandlers, h) }
+
+// Originate installs a locally originated route and announces it to
+// neighbors according to export policy.
+func (s *Speaker) Originate(p netip.Prefix, attrs ...Attr) {
+	p = p.Masked()
+	r := &Route{Prefix: p, Local: true, Attrs: attrs}
+	s.locRib[p] = r
+	s.export(r)
+}
+
+// ReOriginate re-announces an already-originated prefix with new
+// attributes. The paper's DISCS-Ad bootstrap uses this: the update
+// prepends the origin AS so legacy routers accept a changed route
+// without reachability impact (§IV-B).
+func (s *Speaker) ReOriginate(p netip.Prefix, attrs ...Attr) error {
+	p = p.Masked()
+	r := s.locRib[p]
+	if r == nil || !r.Local {
+		return fmt.Errorf("bgp: AS%d does not originate %v", s.ASN, p)
+	}
+	r.Attrs = attrs
+	s.export(r)
+	return nil
+}
+
+// LocRib returns the current best route for p, or nil.
+func (s *Speaker) LocRib(p netip.Prefix) *Route { return s.locRib[p.Masked()] }
+
+// SessionDown handles the loss of an eBGP session (link failure or
+// neighbor death): every route learned from that neighbor is flushed
+// from the Adj-RIB-In and the decision process reruns, issuing
+// withdrawals or switching to backup paths as needed. The session
+// configuration is retained so SessionUp can restore it.
+func (s *Speaker) SessionDown(neighbor topology.ASN) {
+	var affected []netip.Prefix
+	for p, peers := range s.adjIn {
+		if _, ok := peers[neighbor]; ok {
+			delete(peers, neighbor)
+			affected = append(affected, p)
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i].String() < affected[j].String() })
+	for _, p := range affected {
+		s.decide(p)
+	}
+}
+
+// SessionUp re-advertises the full Loc-RIB to a restored neighbor (the
+// initial-exchange behavior of a fresh BGP session).
+func (s *Speaker) SessionUp(neighbor topology.ASN) {
+	node := s.neighbors[neighbor]
+	if node == nil {
+		return
+	}
+	for _, p := range s.Routes() {
+		r := s.locRib[p]
+		// Export policy still applies.
+		allowed := false
+		for _, t := range s.exportTargets(r) {
+			if t == neighbor {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			continue
+		}
+		u := &Update{
+			Prefix: r.Prefix,
+			ASPath: append([]topology.ASN{s.ASN}, r.ASPath...),
+			Attrs:  r.Attrs,
+		}
+		if s.node.SendTo(node, u) {
+			s.UpdatesSent++
+		}
+	}
+}
+
+// Routes returns all Loc-RIB prefixes, sorted for determinism.
+func (s *Speaker) Routes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(s.locRib))
+	for p := range s.locRib {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// exportTargets returns the neighbors a route may be exported to under
+// Gao-Rexford policy: routes from customers (or local routes) go to
+// everyone; routes from peers/providers go to customers only.
+func (s *Speaker) exportTargets(r *Route) []topology.ASN {
+	toAll := r.Local || r.FromRel == topology.ProviderToCustomer
+	var out []topology.ASN
+	for n := range s.neighbors {
+		if n == r.From {
+			continue
+		}
+		if toAll || s.rels[n] == topology.ProviderToCustomer {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// export sends the route to all permitted neighbors with our ASN
+// prepended.
+func (s *Speaker) export(r *Route) {
+	path := append([]topology.ASN{s.ASN}, r.ASPath...)
+	for _, nASN := range s.exportTargets(r) {
+		u := &Update{
+			Prefix: r.Prefix,
+			ASPath: append([]topology.ASN(nil), path...),
+			Attrs:  r.Attrs,
+		}
+		if s.node.SendTo(s.neighbors[nASN], u) {
+			s.UpdatesSent++
+		}
+	}
+}
+
+// receive processes an incoming UPDATE.
+func (s *Speaker) receive(from *netsim.Node, _ *netsim.Link, msg netsim.Message) {
+	u, ok := msg.(*Update)
+	if !ok {
+		return
+	}
+	s.UpdatesRecv++
+	// Identify which neighbor sent it.
+	var fromASN topology.ASN
+	found := false
+	for asn, node := range s.neighbors {
+		if node == from {
+			fromASN, found = asn, true
+			break
+		}
+	}
+	if !found {
+		return // not a configured session
+	}
+	// Loop prevention.
+	for _, hop := range u.ASPath {
+		if hop == s.ASN {
+			return
+		}
+	}
+	// Surface any DISCS-Ads regardless of best-path outcome: the
+	// controller learns about DASes from every update carrying the
+	// attribute (the Ad is informational, not a routing input).
+	s.extractAds(u.Attrs)
+
+	if u.Withdrawn {
+		if peers := s.adjIn[u.Prefix]; peers != nil {
+			delete(peers, fromASN)
+		}
+		s.decide(u.Prefix)
+		return
+	}
+	r := &Route{
+		Prefix:  u.Prefix,
+		ASPath:  append([]topology.ASN(nil), u.ASPath...),
+		Attrs:   u.Attrs,
+		From:    fromASN,
+		FromRel: s.rels[fromASN],
+	}
+	if s.adjIn[u.Prefix] == nil {
+		s.adjIn[u.Prefix] = make(map[topology.ASN]*Route)
+	}
+	s.adjIn[u.Prefix][fromASN] = r
+	s.decide(u.Prefix)
+}
+
+// decide recomputes the best path for p and exports on change. A
+// changed attribute set on the same best path also triggers export so
+// re-originated DISCS-Ads propagate.
+func (s *Speaker) decide(p netip.Prefix) {
+	cur := s.locRib[p]
+	if cur != nil && cur.Local {
+		return // local routes always win
+	}
+	var best *Route
+	// Deterministic iteration over candidates.
+	var froms []topology.ASN
+	for f := range s.adjIn[p] {
+		froms = append(froms, f)
+	}
+	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
+	for _, f := range froms {
+		if r := s.adjIn[p][f]; r.better(best) {
+			best = r
+		}
+	}
+	if best == nil {
+		if cur != nil {
+			delete(s.locRib, p)
+			s.exportWithdraw(cur, nil)
+		}
+		return
+	}
+	if cur != nil && routesEqual(cur, best) {
+		return
+	}
+	s.locRib[p] = best
+	// When the best path's provenance changes, the Gao-Rexford export
+	// set can shrink (e.g. customer route → provider route is no longer
+	// announced to providers/peers): retract from neighbors that held
+	// the old announcement but are outside the new export set.
+	if cur != nil {
+		s.exportWithdraw(cur, s.exportTargets(best))
+	}
+	s.export(best)
+}
+
+func routesEqual(a, b *Route) bool {
+	if a.From != b.From || len(a.ASPath) != len(b.ASPath) || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.ASPath {
+		if a.ASPath[i] != b.ASPath[i] {
+			return false
+		}
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i].Code != b.Attrs[i].Code || string(a.Attrs[i].Data) != string(b.Attrs[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// exportWithdraw notifies the neighbors that received route r that it
+// is gone, excluding any neighbor in keep (they are about to get a
+// replacement announcement instead).
+func (s *Speaker) exportWithdraw(r *Route, keep []topology.ASN) {
+	keepSet := make(map[topology.ASN]bool, len(keep))
+	for _, k := range keep {
+		keepSet[k] = true
+	}
+	for _, nASN := range s.exportTargets(r) {
+		if keepSet[nASN] {
+			continue
+		}
+		u := &Update{Prefix: r.Prefix, Withdrawn: true}
+		if s.node.SendTo(s.neighbors[nASN], u) {
+			s.UpdatesSent++
+		}
+	}
+}
+
+// extractAds fires handlers for new DISCS-Ads.
+func (s *Speaker) extractAds(attrs []Attr) {
+	for _, a := range attrs {
+		if a.Code != AttrCodeDISCSAd {
+			continue
+		}
+		ad, err := DecodeDISCSAd(a.Data)
+		if err != nil {
+			continue
+		}
+		if s.seenAds[ad.Origin] == ad.Controller {
+			continue
+		}
+		s.seenAds[ad.Origin] = ad.Controller
+		for _, h := range s.adHandlers {
+			h(ad)
+		}
+	}
+}
+
+// KnownAds returns the deduplicated DISCS-Ads this speaker has seen,
+// sorted by origin ASN.
+func (s *Speaker) KnownAds() []DISCSAd {
+	out := make([]DISCSAd, 0, len(s.seenAds))
+	for o, c := range s.seenAds {
+		out = append(out, DISCSAd{Origin: o, Controller: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
+}

@@ -1,0 +1,318 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"discs/internal/topology"
+)
+
+// buildTopo creates a small labelled topology:
+//
+//	    T1 ──peer── T2          (tier 1)
+//	    /  \          \
+//	  M1    M2         M3       (mid: customers of tier 1)
+//	 /  \     \       /
+//	S1   S2    S3   S4          (stubs)
+func buildTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	tp := topology.New()
+	names := map[string]topology.ASN{
+		"T1": 10, "T2": 20, "M1": 100, "M2": 200, "M3": 300,
+		"S1": 1001, "S2": 1002, "S3": 1003, "S4": 1004,
+	}
+	for _, asn := range names {
+		if _, err := tp.AddAS(asn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link := func(a, b string, rel topology.Relationship) {
+		if err := tp.Link(names[a], names[b], rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link("T1", "T2", topology.PeerToPeer)
+	link("M1", "T1", topology.CustomerToProvider)
+	link("M2", "T1", topology.CustomerToProvider)
+	link("M3", "T2", topology.CustomerToProvider)
+	link("S1", "M1", topology.CustomerToProvider)
+	link("S2", "M1", topology.CustomerToProvider)
+	link("S3", "M2", topology.CustomerToProvider)
+	link("S4", "M3", topology.CustomerToProvider)
+	// Prefixes: one per AS, 10.<asn/100>.<asn%100>.0/24 style.
+	pfx := map[string]string{
+		"T1": "10.0.0.0/16", "T2": "20.0.0.0/16", "M1": "100.0.0.0/16",
+		"M2": "100.1.0.0/16", "M3": "100.2.0.0/16",
+		"S1": "172.16.1.0/24", "S2": "172.16.2.0/24", "S3": "172.16.3.0/24", "S4": "172.16.4.0/24",
+	}
+	for name, p := range pfx {
+		if err := tp.AddPrefix(names[name], netip.MustParsePrefix(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tp
+}
+
+func converged(t *testing.T) *Network {
+	t.Helper()
+	tp := buildTopo(t)
+	net, err := BuildNetwork(tp, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.OriginateAll()
+	if err := net.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestFullReachability(t *testing.T) {
+	net := converged(t)
+	// Every speaker must have a route to every prefix.
+	for _, asn := range net.Topo.ASNs() {
+		sp := net.Speakers[asn]
+		for _, other := range net.Topo.ASNs() {
+			for _, p := range net.Topo.AS(other).Prefixes {
+				r := sp.LocRib(p)
+				if other == asn {
+					if r == nil || !r.Local {
+						t.Fatalf("AS%d missing local route %v", asn, p)
+					}
+					continue
+				}
+				if r == nil {
+					t.Fatalf("AS%d has no route to %v (AS%d)", asn, p, other)
+				}
+				// The path must end at the originator.
+				if r.ASPath[len(r.ASPath)-1] != other {
+					t.Fatalf("AS%d route to %v ends at AS%d", asn, p, r.ASPath[len(r.ASPath)-1])
+				}
+			}
+		}
+	}
+}
+
+func TestPathsAreValleyFree(t *testing.T) {
+	net := converged(t)
+	for _, asn := range net.Topo.ASNs() {
+		sp := net.Speakers[asn]
+		for _, p := range sp.Routes() {
+			r := sp.LocRib(p)
+			if r.Local {
+				continue
+			}
+			full := append([]topology.ASN{asn}, r.ASPath...)
+			if err := net.Topo.ValidateValleyFree(full); err != nil {
+				t.Fatalf("AS%d route to %v: %v (path %v)", asn, p, err, full)
+			}
+		}
+	}
+}
+
+func TestCustomerRoutePreferred(t *testing.T) {
+	// M1 learns S1's prefix directly from its customer S1. Even though
+	// T1 may also offer it, the customer route must win.
+	net := converged(t)
+	r := net.Speakers[100].LocRib(netip.MustParsePrefix("172.16.1.0/24"))
+	if r == nil || r.From != 1001 {
+		t.Fatalf("M1 route to S1 = %+v, want via customer 1001", r)
+	}
+	if r.FromRel != topology.ProviderToCustomer {
+		t.Fatalf("FromRel = %v", r.FromRel)
+	}
+}
+
+func TestNoTransitThroughPeersForPeers(t *testing.T) {
+	// Gao-Rexford: T1 must not export peer T2's routes to its peer...
+	// T1 has only one peer; check instead that a stub's route through a
+	// peer link is only reachable downhill: M1's route to M3's prefix
+	// goes via T1 then the T1-T2 peer link.
+	net := converged(t)
+	r := net.Speakers[100].LocRib(netip.MustParsePrefix("100.2.0.0/16"))
+	if r == nil {
+		t.Fatal("M1 has no route to M3")
+	}
+	want := []topology.ASN{10, 20, 300}
+	if len(r.ASPath) != len(want) {
+		t.Fatalf("ASPath = %v, want %v", r.ASPath, want)
+	}
+	for i := range want {
+		if r.ASPath[i] != want[i] {
+			t.Fatalf("ASPath = %v, want %v", r.ASPath, want)
+		}
+	}
+}
+
+func TestLoopPrevention(t *testing.T) {
+	net := converged(t)
+	// No route's AS path may contain the speaker's own ASN.
+	for _, asn := range net.Topo.ASNs() {
+		sp := net.Speakers[asn]
+		for _, p := range sp.Routes() {
+			r := sp.LocRib(p)
+			for _, hop := range r.ASPath {
+				if hop == asn {
+					t.Fatalf("AS%d has looped path %v for %v", asn, r.ASPath, p)
+				}
+			}
+		}
+	}
+}
+
+func TestWithdraw(t *testing.T) {
+	net := converged(t)
+	s1 := net.Speakers[1001]
+	p := netip.MustParsePrefix("172.16.1.0/24")
+	// Simulate S1 withdrawing: send withdraw to M1 directly.
+	s1.exportWithdraw(s1.LocRib(p), nil)
+	delete(s1.locRib, p)
+	if err := net.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range net.Topo.ASNs() {
+		if asn == 1001 {
+			continue
+		}
+		if r := net.Speakers[asn].LocRib(p); r != nil {
+			t.Fatalf("AS%d still has withdrawn route %v via %v", asn, p, r.ASPath)
+		}
+	}
+}
+
+func TestDISCSAdEncodeDecode(t *testing.T) {
+	ad := DISCSAd{Origin: 64500, Controller: "controller.as64500.example"}
+	got, err := DecodeDISCSAd(ad.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ad {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if _, err := DecodeDISCSAd([]byte{1, 2}); err == nil {
+		t.Fatal("short Ad should fail")
+	}
+	attr := NewDISCSAdAttr(ad)
+	if attr.Flags&AttrFlagOptional == 0 || attr.Flags&AttrFlagTransitive == 0 {
+		t.Fatal("DISCS-Ad attribute must be optional transitive")
+	}
+}
+
+func TestDISCSAdPropagatesInternetWide(t *testing.T) {
+	net := converged(t)
+	// S1 deploys DISCS: its controller re-originates S1's prefix with
+	// the Ad attached.
+	ad := DISCSAd{Origin: 1001, Controller: "ctrl.s1"}
+	if err := net.Speakers[1001].ReOriginate(netip.MustParsePrefix("172.16.1.0/24"), NewDISCSAdAttr(ad)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	// Every other AS (all "legacy") must have seen the Ad: optional
+	// transitive attributes are retained and propagated.
+	for _, asn := range net.Topo.ASNs() {
+		if asn == 1001 {
+			continue
+		}
+		ads := net.Speakers[asn].KnownAds()
+		if len(ads) != 1 || ads[0] != ad {
+			t.Fatalf("AS%d ads = %+v", asn, ads)
+		}
+	}
+}
+
+func TestAdHandlerFiresOncePerOrigin(t *testing.T) {
+	net := converged(t)
+	count := 0
+	net.Speakers[1004].OnAd(func(ad DISCSAd) { count++ })
+	ad := DISCSAd{Origin: 1001, Controller: "ctrl.s1"}
+	net.Speakers[1001].ReOriginate(netip.MustParsePrefix("172.16.1.0/24"), NewDISCSAdAttr(ad))
+	net.Converge()
+	// Re-announce same Ad: no duplicate callback.
+	net.Speakers[1001].ReOriginate(netip.MustParsePrefix("172.16.1.0/24"), NewDISCSAdAttr(ad))
+	net.Converge()
+	if count != 1 {
+		t.Fatalf("handler fired %d times, want 1", count)
+	}
+	// A changed controller name fires again.
+	net.Speakers[1001].ReOriginate(netip.MustParsePrefix("172.16.1.0/24"),
+		NewDISCSAdAttr(DISCSAd{Origin: 1001, Controller: "ctrl2.s1"}))
+	net.Converge()
+	if count != 2 {
+		t.Fatalf("handler fired %d times after change, want 2", count)
+	}
+}
+
+func TestMultipleDASesDiscoverEachOther(t *testing.T) {
+	net := converged(t)
+	deployers := []topology.ASN{1001, 1003, 300}
+	prefixes := map[topology.ASN]string{1001: "172.16.1.0/24", 1003: "172.16.3.0/24", 300: "100.2.0.0/16"}
+	for _, asn := range deployers {
+		ad := DISCSAd{Origin: asn, Controller: "ctrl"}
+		if err := net.Speakers[asn].ReOriginate(netip.MustParsePrefix(prefixes[asn]), NewDISCSAdAttr(ad)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Converge()
+	for _, asn := range deployers {
+		ads := net.Speakers[asn].KnownAds()
+		// Each deployer sees the other two.
+		if len(ads) != 2 {
+			t.Fatalf("AS%d sees %d ads: %+v", asn, len(ads), ads)
+		}
+	}
+}
+
+func TestReOriginateUnknownPrefix(t *testing.T) {
+	net := converged(t)
+	err := net.Speakers[1001].ReOriginate(netip.MustParsePrefix("9.9.9.0/24"))
+	if err == nil {
+		t.Fatal("ReOriginate of foreign prefix should fail")
+	}
+}
+
+func TestUpdateSize(t *testing.T) {
+	u := &Update{
+		Prefix: netip.MustParsePrefix("10.0.0.0/8"),
+		ASPath: []topology.ASN{1, 2, 3},
+		Attrs:  []Attr{{Code: AttrCodeDISCSAd, Data: make([]byte, 10)}},
+	}
+	if u.Size() <= 0 || u.Size() > 200 {
+		t.Fatalf("Size = %d", u.Size())
+	}
+}
+
+func TestConvergenceMessageCountBounded(t *testing.T) {
+	net := converged(t)
+	var total uint64
+	for _, sp := range net.Speakers {
+		total += sp.UpdatesSent
+	}
+	// 9 ASes × 9 prefixes with policy filtering: should be well under
+	// a full O(N^2·E) blowup.
+	if total == 0 || total > 2000 {
+		t.Fatalf("total updates = %d", total)
+	}
+}
+
+func TestBestPathStability(t *testing.T) {
+	// Converging twice from scratch yields identical Loc-RIBs
+	// (determinism of the whole stack).
+	a := converged(t)
+	b := converged(t)
+	for _, asn := range a.Topo.ASNs() {
+		ra, rb := a.Speakers[asn], b.Speakers[asn]
+		pa, pb := ra.Routes(), rb.Routes()
+		if len(pa) != len(pb) {
+			t.Fatalf("AS%d: %d vs %d routes", asn, len(pa), len(pb))
+		}
+		for i := range pa {
+			x, y := ra.LocRib(pa[i]), rb.LocRib(pb[i])
+			if x.From != y.From || len(x.ASPath) != len(y.ASPath) {
+				t.Fatalf("AS%d route %v differs between runs", asn, pa[i])
+			}
+		}
+	}
+}

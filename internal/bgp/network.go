@@ -1,0 +1,134 @@
+package bgp
+
+import (
+	"fmt"
+	"time"
+
+	"discs/internal/netsim"
+	"discs/internal/topology"
+)
+
+// Network bundles a simulator, a topology, and one speaker per AS with
+// eBGP sessions along every topology link. It is the starting point for
+// the DISCS control-plane simulations and the examples.
+type Network struct {
+	Sim      *netsim.Simulator
+	Topo     *topology.Topology
+	Speakers map[topology.ASN]*Speaker
+}
+
+// BuildNetwork creates a netsim node ("borderN") and speaker for every
+// AS and connects neighbors with the given link delay.
+func BuildNetwork(topo *topology.Topology, linkDelay time.Duration) (*Network, error) {
+	sim := netsim.New()
+	net := &Network{Sim: sim, Topo: topo, Speakers: make(map[topology.ASN]*Speaker)}
+	for _, asn := range topo.ASNs() {
+		node, err := sim.AddNode(fmt.Sprintf("border%d", asn))
+		if err != nil {
+			return nil, err
+		}
+		net.Speakers[asn] = NewSpeaker(asn, node, topo)
+	}
+	// Wire links and sessions. Providers/Peers/Customers lists give each
+	// relationship from both sides; create each physical link once.
+	for _, asn := range topo.ASNs() {
+		a := topo.AS(asn)
+		sp := net.Speakers[asn]
+		// Transit links are created from the customer side only (each
+		// relationship appears in exactly one Providers list).
+		for _, prov := range a.Providers {
+			other := net.Speakers[prov]
+			if !linked(sp.node, other.node) {
+				if _, err := sim.Connect(sp.node, other.node, linkDelay); err != nil {
+					return nil, err
+				}
+			}
+			sp.AddNeighbor(prov, other.node, topology.CustomerToProvider)
+			other.AddNeighbor(asn, sp.node, topology.ProviderToCustomer)
+		}
+		for _, peer := range a.Peers {
+			if peer < asn {
+				continue // the lower side created it
+			}
+			other := net.Speakers[peer]
+			if !linked(sp.node, other.node) {
+				if _, err := sim.Connect(sp.node, other.node, linkDelay); err != nil {
+					return nil, err
+				}
+			}
+			sp.AddNeighbor(peer, other.node, topology.PeerToPeer)
+			other.AddNeighbor(asn, sp.node, topology.PeerToPeer)
+		}
+	}
+	return net, nil
+}
+
+func linked(a, b *netsim.Node) bool {
+	for _, l := range a.Links() {
+		if l.Neighbor(a) == b {
+			return true
+		}
+	}
+	return false
+}
+
+// OriginateAll makes every AS originate all of its prefixes.
+func (n *Network) OriginateAll() {
+	for _, asn := range n.Topo.ASNs() {
+		sp := n.Speakers[asn]
+		for _, p := range n.Topo.AS(asn).Prefixes {
+			sp.Originate(p)
+		}
+	}
+}
+
+// Converge runs the simulator until no BGP events remain.
+func (n *Network) Converge() error {
+	_, err := n.Sim.RunAll()
+	return err
+}
+
+// FailLink takes the physical link between two neighboring ASes down
+// and signals the session loss to both speakers, triggering withdraws
+// and reroutes. It reports whether a link existed.
+func (n *Network) FailLink(a, b topology.ASN) bool {
+	sa, sb := n.Speakers[a], n.Speakers[b]
+	if sa == nil || sb == nil {
+		return false
+	}
+	found := false
+	for _, l := range sa.Node().Links() {
+		if l.Neighbor(sa.Node()) == sb.Node() {
+			l.SetUp(false)
+			found = true
+		}
+	}
+	if !found {
+		return false
+	}
+	sa.SessionDown(b)
+	sb.SessionDown(a)
+	return true
+}
+
+// RestoreLink brings the link back up and replays full routing tables
+// over the restored session.
+func (n *Network) RestoreLink(a, b topology.ASN) bool {
+	sa, sb := n.Speakers[a], n.Speakers[b]
+	if sa == nil || sb == nil {
+		return false
+	}
+	found := false
+	for _, l := range sa.Node().Links() {
+		if l.Neighbor(sa.Node()) == sb.Node() {
+			l.SetUp(true)
+			found = true
+		}
+	}
+	if !found {
+		return false
+	}
+	sa.SessionUp(b)
+	sb.SessionUp(a)
+	return true
+}

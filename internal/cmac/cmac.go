@@ -1,0 +1,146 @@
+// Package cmac implements the AES-CMAC message authentication code
+// defined in RFC 4493, the MAC generation algorithm used by the DISCS
+// data plane (§V-D of the paper).
+//
+// DISCS stamps a truncated AES-CMAC of selected immutable packet fields
+// into each outbound packet: 29 bits for IPv4 (IPID + Fragment Offset)
+// and 32 bits for IPv6 (DISCS destination option). This package provides
+// the full 128-bit CMAC plus the two truncations.
+package cmac
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"fmt"
+)
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// KeySize is the AES-128 key size used throughout DISCS.
+const KeySize = 16
+
+// rb is the constant from RFC 4493 §2.3 used in subkey generation.
+const rb = 0x87
+
+// CMAC computes AES-CMAC over msg with precomputed subkeys. Create one
+// per key with New and reuse it; the struct is cheap but key expansion
+// is not. A CMAC value is safe for concurrent use: Sum does not mutate
+// receiver state.
+type CMAC struct {
+	block  cipher.Block
+	k1, k2 [BlockSize]byte
+}
+
+// New creates a CMAC instance for a 16-byte AES-128 key.
+func New(key []byte) (*CMAC, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("cmac: key length %d, want %d", len(key), KeySize)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	c := &CMAC{block: block}
+	// Subkey generation (RFC 4493 §2.3): L = AES-128(K, 0^128);
+	// K1 = L<<1 (xor Rb if msb(L)); K2 = K1<<1 (xor Rb if msb(K1)).
+	var l [BlockSize]byte
+	block.Encrypt(l[:], l[:])
+	shiftLeft(&c.k1, &l)
+	if l[0]&0x80 != 0 {
+		c.k1[BlockSize-1] ^= rb
+	}
+	shiftLeft(&c.k2, &c.k1)
+	if c.k1[0]&0x80 != 0 {
+		c.k2[BlockSize-1] ^= rb
+	}
+	return c, nil
+}
+
+// shiftLeft sets dst = src << 1 (128-bit big-endian shift).
+func shiftLeft(dst, src *[BlockSize]byte) {
+	var carry byte
+	for i := BlockSize - 1; i >= 0; i-- {
+		dst[i] = src[i]<<1 | carry
+		carry = src[i] >> 7
+	}
+}
+
+// Sum computes the 16-byte AES-CMAC of msg.
+func (c *CMAC) Sum(msg []byte) [BlockSize]byte {
+	n := len(msg)
+	nBlocks := (n + BlockSize - 1) / BlockSize
+	complete := nBlocks > 0 && n%BlockSize == 0
+
+	// Build the final block M_last.
+	var last [BlockSize]byte
+	if complete {
+		copy(last[:], msg[(nBlocks-1)*BlockSize:])
+		xorInto(&last, &c.k1)
+	} else {
+		if nBlocks == 0 {
+			nBlocks = 1
+		}
+		rem := msg[(nBlocks-1)*BlockSize:]
+		copy(last[:], rem)
+		last[len(rem)] = 0x80 // 10* padding
+		xorInto(&last, &c.k2)
+	}
+
+	var x, y [BlockSize]byte
+	for i := 0; i < nBlocks-1; i++ {
+		for j := 0; j < BlockSize; j++ {
+			y[j] = x[j] ^ msg[i*BlockSize+j]
+		}
+		c.block.Encrypt(x[:], y[:])
+	}
+	for j := 0; j < BlockSize; j++ {
+		y[j] = x[j] ^ last[j]
+	}
+	c.block.Encrypt(x[:], y[:])
+	return x
+}
+
+func xorInto(dst, src *[BlockSize]byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// Verify reports whether mac equals the CMAC of msg, in constant time.
+func (c *CMAC) Verify(msg, mac []byte) bool {
+	want := c.Sum(msg)
+	if len(mac) != BlockSize {
+		return false
+	}
+	return subtle.ConstantTimeCompare(want[:], mac) == 1
+}
+
+// Sum29 computes the 29-bit truncation used for IPv4 stamping: the
+// most-significant 29 bits of the CMAC, returned in the low bits of a
+// uint32 (range [0, 2^29)).
+func (c *CMAC) Sum29(msg []byte) uint32 {
+	m := c.Sum(msg)
+	v := uint32(m[0])<<24 | uint32(m[1])<<16 | uint32(m[2])<<8 | uint32(m[3])
+	return v >> 3
+}
+
+// Sum32 computes the 32-bit truncation used for IPv6 stamping: the
+// most-significant 4 bytes of the CMAC.
+func (c *CMAC) Sum32(msg []byte) uint32 {
+	m := c.Sum(msg)
+	return uint32(m[0])<<24 | uint32(m[1])<<16 | uint32(m[2])<<8 | uint32(m[3])
+}
+
+// Verify29 reports whether mac29 matches the 29-bit truncated CMAC of
+// msg. Note: truncated-MAC comparison is not constant time; the mark is
+// a per-packet forgery deterrent (§VI-E1), not a long-term secret.
+func (c *CMAC) Verify29(msg []byte, mac29 uint32) bool {
+	return c.Sum29(msg) == mac29&(1<<29-1)
+}
+
+// Verify32 reports whether mac32 matches the 32-bit truncated CMAC.
+func (c *CMAC) Verify32(msg []byte, mac32 uint32) bool {
+	return c.Sum32(msg) == mac32
+}

@@ -1,0 +1,237 @@
+package cmac
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 4493 §4 test vectors.
+var rfcKey, _ = hex.DecodeString("2b7e151628aed2a6abf7158809cf4f3c")
+
+var rfcMsg, _ = hex.DecodeString(
+	"6bc1bee22e409f96e93d7e117393172a" +
+		"ae2d8a571e03ac9c9eb76fac45af8e51" +
+		"30c81c46a35ce411e5fbc1191a0a52ef" +
+		"f69f2445df4f9b17ad2b417be66c3710")
+
+func fromHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("hex %q: %v", s, err)
+	}
+	return b
+}
+
+func TestRFC4493Subkeys(t *testing.T) {
+	c, err := New(rfcKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantK1 := fromHex(t, "fbeed618357133667c85e08f7236a8de")
+	wantK2 := fromHex(t, "f7ddac306ae266ccf90bc11ee46d513b")
+	if !bytes.Equal(c.k1[:], wantK1) {
+		t.Errorf("K1 = %x, want %x", c.k1, wantK1)
+	}
+	if !bytes.Equal(c.k2[:], wantK2) {
+		t.Errorf("K2 = %x, want %x", c.k2, wantK2)
+	}
+}
+
+func TestRFC4493Vectors(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		want string
+	}{
+		{"len0", 0, "bb1d6929e95937287fa37d129b756746"},
+		{"len16", 16, "070a16b46b4d4144f79bdd9dd04a287c"},
+		{"len40", 40, "dfa66747de9ae63030ca32611497c827"},
+		{"len64", 64, "51f0bebf7e3b9d92fc49741779363cfe"},
+	}
+	c, err := New(rfcKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := c.Sum(rfcMsg[:tc.n])
+			want := fromHex(t, tc.want)
+			if !bytes.Equal(got[:], want) {
+				t.Errorf("Sum = %x, want %x", got, want)
+			}
+			if !c.Verify(rfcMsg[:tc.n], want) {
+				t.Error("Verify(correct) = false")
+			}
+		})
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	c, _ := New(rfcKey)
+	mac := c.Sum(rfcMsg[:16])
+	bad := mac
+	bad[5] ^= 1
+	if c.Verify(rfcMsg[:16], bad[:]) {
+		t.Error("Verify accepted corrupted MAC")
+	}
+	if c.Verify(rfcMsg[:16], mac[:15]) {
+		t.Error("Verify accepted short MAC")
+	}
+	if c.Verify(rfcMsg[:17], mac[:]) {
+		t.Error("Verify accepted wrong message")
+	}
+}
+
+func TestKeyLength(t *testing.T) {
+	for _, n := range []int{0, 15, 17, 24, 32} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("New with %d-byte key should fail (AES-128 only)", n)
+		}
+	}
+	if _, err := New(make([]byte, 16)); err != nil {
+		t.Errorf("New with 16-byte key: %v", err)
+	}
+}
+
+func TestTruncations(t *testing.T) {
+	c, _ := New(rfcKey)
+	// len16 vector: full MAC = 070a16b4 6b4d4144 f79bdd9d d04a287c
+	msg := rfcMsg[:16]
+	want32 := uint32(0x070a16b4)
+	if got := c.Sum32(msg); got != want32 {
+		t.Errorf("Sum32 = %08x, want %08x", got, want32)
+	}
+	want29 := want32 >> 3
+	if got := c.Sum29(msg); got != want29 {
+		t.Errorf("Sum29 = %08x, want %08x", got, want29)
+	}
+	if c.Sum29(msg) >= 1<<29 {
+		t.Error("Sum29 out of 29-bit range")
+	}
+	if !c.Verify29(msg, want29) || !c.Verify32(msg, want32) {
+		t.Error("truncated verify of correct MAC failed")
+	}
+	if c.Verify29(msg, want29^1) || c.Verify32(msg, want32^1) {
+		t.Error("truncated verify accepted wrong MAC")
+	}
+	// Verify29 must ignore bits above bit 28 in the candidate.
+	if !c.Verify29(msg, want29|1<<31) {
+		t.Error("Verify29 should mask candidate to 29 bits")
+	}
+}
+
+func TestDifferentKeysDiffer(t *testing.T) {
+	k2 := append([]byte(nil), rfcKey...)
+	k2[0] ^= 0xff
+	c1, _ := New(rfcKey)
+	c2, _ := New(k2)
+	m1 := c1.Sum(rfcMsg[:40])
+	m2 := c2.Sum(rfcMsg[:40])
+	if m1 == m2 {
+		t.Error("different keys produced identical MACs")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	c, _ := New(rfcKey)
+	a := c.Sum(rfcMsg)
+	b := c.Sum(rfcMsg)
+	if a != b {
+		t.Error("Sum is not deterministic")
+	}
+}
+
+func TestAllMessageLengths(t *testing.T) {
+	// Exercise every padding branch: 0..48 bytes.
+	c, _ := New(rfcKey)
+	seen := make(map[[16]byte]bool)
+	msg := make([]byte, 48)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	for n := 0; n <= 48; n++ {
+		m := c.Sum(msg[:n])
+		if seen[m] {
+			t.Fatalf("collision at length %d", n)
+		}
+		seen[m] = true
+	}
+}
+
+// Property: a single-bit flip anywhere in the message changes the MAC.
+func TestPropertyBitFlipChangesMAC(t *testing.T) {
+	c, _ := New(rfcKey)
+	f := func(msg []byte, pos uint16) bool {
+		if len(msg) == 0 {
+			return true
+		}
+		orig := c.Sum(msg)
+		i := int(pos) % len(msg)
+		msg[i] ^= 1
+		flipped := c.Sum(msg)
+		msg[i] ^= 1
+		return orig != flipped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Verify(msg, Sum(msg)) always holds.
+func TestPropertyRoundTrip(t *testing.T) {
+	c, _ := New(rfcKey)
+	f := func(msg []byte) bool {
+		m := c.Sum(msg)
+		return c.Verify(msg, m[:]) && c.Verify29(msg, c.Sum29(msg)) && c.Verify32(msg, c.Sum32(msg))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: messages differing only in length (prefix) have different MACs
+// (padding domain separation).
+func TestPropertyPrefixDistinct(t *testing.T) {
+	c, _ := New(rfcKey)
+	f := func(msg []byte) bool {
+		if len(msg) == 0 {
+			return true
+		}
+		return c.Sum(msg) != c.Sum(msg[:len(msg)-1])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSum21B(b *testing.B) {
+	// 21 bytes is the IPv4 msg size (§V-E).
+	c, _ := New(rfcKey)
+	msg := make([]byte, 21)
+	b.SetBytes(21)
+	for i := 0; i < b.N; i++ {
+		c.Sum(msg)
+	}
+}
+
+func BenchmarkSum40B(b *testing.B) {
+	// 40 bytes is the IPv6 msg size (src 16 + dst 16 + 8 payload).
+	c, _ := New(rfcKey)
+	msg := make([]byte, 40)
+	b.SetBytes(40)
+	for i := 0; i < b.N; i++ {
+		c.Sum(msg)
+	}
+}
+
+func BenchmarkSum1500B(b *testing.B) {
+	c, _ := New(rfcKey)
+	msg := make([]byte, 1500)
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		c.Sum(msg)
+	}
+}

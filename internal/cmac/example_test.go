@@ -1,0 +1,24 @@
+package cmac_test
+
+import (
+	"fmt"
+
+	"discs/internal/cmac"
+)
+
+// Stamp and verify a DISCS IPv4 mark: the 29-bit truncation of the
+// AES-CMAC over the packet's immutable fields.
+func Example() {
+	key := make([]byte, cmac.KeySize) // negotiated per peer pair (§IV-D)
+	c, err := cmac.New(key)
+	if err != nil {
+		panic(err)
+	}
+	msg := []byte("21-byte IPv4 msg....!") // §V-E immutable fields
+	mark := c.Sum29(msg)
+	fmt.Println(c.Verify29(msg, mark))
+	fmt.Println(c.Verify29([]byte("tampered msg........!"), mark))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,807 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"discs/internal/bgp"
+	"discs/internal/netsim"
+	"discs/internal/securechan"
+	"discs/internal/topology"
+)
+
+// Directory maps controller names to their static public keys and
+// network locations. It models the out-of-band trust anchor (RPKI plus
+// DNS) that lets controllers authenticate each other; the name itself
+// travels in the DISCS-Ad.
+type Directory struct {
+	entries map[string]*DirEntry
+}
+
+// DirEntry is one registered controller.
+type DirEntry struct {
+	Name string
+	ASN  topology.ASN
+	Pub  []byte
+	Node *netsim.Node
+}
+
+// NewDirectory creates an empty directory.
+func NewDirectory() *Directory { return &Directory{entries: make(map[string]*DirEntry)} }
+
+// Register adds a controller.
+func (d *Directory) Register(e *DirEntry) error {
+	if _, dup := d.entries[e.Name]; dup {
+		return fmt.Errorf("core: duplicate controller name %q", e.Name)
+	}
+	d.entries[e.Name] = e
+	return nil
+}
+
+// Lookup returns the entry for name, or nil.
+func (d *Directory) Lookup(name string) *DirEntry { return d.entries[name] }
+
+// PeerStatus tracks the lifecycle of a DISCS peering (§IV, steps 1-3).
+type PeerStatus int
+
+const (
+	// PeerDiscovered: we saw the DAS's Ad but have not peered yet.
+	PeerDiscovered PeerStatus = iota
+	// PeerRequested: we sent a peering request and await the answer.
+	PeerRequested
+	// PeerEstablished: both sides agreed; key negotiation proceeds.
+	PeerEstablished
+	// PeerRejected: the remote side declined (or we blacklisted it).
+	PeerRejected
+)
+
+func (s PeerStatus) String() string {
+	switch s {
+	case PeerDiscovered:
+		return "discovered"
+	case PeerRequested:
+		return "requested"
+	case PeerEstablished:
+		return "established"
+	case PeerRejected:
+		return "rejected"
+	}
+	return "unknown"
+}
+
+// peerState is everything a controller tracks per remote DAS.
+type peerState struct {
+	asn      topology.ASN
+	ctrlName string
+	status   PeerStatus
+
+	// Secure channel: out is the session we initiated (we send on it);
+	// in is the responder side of the peer's session toward us.
+	out        *securechan.Session
+	in         *securechan.Session
+	initiator  *securechan.Initiator
+	pendingOut [][]byte // encoded ControlMsgs awaiting session
+
+	// Key negotiation: serial of the last stamping key we generated and
+	// whether the peer acked it.
+	stampSerial uint64
+	stampKey    []byte
+	stampActive bool
+	verifySeen  uint64 // highest serial received from peer
+
+	// Retry machinery.
+	retryArmed bool
+	retries    int
+}
+
+// Config tunes controller behaviour.
+type Config struct {
+	// PeeringDelayMax bounds the random delay before sending a peering
+	// request after discovery (§IV-C: prevents request storms).
+	PeeringDelayMax time.Duration
+	// CtrlLinkDelay is the one-way latency of on-demand con-con links.
+	CtrlLinkDelay time.Duration
+	// Grace is the verification tolerance interval (§IV-E1).
+	Grace time.Duration
+	// RekeyOverlap is how long the previous verification key stays
+	// valid after a new key is deployed (§IV-D).
+	RekeyOverlap time.Duration
+	// AlarmThreshold is the number of alarm samples within AlarmWindow
+	// that makes the controller declare an attack (§IV-F).
+	AlarmThreshold int
+	// AlarmWindow bounds the sample-counting window.
+	AlarmWindow time.Duration
+	// RetryInterval is how long the controller waits for handshake or
+	// key-deployment progress before re-driving the exchange. The
+	// con-con channel would run over TCP in a real deployment; in the
+	// simulator frames can be lost when links flap, so the state
+	// machine re-sends idempotent messages.
+	RetryInterval time.Duration
+	// MaxRetries bounds re-drives per peer so a permanently
+	// unreachable controller cannot busy-loop the simulator.
+	MaxRetries int
+}
+
+// DefaultConfig returns sensible simulation defaults.
+func DefaultConfig() Config {
+	return Config{
+		PeeringDelayMax: 2 * time.Second,
+		CtrlLinkDelay:   20 * time.Millisecond,
+		Grace:           DefaultGrace,
+		RekeyOverlap:    time.Minute,
+		AlarmThreshold:  100,
+		AlarmWindow:     10 * time.Second,
+		RetryInterval:   5 * time.Second,
+		MaxRetries:      8,
+	}
+}
+
+// Controller is the DISCS controller of one DAS (§IV-B): it discovers
+// other DASes from BGP, manages peering and keys, and invokes/accepts
+// defense functions. It connects to local border routers "via iBGP
+// like a route reflector"; in this implementation it holds direct
+// references to them.
+type Controller struct {
+	AS   topology.ASN
+	Name string
+
+	sim     *netsim.Simulator
+	node    *netsim.Node
+	id      *securechan.Identity
+	dir     *Directory
+	topo    *topology.Topology // RPKI ownership oracle
+	routers []*BorderRouter
+	rng     *rand.Rand
+	cfg     Config
+
+	// Blacklist holds ASes this controller refuses to peer with
+	// (conflict of interest, §IV-C).
+	Blacklist map[topology.ASN]bool
+
+	peers map[topology.ASN]*peerState
+
+	// OnAttackDetected fires when alarm-mode samples cross the
+	// threshold; the argument is the offending source AS (0 if mixed).
+	OnAttackDetected func(src topology.ASN)
+
+	alarmTimes []time.Time
+
+	// AutoDefend, when non-nil, closes the alarm loop: the moment the
+	// alarm threshold is crossed the controller invokes these functions
+	// for its own prefixes (in enforcing mode) in addition to telling
+	// everyone to quit alarm mode.
+	AutoDefend *AutoDefendPolicy
+
+	// Stats.
+	MsgsSent, MsgsRecv   uint64
+	Retries              uint64
+	InvokesSent          uint64
+	InvokesAccepted      uint64
+	InvokesRejected      uint64
+	HandshakesInitiated  uint64
+	HandshakesResponded  uint64
+	AdsSeen              uint64
+	PeeringRequestsSent  uint64
+	PeeringRequestsRecvd uint64
+}
+
+// NewController creates a controller. node must be a dedicated netsim
+// node; its handler is taken over. seed drives all randomized delays
+// and key generation deterministically.
+func NewController(as topology.ASN, name string, sim *netsim.Simulator, node *netsim.Node,
+	dir *Directory, topo *topology.Topology, cfg Config, seed int64) (*Controller, error) {
+	rng := rand.New(rand.NewSource(seed))
+	id, err := securechan.NewIdentity(name, rng)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		AS: as, Name: name,
+		sim: sim, node: node, id: id, dir: dir, topo: topo,
+		rng: rng, cfg: cfg,
+		Blacklist: make(map[topology.ASN]bool),
+		peers:     make(map[topology.ASN]*peerState),
+	}
+	node.SetHandler(netsim.HandlerFunc(c.receive))
+	if err := dir.Register(&DirEntry{Name: name, ASN: as, Pub: id.Public(), Node: node}); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// AttachRouter registers a local border router with the controller.
+func (c *Controller) AttachRouter(r *BorderRouter) {
+	c.routers = append(c.routers, r)
+	r.OnAlarm = c.handleAlarmSample
+}
+
+// Routers returns the attached border routers.
+func (c *Controller) Routers() []*BorderRouter { return c.routers }
+
+// Ad returns this DAS's DISCS advertisement.
+func (c *Controller) Ad() bgp.DISCSAd { return bgp.DISCSAd{Origin: c.AS, Controller: c.Name} }
+
+// PeerStatusOf returns the peering status toward asn.
+func (c *Controller) PeerStatusOf(asn topology.ASN) (PeerStatus, bool) {
+	p, ok := c.peers[asn]
+	if !ok {
+		return 0, false
+	}
+	return p.status, true
+}
+
+// Peers returns the ASNs of established peers, sorted.
+func (c *Controller) Peers() []topology.ASN {
+	var out []topology.ASN
+	for asn, p := range c.peers {
+		if p.status == PeerEstablished {
+			out = append(out, asn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// now converts the simulated clock to the wall-clock domain used by
+// the data-plane tables.
+func (c *Controller) now() time.Time { return time.Unix(0, 0).UTC().Add(c.sim.Now()) }
+
+// HandleAd implements step 1+2 of §IV: upon seeing a DISCS-Ad, check
+// the blacklist and schedule a peering request after a random delay.
+func (c *Controller) HandleAd(ad bgp.DISCSAd) {
+	if ad.Origin == c.AS {
+		return
+	}
+	c.AdsSeen++
+	if c.Blacklist[ad.Origin] {
+		return
+	}
+	p, exists := c.peers[ad.Origin]
+	if exists && p.status != PeerRejected {
+		// Controller name change: update the pointer but keep state.
+		p.ctrlName = ad.Controller
+		return
+	}
+	p = &peerState{asn: ad.Origin, ctrlName: ad.Controller, status: PeerDiscovered}
+	c.peers[ad.Origin] = p
+	delay := time.Duration(c.rng.Int63n(int64(c.cfg.PeeringDelayMax) + 1))
+	c.sim.After(delay, func() { c.sendPeeringRequest(p) })
+}
+
+func (c *Controller) sendPeeringRequest(p *peerState) {
+	if p.status != PeerDiscovered {
+		return
+	}
+	p.status = PeerRequested
+	c.PeeringRequestsSent++
+	c.sendMsg(p, &ControlMsg{Type: MsgPeeringRequest, From: c.AS})
+}
+
+// --- transport ----------------------------------------------------------
+
+// linkTo finds or creates the on-demand link to a peer controller
+// node; it stands in for the routed Internet path between controllers.
+func (c *Controller) linkTo(node *netsim.Node) *netsim.Link {
+	for _, l := range c.node.Links() {
+		if l.Neighbor(c.node) == node {
+			return l
+		}
+	}
+	l, err := c.sim.Connect(c.node, node, c.cfg.CtrlLinkDelay)
+	if err != nil {
+		return nil
+	}
+	return l
+}
+
+// sendMsg encodes and sends a control message to the peer, running the
+// secure-channel handshake first if needed. Messages queue during the
+// handshake, and a retry timer re-drives the exchange if it stalls
+// (e.g. frames lost to a flapping link).
+func (c *Controller) sendMsg(p *peerState, m *ControlMsg) {
+	data, err := m.Encode()
+	if err != nil {
+		return
+	}
+	c.sendEncoded(p, data)
+	c.armRetry(p)
+}
+
+func (c *Controller) sendEncoded(p *peerState, data []byte) {
+	if p.out != nil {
+		c.sendRecord(p, p.out.Seal(data))
+		return
+	}
+	p.pendingOut = append(p.pendingOut, data)
+	if p.initiator != nil {
+		return // handshake already in flight
+	}
+	ent := c.dir.Lookup(p.ctrlName)
+	if ent == nil {
+		return // controller unknown; Ad will refresh the name
+	}
+	ini, err := securechan.NewInitiator(c.id, ent.Pub, c.rng)
+	if err != nil {
+		return
+	}
+	p.initiator = ini
+	c.HandshakesInitiated++
+	c.sendFrame(p, &ctrlFrame{Kind: frameHello, From: c.Name, Data: ini.Hello()})
+}
+
+// stalled reports whether the peer state machine is waiting on remote
+// progress that a lost frame could block forever.
+func (c *Controller) stalled(p *peerState) bool {
+	if p.status == PeerRejected {
+		return false
+	}
+	if len(p.pendingOut) > 0 && p.out == nil {
+		return true // handshake in flight (or dead)
+	}
+	if p.status == PeerRequested {
+		return true // request unanswered
+	}
+	if p.status == PeerEstablished && p.stampKey != nil && !p.stampActive {
+		return true // key deploy unacked
+	}
+	return false
+}
+
+func (c *Controller) armRetry(p *peerState) {
+	if p.retryArmed || c.cfg.RetryInterval <= 0 || p.retries >= c.cfg.MaxRetries {
+		return
+	}
+	p.retryArmed = true
+	c.sim.After(c.cfg.RetryInterval, func() { c.retry(p) })
+}
+
+// retry re-drives a stalled exchange: it abandons any half-open
+// session, restarts the handshake, and re-sends the idempotent
+// state-machine messages (peering request / key deploy).
+func (c *Controller) retry(p *peerState) {
+	p.retryArmed = false
+	if !c.stalled(p) {
+		p.retries = 0
+		return
+	}
+	p.retries++
+	c.Retries++
+	// Restart transport: a fresh handshake replaces any wedged session.
+	p.initiator = nil
+	p.out = nil
+	p.pendingOut = nil
+	if p.status == PeerRequested {
+		c.sendEncoded(p, mustEncode(&ControlMsg{Type: MsgPeeringRequest, From: c.AS}))
+	}
+	if p.status == PeerEstablished && p.stampKey != nil && !p.stampActive {
+		c.sendEncoded(p, mustEncode(&ControlMsg{
+			Type: MsgKeyDeploy, From: c.AS, Key: p.stampKey, Serial: p.stampSerial,
+		}))
+	}
+	c.armRetry(p)
+}
+
+func mustEncode(m *ControlMsg) []byte {
+	b, err := m.Encode()
+	if err != nil {
+		panic("core: control message encode failed: " + err.Error())
+	}
+	return b
+}
+
+func (c *Controller) sendFrame(p *peerState, f *ctrlFrame) {
+	ent := c.dir.Lookup(p.ctrlName)
+	if ent == nil {
+		return
+	}
+	if l := c.linkTo(ent.Node); l != nil {
+		if l.Send(c.node, f) {
+			c.MsgsSent++
+		}
+	}
+}
+
+func (c *Controller) sendRecord(p *peerState, record []byte) {
+	c.sendFrame(p, &ctrlFrame{Kind: frameRecord, From: c.Name, Data: record})
+}
+
+// receive dispatches incoming controller frames.
+func (c *Controller) receive(_ *netsim.Node, _ *netsim.Link, msg netsim.Message) {
+	f, ok := msg.(*ctrlFrame)
+	if !ok {
+		return
+	}
+	c.MsgsRecv++
+	ent := c.dir.Lookup(f.From)
+	if ent == nil {
+		return
+	}
+	p := c.peers[ent.ASN]
+	switch f.Kind {
+	case frameHello:
+		// Respond even if we have not yet decided to peer: transport
+		// security is independent of the peering policy decision.
+		if p == nil {
+			p = &peerState{asn: ent.ASN, ctrlName: f.From, status: PeerDiscovered}
+			c.peers[ent.ASN] = p
+		}
+		reply, sess, err := securechan.Respond(c.id, ent.Pub, f.Data, c.rng)
+		if err != nil {
+			return
+		}
+		c.HandshakesResponded++
+		p.in = sess
+		c.sendFrame(p, &ctrlFrame{Kind: frameReply, From: c.Name, Data: reply})
+	case frameReply:
+		if p == nil || p.initiator == nil {
+			return
+		}
+		sess, err := p.initiator.Finish(f.Data)
+		if err != nil {
+			// A stale or forged reply (e.g. for a handshake we already
+			// abandoned): keep waiting for the right one.
+			return
+		}
+		p.initiator = nil
+		p.out = sess
+		for _, data := range p.pendingOut {
+			c.sendRecord(p, p.out.Seal(data))
+		}
+		p.pendingOut = nil
+	case frameRecord:
+		if p == nil || p.in == nil {
+			return
+		}
+		plain, err := p.in.Open(f.Data)
+		if err != nil {
+			return
+		}
+		m, err := DecodeControlMsg(plain)
+		if err != nil {
+			return
+		}
+		c.handleMsg(p, m)
+	}
+}
+
+// --- control-plane state machine -----------------------------------------
+
+func (c *Controller) handleMsg(p *peerState, m *ControlMsg) {
+	if m.From != p.asn {
+		return // sender identity must match the authenticated channel
+	}
+	switch m.Type {
+	case MsgPeeringRequest:
+		c.PeeringRequestsRecvd++
+		if c.Blacklist[p.asn] {
+			p.status = PeerRejected
+			c.sendMsg(p, &ControlMsg{Type: MsgPeeringReject, From: c.AS, Reason: "blacklisted"})
+			return
+		}
+		wasEstablished := p.status == PeerEstablished
+		p.status = PeerEstablished
+		c.sendMsg(p, &ControlMsg{Type: MsgPeeringAccept, From: c.AS})
+		if !wasEstablished {
+			c.negotiateKey(p)
+		}
+	case MsgPeeringAccept:
+		if p.status == PeerRequested {
+			p.status = PeerEstablished
+			c.negotiateKey(p)
+		}
+	case MsgPeeringReject:
+		p.status = PeerRejected
+	case MsgKeyDeploy:
+		c.handleKeyDeploy(p, m)
+	case MsgKeyAck:
+		c.handleKeyAck(p, m)
+	case MsgInvoke:
+		c.handleInvoke(p, m)
+	case MsgInvokeAck:
+		c.InvokesAccepted++
+	case MsgInvokeReject:
+		c.InvokesRejected++
+	case MsgQuitAlarm:
+		if p.status == PeerEstablished {
+			for _, r := range c.routers {
+				r.SetAlarmMode(false)
+			}
+		}
+	}
+}
+
+// --- key negotiation (§IV-D) ---------------------------------------------
+
+// negotiateKey generates key_{c.AS, peer} and deploys it to the peer.
+func (c *Controller) negotiateKey(p *peerState) {
+	key := make([]byte, 16)
+	c.rng.Read(key)
+	p.stampSerial++
+	p.stampKey = key
+	p.stampActive = false
+	c.sendMsg(p, &ControlMsg{Type: MsgKeyDeploy, From: c.AS, Key: key, Serial: p.stampSerial})
+}
+
+// Rekey starts a key rotation toward peer (§IV-D): the new key is sent
+// first and only used for stamping once the peer acks deployment.
+func (c *Controller) Rekey(peer topology.ASN) error {
+	p := c.peers[peer]
+	if p == nil || p.status != PeerEstablished {
+		return fmt.Errorf("core: AS%d is not an established peer", peer)
+	}
+	c.negotiateKey(p)
+	return nil
+}
+
+// RekeyAll rotates keys toward every established peer; used after a
+// suspected key leakage (§VI-E3).
+func (c *Controller) RekeyAll() {
+	for _, p := range c.peers {
+		if p.status == PeerEstablished {
+			c.negotiateKey(p)
+		}
+	}
+}
+
+func (c *Controller) handleKeyDeploy(p *peerState, m *ControlMsg) {
+	if p.status != PeerEstablished {
+		return
+	}
+	if m.Serial < p.verifySeen {
+		return // stale deploy
+	}
+	if m.Serial == p.verifySeen {
+		// Duplicate (retransmission): the earlier ack was lost, re-ack.
+		c.sendMsg(p, &ControlMsg{Type: MsgKeyAck, From: c.AS, Serial: m.Serial})
+		return
+	}
+	p.verifySeen = m.Serial
+	// Deploy to all local border routers as the verification key for
+	// packets from this peer. The previous key stays valid for the
+	// rekey overlap window.
+	for _, r := range c.routers {
+		if err := r.Tables.Keys.SetVerifyKey(p.asn, m.Key); err != nil {
+			return
+		}
+	}
+	peer := p.asn
+	c.sim.After(c.cfg.RekeyOverlap, func() {
+		for _, r := range c.routers {
+			r.Tables.Keys.DropPreviousVerifyKey(peer)
+		}
+	})
+	c.sendMsg(p, &ControlMsg{Type: MsgKeyAck, From: c.AS, Serial: m.Serial})
+}
+
+func (c *Controller) handleKeyAck(p *peerState, m *ControlMsg) {
+	if m.Serial != p.stampSerial || p.stampKey == nil {
+		return
+	}
+	// Peer finished deploying: switch stamping to the new key.
+	for _, r := range c.routers {
+		r.Tables.Keys.SetStampKey(p.asn, p.stampKey)
+	}
+	p.stampActive = true
+	p.retries = 0
+}
+
+// KeysReadyWith reports whether stamping toward peer is active (the
+// peer deployed our key) — useful for tests and readiness checks.
+func (c *Controller) KeysReadyWith(peer topology.ASN) bool {
+	p := c.peers[peer]
+	return p != nil && p.stampActive
+}
+
+// --- invocation (§IV-E) ----------------------------------------------------
+
+// PurgeExpired removes fully expired function-table entries from all
+// local routers (§IV-E1 windows are lazy-expiring; this reclaims the
+// table slots). It returns the number of prefixes removed. Controllers
+// run it opportunistically on every invocation.
+func (c *Controller) PurgeExpired() int {
+	now := c.now()
+	total := 0
+	for _, r := range c.routers {
+		for _, ft := range r.Tables.In {
+			total += ft.Purge(now)
+		}
+	}
+	return total
+}
+
+// Invoke requests protection: the victim DAS validates that it owns
+// the prefixes, installs its own operations, and asks every
+// established peer to execute the peer-side operations. It returns the
+// number of peers asked.
+func (c *Controller) Invoke(invs ...Invocation) (int, error) {
+	c.PurgeExpired()
+	for _, inv := range invs {
+		if err := inv.Validate(); err != nil {
+			return 0, err
+		}
+		for _, pfx := range inv.Prefixes {
+			owner, ok := c.topo.OwnerOfPrefix(pfx)
+			if !ok || owner != c.AS {
+				return 0, fmt.Errorf("core: prefix %v not owned by AS%d", pfx, c.AS)
+			}
+		}
+	}
+	now := c.now()
+	// Victim-side operations.
+	for _, inv := range invs {
+		for table, ops := range VictimOps(inv.Function) {
+			for _, pfx := range inv.Prefixes {
+				for _, op := range []Op{OpDPFilter, OpCDPStamp, OpCDPVerify, OpSPFilter, OpCSPStamp, OpCSPVerify} {
+					if !ops.Has(op) {
+						continue
+					}
+					for _, r := range c.routers {
+						if err := r.Tables.In[table].Install(pfx, op, now, inv.Duration, c.cfg.Grace); err != nil {
+							return 0, err
+						}
+					}
+				}
+			}
+		}
+	}
+	// Peer-side request.
+	n := 0
+	msg := &ControlMsg{Type: MsgInvoke, From: c.AS, Invocations: invs}
+	for _, p := range c.peers {
+		if p.status != PeerEstablished {
+			continue
+		}
+		c.sendMsg(p, msg)
+		n++
+	}
+	c.InvokesSent++
+	return n, nil
+}
+
+// handleInvoke executes the peer side of an invocation after the RPKI
+// ownership check (§IV-E3: "peer DASes check the ownership of the
+// prefixes, and accept the request only if they belong to the victim").
+func (c *Controller) handleInvoke(p *peerState, m *ControlMsg) {
+	c.PurgeExpired()
+	if p.status != PeerEstablished {
+		c.sendMsg(p, &ControlMsg{Type: MsgInvokeReject, From: c.AS, Reason: "not a peer"})
+		return
+	}
+	for _, inv := range m.Invocations {
+		if err := inv.Validate(); err != nil {
+			c.sendMsg(p, &ControlMsg{Type: MsgInvokeReject, From: c.AS, Reason: err.Error()})
+			return
+		}
+		for _, pfx := range inv.Prefixes {
+			owner, ok := c.topo.OwnerOfPrefix(pfx)
+			if !ok || owner != m.From {
+				c.sendMsg(p, &ControlMsg{Type: MsgInvokeReject, From: c.AS,
+					Reason: fmt.Sprintf("prefix %v not owned by AS%d", pfx, m.From)})
+				return
+			}
+		}
+	}
+	now := c.now()
+	for _, inv := range m.Invocations {
+		for table, ops := range PeerOps(inv.Function) {
+			for _, pfx := range inv.Prefixes {
+				for _, op := range []Op{OpDPFilter, OpCDPStamp, OpCDPVerify, OpSPFilter, OpCSPStamp, OpCSPVerify} {
+					if !ops.Has(op) {
+						continue
+					}
+					for _, r := range c.routers {
+						r.Tables.In[table].Install(pfx, op, now, inv.Duration, c.cfg.Grace)
+					}
+				}
+			}
+		}
+		if inv.Alarm {
+			for _, r := range c.routers {
+				r.SetAlarmMode(true)
+			}
+		}
+	}
+	c.sendMsg(p, &ControlMsg{Type: MsgInvokeAck, From: c.AS})
+}
+
+// --- alarm mode (§IV-F) -----------------------------------------------------
+
+// AutoDefendPolicy describes the automatic reaction to a detected
+// attack: which functions to invoke and for how long. This is the
+// "invoke the DISCS functions automatically" path of §IV-E1 for DASes
+// that use alarm mode as their detection module.
+//
+// When Escalate is set, the controller re-arms alarm-mode detection
+// when the enforcement windows expire; if the attack is still in
+// progress the next detection re-invokes with double the previous
+// duration (§IV-E1: "the victim DAS can re-invoke the functions with a
+// longer duration").
+type AutoDefendPolicy struct {
+	Functions []Function
+	Duration  time.Duration
+	Escalate  bool
+	// MaxDuration caps escalation growth (default 7 days).
+	MaxDuration time.Duration
+
+	lastDuration time.Duration
+}
+
+// SetAlarmMode toggles alarm mode on all local routers.
+func (c *Controller) SetAlarmMode(on bool) {
+	for _, r := range c.routers {
+		r.SetAlarmMode(on)
+	}
+}
+
+// handleAlarmSample counts samples; crossing the threshold within the
+// window declares an attack: local routers quit alarm mode and all
+// peers are told to quit too (i.e. start dropping).
+func (c *Controller) handleAlarmSample(s AlarmSample) {
+	now := c.now()
+	c.alarmTimes = append(c.alarmTimes, now)
+	// Discard samples outside the window.
+	cut := 0
+	for cut < len(c.alarmTimes) && now.Sub(c.alarmTimes[cut]) > c.cfg.AlarmWindow {
+		cut++
+	}
+	c.alarmTimes = c.alarmTimes[cut:]
+	if len(c.alarmTimes) < c.cfg.AlarmThreshold {
+		return
+	}
+	c.alarmTimes = nil
+	c.SetAlarmMode(false)
+	for _, p := range c.peers {
+		if p.status == PeerEstablished {
+			c.sendMsg(p, &ControlMsg{Type: MsgQuitAlarm, From: c.AS})
+		}
+	}
+	if c.AutoDefend != nil && len(c.AutoDefend.Functions) > 0 {
+		pol := c.AutoDefend
+		dur := pol.Duration
+		if dur <= 0 {
+			dur = DefaultDuration
+		}
+		// Escalation: each successive detection doubles the duration
+		// (§IV-E1), bounded by MaxDuration.
+		if pol.lastDuration > 0 {
+			dur = pol.lastDuration * 2
+		}
+		maxDur := pol.MaxDuration
+		if maxDur <= 0 {
+			maxDur = 7 * 24 * time.Hour
+		}
+		if dur > maxDur {
+			dur = maxDur
+		}
+		pol.lastDuration = dur
+		var invs []Invocation
+		for _, f := range pol.Functions {
+			invs = append(invs, Invocation{Prefixes: c.OwnPrefixes(), Function: f, Duration: dur})
+		}
+		c.Invoke(invs...)
+		if pol.Escalate {
+			// Re-arm detection when enforcement lapses: if the attack
+			// persists, the alarm path fires again and re-invokes.
+			c.sim.After(dur, func() { c.SetAlarmMode(true) })
+		}
+	}
+	if c.OnAttackDetected != nil {
+		c.OnAttackDetected(s.SrcAS)
+	}
+}
+
+// OwnPrefixes returns the prefixes the topology assigns to this AS.
+func (c *Controller) OwnPrefixes() []netip.Prefix {
+	a := c.topo.AS(c.AS)
+	if a == nil {
+		return nil
+	}
+	return a.Prefixes
+}
+
+// ErrNotDeployed reports operations on ASes without DISCS.
+var ErrNotDeployed = errors.New("core: AS has not deployed DISCS")

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"discs/internal/netsim"
+)
+
+// prepareOutage deploys two DASes with the controller-controller link
+// pre-created and DOWN, so every frame of the initial peering exchange
+// is lost until the test restores it.
+func prepareOutage(t *testing.T, s *System) *netsim.Link {
+	t.Helper()
+	if _, err := s.Deploy(1001, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Deploy(1004, 2); err != nil {
+		t.Fatal(err)
+	}
+	nodeA := s.Net.Sim.Node(s.Controllers[1001].Name)
+	nodeB := s.Net.Sim.Node(s.Controllers[1004].Name)
+	l, err := s.Net.Sim.Connect(nodeA, nodeB, s.Controllers[1001].cfg.CtrlLinkDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetUp(false)
+	return l
+}
+
+// TestLossyHandshakeRecovers injects frame loss into the con-con
+// channel during the initial peering exchange: the link is down from
+// the start (swallowing handshake frames) and comes back later. The
+// retry machinery must still converge to established peering with
+// active keys.
+func TestLossyHandshakeRecovers(t *testing.T) {
+	s := testInternet(t)
+	l := prepareOutage(t, s)
+	// Outage window: requests and early retries are all lost.
+	s.Net.Sim.Run(12 * time.Second)
+	l.SetUp(true)
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	c1, c4 := s.Controllers[1001], s.Controllers[1004]
+	if st, _ := c1.PeerStatusOf(1004); st != PeerEstablished {
+		t.Fatalf("AS1001→AS1004 status %v after recovery", st)
+	}
+	if st, _ := c4.PeerStatusOf(1001); st != PeerEstablished {
+		t.Fatalf("AS1004→AS1001 status %v after recovery", st)
+	}
+	if !c1.KeysReadyWith(1004) || !c4.KeysReadyWith(1001) {
+		t.Fatalf("keys not active after recovery (retries: %d/%d)", c1.Retries, c4.Retries)
+	}
+	if c1.Retries+c4.Retries == 0 {
+		t.Fatal("recovery happened without any retry — outage did not bite")
+	}
+	// And the keys actually work.
+	pkt := samplePacketV4()
+	pkt.Src = netip.MustParseAddr("172.16.1.10")
+	pkt.Dst = netip.MustParseAddr("172.16.4.10")
+	(V4{pkt}).Stamp(s.Routers[1001].Tables.Keys.StampKey(1004))
+	if ok, _ := s.Routers[1004].Tables.Keys.VerifyMark(1001, V4{pkt}); !ok {
+		t.Fatal("recovered keys are inconsistent")
+	}
+}
+
+// TestPermanentOutageGivesUp: with the peer controller unreachable
+// forever, retries must stop at MaxRetries so the simulator drains.
+func TestPermanentOutageGivesUp(t *testing.T) {
+	s := testInternet(t)
+	prepareOutage(t, s)
+	// RunAll must terminate (bounded retries) — this is the regression
+	// guard against infinite retry loops.
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	c1 := s.Controllers[1001]
+	if c1.Retries == 0 {
+		t.Fatal("no retries recorded")
+	}
+	if int(c1.Retries) > s.Controllers[1001].cfg.MaxRetries {
+		t.Fatalf("retries %d exceed cap %d", c1.Retries, c1.cfg.MaxRetries)
+	}
+}
+
+// TestRetryIdempotentUnderDuplicates: retransmitted peering requests
+// and key deploys must not corrupt state (duplicate Accepts, double
+// key installs). We simulate by forcing extra retries on a healthy
+// link.
+func TestRetryIdempotentUnderDuplicates(t *testing.T) {
+	s := testInternet(t)
+	deploy(t, s, 1001, 1004)
+	c1 := s.Controllers[1001]
+	p := c1.peers[1004]
+	// Force replays of the full exchange.
+	for i := 0; i < 3; i++ {
+		c1.sendEncoded(p, mustEncode(&ControlMsg{Type: MsgPeeringRequest, From: c1.AS}))
+		c1.sendEncoded(p, mustEncode(&ControlMsg{
+			Type: MsgKeyDeploy, From: c1.AS, Key: p.stampKey, Serial: p.stampSerial,
+		}))
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := c1.PeerStatusOf(1004); st != PeerEstablished {
+		t.Fatalf("status %v after duplicates", st)
+	}
+	if !c1.KeysReadyWith(1004) {
+		t.Fatal("keys lost after duplicates")
+	}
+	// Cross-verification still consistent.
+	pkt := samplePacketV4()
+	pkt.Src = netip.MustParseAddr("172.16.1.10")
+	pkt.Dst = netip.MustParseAddr("172.16.4.10")
+	(V4{pkt}).Stamp(s.Routers[1001].Tables.Keys.StampKey(1004))
+	if ok, _ := s.Routers[1004].Tables.Keys.VerifyMark(1001, V4{pkt}); !ok {
+		t.Fatal("keys inconsistent after duplicates")
+	}
+}
+
+// TestAutoDefendClosesTheLoop: alarm mode + AutoDefend escalates from
+// sampling to full enforcement without operator action.
+func TestAutoDefendClosesTheLoop(t *testing.T) {
+	s := testInternet(t)
+	deploy(t, s, 1001, 1004)
+	victim := s.Controllers[1004]
+	victim.cfg.AlarmThreshold = 10
+	victim.AutoDefend = &AutoDefendPolicy{
+		Functions: []Function{DP, CDP},
+		Duration:  24 * time.Hour,
+	}
+	// Proactive alarm-mode CDP invocation (the detection net).
+	if _, err := victim.Invoke(Invocation{
+		Prefixes: victim.OwnPrefixes(), Function: CDP,
+		Duration: 24 * time.Hour, Alarm: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Settle()
+	victim.SetAlarmMode(true)
+	s.Net.Sim.After(DefaultGrace+time.Second, func() {})
+	s.Settle()
+
+	spoof := func() DeliveryResult {
+		return s.SendV4(1002, mkV4("172.16.1.99", "172.16.4.10"))
+	}
+	// Alarm phase: spoofed traffic passes but is sampled.
+	if res := spoof(); !res.Delivered {
+		t.Fatalf("pre-detection drop: %+v", res)
+	}
+	for i := 0; i < 15; i++ {
+		spoof()
+	}
+	// Detection fired inside the data-plane callback; the auto
+	// invocation now needs the control plane to run, and the fresh
+	// windows start with a grace interval.
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	s.Net.Sim.After(DefaultGrace+time.Second, func() {})
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	// Enforcement: spoofed traffic from the peer dies at the peer (DP
+	// was auto-invoked there), and peer-spoofing from legacy ASes dies
+	// at the victim.
+	res := s.SendV4(1001, mkV4("203.0.113.7", "172.16.4.10"))
+	if res.Delivered || res.DroppedAt != 1001 {
+		t.Fatalf("DP not auto-invoked at peer: %+v", res)
+	}
+	if res := spoof(); res.Delivered {
+		t.Fatalf("CDP enforcement not active: %+v", res)
+	}
+	// Genuine traffic still flows.
+	if res := s.SendV4(1001, mkV4("172.16.1.10", "172.16.4.10")); !res.Delivered {
+		t.Fatalf("genuine traffic dropped after auto-defense: %+v", res)
+	}
+}

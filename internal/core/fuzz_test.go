@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzDecodeControlMsg: arbitrary bytes through the controller message
+// decoder must never panic, and valid messages must round-trip.
+func FuzzDecodeControlMsg(f *testing.F) {
+	seed, _ := (&ControlMsg{Type: MsgPeeringRequest, From: 42}).Encode()
+	f.Add(seed)
+	inv, _ := (&ControlMsg{
+		Type: MsgInvoke, From: 7,
+		Invocations: []Invocation{{Function: CDP, Duration: time.Hour}},
+	}).Encode()
+	f.Add(inv)
+	f.Add([]byte(`{"type":"key-deploy","from":1,"key":"AAAA","serial":3}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeControlMsg(data)
+		if err != nil {
+			return
+		}
+		out, err := m.Encode()
+		if err != nil {
+			t.Fatalf("decoded message fails to encode: %v", err)
+		}
+		if _, err := DecodeControlMsg(out); err != nil {
+			t.Fatalf("re-encode fails to decode: %v", err)
+		}
+		// Validation must be total on decoded invocations.
+		for _, inv := range m.Invocations {
+			_ = inv.Validate()
+		}
+	})
+}
+
+// FuzzParseInvocation: the operator syntax parser must never panic and
+// accepted invocations must re-parse from their String form.
+func FuzzParseInvocation(f *testing.F) {
+	f.Add("10.0.0.0/24:DP")
+	f.Add("10.0.0.0/24+10.1.0.0/24:CDP:1h:alarm")
+	f.Add("2001:db8::/48:CSP:30m")
+	f.Add(":::::")
+	f.Fuzz(func(t *testing.T, s string) {
+		inv, err := ParseInvocation(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseInvocation(inv.String())
+		if err != nil {
+			t.Fatalf("String() form %q does not re-parse: %v", inv.String(), err)
+		}
+		if again.Function != inv.Function || again.Duration != inv.Duration {
+			t.Fatalf("round trip changed invocation: %v vs %v", again, inv)
+		}
+	})
+}

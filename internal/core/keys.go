@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"discs/internal/cmac"
+	"discs/internal/topology"
+)
+
+// KeyTable holds the Key-S and Key-V tables of a DAS (§V-A): for each
+// peer j, Key-S(j) = key_{i,j} (we stamp packets to j with it) and
+// Key-V(j) = key_{j,i} (we verify packets from j with it).
+//
+// Re-keying (§IV-D) is supported on the verification side by keeping
+// the previous key live alongside the new one: a mark is valid if it
+// conforms with either. The stamping side switches atomically once the
+// peer has confirmed deployment of the new key.
+type KeyTable struct {
+	mu     sync.RWMutex
+	stamp  map[topology.ASN]*cmac.CMAC
+	verify map[topology.ASN]*verifyKeys
+}
+
+type verifyKeys struct {
+	current  *cmac.CMAC
+	previous *cmac.CMAC // non-nil only during a rekey window
+}
+
+// NewKeyTable creates empty key tables.
+func NewKeyTable() *KeyTable {
+	return &KeyTable{
+		stamp:  make(map[topology.ASN]*cmac.CMAC),
+		verify: make(map[topology.ASN]*verifyKeys),
+	}
+}
+
+// SetStampKey installs (or replaces) the stamping key toward peer.
+func (kt *KeyTable) SetStampKey(peer topology.ASN, key []byte) error {
+	c, err := cmac.New(key)
+	if err != nil {
+		return fmt.Errorf("core: stamp key for AS%d: %w", peer, err)
+	}
+	kt.mu.Lock()
+	defer kt.mu.Unlock()
+	kt.stamp[peer] = c
+	return nil
+}
+
+// SetVerifyKey installs a verification key for packets from peer. If a
+// key is already present it is retained as the previous key so that
+// in-flight packets stamped with it keep verifying until
+// DropPreviousVerifyKey is called (§IV-D rekey tolerance).
+func (kt *KeyTable) SetVerifyKey(peer topology.ASN, key []byte) error {
+	c, err := cmac.New(key)
+	if err != nil {
+		return fmt.Errorf("core: verify key for AS%d: %w", peer, err)
+	}
+	kt.mu.Lock()
+	defer kt.mu.Unlock()
+	if old := kt.verify[peer]; old != nil {
+		kt.verify[peer] = &verifyKeys{current: c, previous: old.current}
+	} else {
+		kt.verify[peer] = &verifyKeys{current: c}
+	}
+	return nil
+}
+
+// DropPreviousVerifyKey ends the rekey window for peer.
+func (kt *KeyTable) DropPreviousVerifyKey(peer topology.ASN) {
+	kt.mu.Lock()
+	defer kt.mu.Unlock()
+	if vk := kt.verify[peer]; vk != nil {
+		vk.previous = nil
+	}
+}
+
+// RemovePeer deletes all key state for peer (peer teardown or key
+// compromise recovery, §VI-E3).
+func (kt *KeyTable) RemovePeer(peer topology.ASN) {
+	kt.mu.Lock()
+	defer kt.mu.Unlock()
+	delete(kt.stamp, peer)
+	delete(kt.verify, peer)
+}
+
+// StampKey returns the CMAC instance for stamping packets toward peer,
+// or nil when peer is not a peer DAS (Key-S(j) = Null in the paper).
+func (kt *KeyTable) StampKey(peer topology.ASN) *cmac.CMAC {
+	kt.mu.RLock()
+	defer kt.mu.RUnlock()
+	return kt.stamp[peer]
+}
+
+// HasVerifyKey reports whether a verification key exists for peer —
+// the "src ∈ peer" predicate of CDP-verify (Table I).
+func (kt *KeyTable) HasVerifyKey(peer topology.ASN) bool {
+	kt.mu.RLock()
+	defer kt.mu.RUnlock()
+	return kt.verify[peer] != nil
+}
+
+// VerifyMark checks a packet's mark against peer's current key, and
+// during a rekey window also against the previous key. It reports
+// (valid, keyKnown): keyKnown is false when peer has no verification
+// key at all.
+func (kt *KeyTable) VerifyMark(peer topology.ASN, carrier MarkCarrier) (valid, keyKnown bool) {
+	kt.mu.RLock()
+	vk := kt.verify[peer]
+	kt.mu.RUnlock()
+	if vk == nil {
+		return false, false
+	}
+	if carrier.Verify(vk.current) {
+		return true, true
+	}
+	if vk.previous != nil && carrier.Verify(vk.previous) {
+		return true, true
+	}
+	return false, true
+}
+
+// NumPeers returns the number of peers with any key state.
+func (kt *KeyTable) NumPeers() int {
+	kt.mu.RLock()
+	defer kt.mu.RUnlock()
+	n := len(kt.verify)
+	for p := range kt.stamp {
+		if _, ok := kt.verify[p]; !ok {
+			n++
+		}
+	}
+	return n
+}

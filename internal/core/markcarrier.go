@@ -1,0 +1,97 @@
+package core
+
+import (
+	"net/netip"
+
+	"discs/internal/cmac"
+	"discs/internal/packet"
+)
+
+// MarkCarrier abstracts the per-family mark embedding so the data
+// plane processes IPv4 and IPv6 packets uniformly: 29-bit marks in the
+// IPID/FragmentOffset fields for IPv4 (§V-E), a 32-bit destination
+// option for IPv6 (§V-F).
+type MarkCarrier interface {
+	// SrcAddr and DstAddr return the packet's addresses.
+	SrcAddr() netip.Addr
+	DstAddr() netip.Addr
+	// Stamp writes the truncated CMAC of the packet's msg fields.
+	Stamp(c *cmac.CMAC) error
+	// Verify checks the mark against the key. For IPv4 the mark fields
+	// always exist, so an unstamped packet simply fails verification;
+	// for IPv6 a missing DISCS option fails verification.
+	Verify(c *cmac.CMAC) bool
+	// Erase removes the mark: IPv4 replaces the fields with the given
+	// bits, IPv6 strips the DISCS option.
+	Erase(random uint32)
+	// MarkBits returns the mark width (29 for IPv4, 32 for IPv6),
+	// which determines the brute-force forgery factor (§VI-E1).
+	MarkBits() int
+}
+
+// V4 wraps an IPv4 packet as a MarkCarrier.
+type V4 struct{ P *packet.IPv4 }
+
+// SrcAddr returns the source address.
+func (w V4) SrcAddr() netip.Addr { return w.P.Src }
+
+// DstAddr returns the destination address.
+func (w V4) DstAddr() netip.Addr { return w.P.Dst }
+
+// Stamp writes the 29-bit truncated CMAC into IPID+FragOffset.
+func (w V4) Stamp(c *cmac.CMAC) error {
+	m := w.P.Msg()
+	w.P.SetMark(c.Sum29(m[:]))
+	return nil
+}
+
+// Verify recomputes the 29-bit CMAC and compares.
+func (w V4) Verify(c *cmac.CMAC) bool {
+	m := w.P.Msg()
+	return c.Verify29(m[:], w.P.Mark())
+}
+
+// Erase replaces the mark fields with the supplied bits (§V-E: random
+// bits after successful verification).
+func (w V4) Erase(random uint32) { w.P.ScrubMark(random) }
+
+// MarkBits returns 29.
+func (w V4) MarkBits() int { return 29 }
+
+// V6 wraps an IPv6 packet as a MarkCarrier.
+type V6 struct{ P *packet.IPv6 }
+
+// SrcAddr returns the source address.
+func (w V6) SrcAddr() netip.Addr { return w.P.Src }
+
+// DstAddr returns the destination address.
+func (w V6) DstAddr() netip.Addr { return w.P.Dst }
+
+// Stamp inserts the DISCS destination option carrying the 32-bit
+// truncated CMAC.
+func (w V6) Stamp(c *cmac.CMAC) error {
+	m := w.P.Msg()
+	return w.P.StampV6(c.Sum32(m[:]))
+}
+
+// Verify checks the DISCS option; absent option fails.
+func (w V6) Verify(c *cmac.CMAC) bool {
+	mac, ok := w.P.MarkV6()
+	if !ok {
+		return false
+	}
+	m := w.P.Msg()
+	return c.Verify32(m[:], mac)
+}
+
+// Erase removes the DISCS option (and the destination options header
+// when empty).
+func (w V6) Erase(uint32) { w.P.UnstampV6() }
+
+// MarkBits returns 32.
+func (w V6) MarkBits() int { return 32 }
+
+var (
+	_ MarkCarrier = V4{}
+	_ MarkCarrier = V6{}
+)

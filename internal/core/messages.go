@@ -1,0 +1,107 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"discs/internal/topology"
+)
+
+// MsgType enumerates controller-to-controller messages.
+type MsgType string
+
+// Control-plane message types (§IV). Peering setup, key negotiation,
+// function invocation and alarm control.
+const (
+	MsgPeeringRequest MsgType = "peering-request"
+	MsgPeeringAccept  MsgType = "peering-accept"
+	MsgPeeringReject  MsgType = "peering-reject"
+	MsgKeyDeploy      MsgType = "key-deploy"
+	MsgKeyAck         MsgType = "key-ack"
+	MsgInvoke         MsgType = "invoke"
+	MsgInvokeAck      MsgType = "invoke-ack"
+	MsgInvokeReject   MsgType = "invoke-reject"
+	MsgQuitAlarm      MsgType = "quit-alarm"
+)
+
+// Invocation is one (v, f, duration) triple of §IV-E: the prefixes to
+// protect, the function to execute on them, and how long.
+type Invocation struct {
+	Prefixes []netip.Prefix `json:"prefixes"`
+	Function Function       `json:"function"`
+	Duration time.Duration  `json:"duration"`
+	// Alarm requests the peers execute the function in alarm mode
+	// (§IV-F): identified packets are sampled, not dropped.
+	Alarm bool `json:"alarm,omitempty"`
+}
+
+// Validate checks structural sanity.
+func (inv Invocation) Validate() error {
+	if len(inv.Prefixes) == 0 {
+		return fmt.Errorf("core: invocation without prefixes")
+	}
+	for _, p := range inv.Prefixes {
+		if !p.IsValid() {
+			return fmt.Errorf("core: invalid prefix in invocation")
+		}
+	}
+	if inv.Function >= numFunctions {
+		return fmt.Errorf("core: invalid function %d", inv.Function)
+	}
+	if inv.Duration <= 0 {
+		return fmt.Errorf("core: non-positive duration %v", inv.Duration)
+	}
+	return nil
+}
+
+// ControlMsg is the JSON payload of a protected con-con record.
+type ControlMsg struct {
+	Type MsgType      `json:"type"`
+	From topology.ASN `json:"from"`
+
+	// MsgPeeringReject / MsgInvokeReject
+	Reason string `json:"reason,omitempty"`
+
+	// MsgKeyDeploy: Key is key_{from,to}; Serial orders rekeys.
+	Key    []byte `json:"key,omitempty"`
+	Serial uint64 `json:"serial,omitempty"`
+
+	// MsgKeyAck echoes Serial.
+
+	// MsgInvoke
+	Invocations []Invocation `json:"invocations,omitempty"`
+}
+
+// Encode serializes the message.
+func (m *ControlMsg) Encode() ([]byte, error) { return json.Marshal(m) }
+
+// DecodeControlMsg parses a message.
+func DecodeControlMsg(b []byte) (*ControlMsg, error) {
+	var m ControlMsg
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("core: bad control message: %w", err)
+	}
+	return &m, nil
+}
+
+// frameKind distinguishes transport frames on the controller channel.
+type frameKind uint8
+
+const (
+	frameHello frameKind = iota
+	frameReply
+	frameRecord
+)
+
+// ctrlFrame is the netsim message exchanged between controller nodes:
+// either a handshake frame or a protected record.
+type ctrlFrame struct {
+	Kind frameKind
+	From string // sender controller name (directory key)
+	Data []byte
+}
+
+// Size implements netsim.Message.
+func (f *ctrlFrame) Size() int { return 1 + len(f.From) + len(f.Data) }

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"discs/internal/packet"
+	"discs/internal/topology"
+)
+
+// Verdict is the outcome of processing one packet through the DISCS
+// data plane (Figure 3).
+type Verdict int
+
+const (
+	// VerdictPass: the packet proceeds to the forwarding engine.
+	VerdictPass Verdict = iota
+	// VerdictPassStamped: outbound packet passed and a mark was stamped.
+	VerdictPassStamped
+	// VerdictPassVerified: inbound packet passed with a valid mark,
+	// which was erased.
+	VerdictPassVerified
+	// VerdictPassAlarm: the packet was identified as spoofed but passed
+	// because the router is in alarm mode; a sample was reported.
+	VerdictPassAlarm
+	// VerdictDrop: the packet was identified as spoofed and dropped.
+	VerdictDrop
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictPass:
+		return "pass"
+	case VerdictPassStamped:
+		return "pass+stamped"
+	case VerdictPassVerified:
+		return "pass+verified"
+	case VerdictPassAlarm:
+		return "pass+alarm"
+	case VerdictDrop:
+		return "drop"
+	}
+	return "verdict?"
+}
+
+// Dropped reports whether the verdict removes the packet.
+func (v Verdict) Dropped() bool { return v == VerdictDrop }
+
+// RouterStats counts data-plane events; the fields mirror the resource
+// discussion of §VI-C2. The counters are updated atomically, so the
+// router's processing methods may run concurrently from many
+// forwarding goroutines (a line card per goroutine); read a consistent
+// snapshot with BorderRouter.Stats.
+type RouterStats struct {
+	OutProcessed uint64
+	OutDropped   uint64 // DP/SP filter drops
+	OutStamped   uint64
+	InProcessed  uint64
+	InVerified   uint64 // valid mark, erased
+	InVerifyFail uint64 // invalid mark
+	InDropped    uint64
+	InErasedOnly uint64 // grace-interval erasures
+	InAlarmed    uint64 // spoofed but passed in alarm mode
+	OutTooBig    uint64 // IPv6 packets refused because stamping exceeds the MTU
+	MACsComputed uint64 // crypto operations (stamp + verify attempts)
+	ICMPScrubbed uint64
+}
+
+// routerCounters is the internal atomic mirror of RouterStats.
+type routerCounters struct {
+	outProcessed atomic.Uint64
+	outDropped   atomic.Uint64
+	outStamped   atomic.Uint64
+	inProcessed  atomic.Uint64
+	inVerified   atomic.Uint64
+	inVerifyFail atomic.Uint64
+	inDropped    atomic.Uint64
+	inErasedOnly atomic.Uint64
+	inAlarmed    atomic.Uint64
+	outTooBig    atomic.Uint64
+	macsComputed atomic.Uint64
+	icmpScrubbed atomic.Uint64
+}
+
+func (c *routerCounters) snapshot() RouterStats {
+	return RouterStats{
+		OutProcessed: c.outProcessed.Load(),
+		OutDropped:   c.outDropped.Load(),
+		OutStamped:   c.outStamped.Load(),
+		InProcessed:  c.inProcessed.Load(),
+		InVerified:   c.inVerified.Load(),
+		InVerifyFail: c.inVerifyFail.Load(),
+		InDropped:    c.inDropped.Load(),
+		InErasedOnly: c.inErasedOnly.Load(),
+		InAlarmed:    c.inAlarmed.Load(),
+		OutTooBig:    c.outTooBig.Load(),
+		MACsComputed: c.macsComputed.Load(),
+		ICMPScrubbed: c.icmpScrubbed.Load(),
+	}
+}
+
+// AlarmSample is a report of an identified spoofing packet sent to the
+// controller in alarm mode (§IV-F); internal/flowexport aggregates
+// these into NetFlow/sFlow-style records for the export path.
+type AlarmSample struct {
+	Src, Dst netip.Addr
+	SrcAS    topology.ASN
+	When     time.Time
+}
+
+// BorderRouter is the data plane of one DAS border router.
+type BorderRouter struct {
+	Tables *Tables
+	// OnAlarm receives samples of identified spoofing packets.
+	OnAlarm func(AlarmSample)
+	// ExternalMTU, when positive, is the MTU of the external link. An
+	// IPv6 packet whose stamping would exceed it is not forwarded;
+	// instead a "packet too big" ICMPv6 announcing ExternalMTU−8 goes
+	// back to the source (§V-F). IPv4 stamping never grows packets.
+	ExternalMTU int
+	// RouterAddr is the source address for ICMPv6 errors this router
+	// originates.
+	RouterAddr netip.Addr
+	// OnPacketTooBig receives the generated ICMPv6 error (nil-safe).
+	OnPacketTooBig func(*packet.IPv6)
+
+	ctr       routerCounters
+	rngState  atomic.Uint64
+	alarmMode atomic.Bool
+}
+
+// SetAlarmMode toggles alarm mode (§IV-F): verification failures pass
+// with a sample report instead of dropping. Safe to call while
+// forwarding goroutines are processing packets.
+func (r *BorderRouter) SetAlarmMode(on bool) { r.alarmMode.Store(on) }
+
+// AlarmModeOn reports whether alarm mode is active.
+func (r *BorderRouter) AlarmModeOn() bool { return r.alarmMode.Load() }
+
+// Stats returns a snapshot of the processing counters.
+func (r *BorderRouter) Stats() RouterStats { return r.ctr.snapshot() }
+
+// randomBits returns scrub bits from a lock-free splitmix64 stream, so
+// concurrent forwarding goroutines never contend on a shared RNG.
+func (r *BorderRouter) randomBits() uint32 {
+	x := r.rngState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return uint32(x)
+}
+
+// NewBorderRouter creates a router around the given tables. seed feeds
+// the random bits used to scrub IPv4 marks after verification.
+func NewBorderRouter(tables *Tables, seed int64) *BorderRouter {
+	r := &BorderRouter{Tables: tables}
+	r.rngState.Store(uint64(seed))
+	return r
+}
+
+// ProcessOutbound runs the outbound half of the Figure-3 flow on a
+// packet leaving the AS.
+func (r *BorderRouter) ProcessOutbound(p MarkCarrier, now time.Time) Verdict {
+	r.ctr.outProcessed.Add(1)
+	tup := r.Tables.GenOutTuple(p.SrcAddr(), p.DstAddr(), now)
+	if tup.Drop {
+		r.ctr.outDropped.Add(1)
+		return VerdictDrop
+	}
+	if !tup.Stamp {
+		return VerdictPass
+	}
+	key := r.Tables.Keys.StampKey(tup.DstAS)
+	if key == nil {
+		// CDP-stamp scheduled but the destination is not a peer (e.g.
+		// key torn down mid-invocation): pass unstamped rather than
+		// break connectivity.
+		return VerdictPass
+	}
+	// §V-F: stamping may grow an IPv6 packet by up to 8 bytes; if that
+	// exceeds the external link MTU, return "packet too big"
+	// announcing an MTU 8 bytes below the link's.
+	if r.ExternalMTU > 0 {
+		if v6, ok := p.(V6); ok {
+			if v6.P.WireLen()+v6.P.StampOverheadV6() > r.ExternalMTU {
+				r.ctr.outTooBig.Add(1)
+				if r.OnPacketTooBig != nil {
+					if icmp, err := packet.NewICMPv6PacketTooBig(r.RouterAddr, v6.P, uint32(r.ExternalMTU-8)); err == nil {
+						r.OnPacketTooBig(icmp)
+					}
+				}
+				return VerdictDrop
+			}
+		}
+	}
+	if err := p.Stamp(key); err != nil {
+		// Packet cannot carry a mark (e.g. duplicate option): pass; the
+		// verification end will treat it as unmarked.
+		return VerdictPass
+	}
+	r.ctr.macsComputed.Add(1)
+	r.ctr.outStamped.Add(1)
+	return VerdictPassStamped
+}
+
+// ProcessInbound runs the inbound half of the Figure-3 flow on a
+// packet entering the AS.
+func (r *BorderRouter) ProcessInbound(p MarkCarrier, now time.Time) Verdict {
+	r.ctr.inProcessed.Add(1)
+	tup := r.Tables.GenInTuple(p.SrcAddr(), p.DstAddr(), now)
+	if !tup.Verify {
+		return VerdictPass
+	}
+	if tup.EraseOnly {
+		// Grace interval: erase without enforcement (§IV-E1).
+		p.Erase(r.randomBits())
+		r.ctr.inErasedOnly.Add(1)
+		return VerdictPass
+	}
+	valid, keyKnown := false, false
+	if tup.SrcKnown {
+		valid, keyKnown = r.Tables.Keys.VerifyMark(tup.SrcAS, p)
+	}
+	if !keyKnown {
+		// CDP-verify is conditional on src ∈ peer (Table I): traffic
+		// from non-peer sources cannot be verified and passes; it is
+		// the peers' DP filters that handle it.
+		return VerdictPass
+	}
+	r.ctr.macsComputed.Add(1)
+	if valid {
+		p.Erase(r.randomBits())
+		r.ctr.inVerified.Add(1)
+		return VerdictPassVerified
+	}
+	r.ctr.inVerifyFail.Add(1)
+	if r.alarmMode.Load() {
+		r.ctr.inAlarmed.Add(1)
+		if r.OnAlarm != nil {
+			r.OnAlarm(AlarmSample{
+				Src:   p.SrcAddr(),
+				Dst:   p.DstAddr(),
+				SrcAS: tup.SrcAS,
+				When:  now,
+			})
+		}
+		p.Erase(r.randomBits())
+		return VerdictPassAlarm
+	}
+	r.ctr.inDropped.Add(1)
+	return VerdictDrop
+}
+
+// ScrubInboundICMP inspects an inbound ICMP(v4) error message and
+// erases any DISCS mark from the embedded packet (§VI-E2): without
+// this, a host inside the DAS could learn valid marks by triggering
+// TTL-exceeded errors just outside the border. It reports whether a
+// scrub happened.
+func (r *BorderRouter) ScrubInboundICMP(p *packet.IPv4) bool {
+	if packet.ScrubICMPv4EmbeddedMark(p, r.randomBits()) {
+		r.ctr.icmpScrubbed.Add(1)
+		return true
+	}
+	return false
+}
+
+// ScrubInboundICMPv6 is the IPv6 counterpart of ScrubInboundICMP.
+func (r *BorderRouter) ScrubInboundICMPv6(p *packet.IPv6) bool {
+	if packet.ScrubICMPv6EmbeddedMark(p, r.randomBits()) {
+		r.ctr.icmpScrubbed.Add(1)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"discs/internal/bgp"
+	"discs/internal/packet"
+	"discs/internal/topology"
+)
+
+// System wires a BGP network, DISCS controllers and border-router data
+// planes into a runnable whole, and provides packet-level end-to-end
+// delivery across the AS topology.
+type System struct {
+	Net *bgp.Network
+	Dir *Directory
+
+	Controllers map[topology.ASN]*Controller
+	Routers     map[topology.ASN]*BorderRouter
+
+	cfg Config
+}
+
+// NewSystem creates a system around a converged (or to-be-converged)
+// BGP network.
+func NewSystem(net *bgp.Network, cfg Config) *System {
+	return &System{
+		Net:         net,
+		Dir:         NewDirectory(),
+		Controllers: make(map[topology.ASN]*Controller),
+		Routers:     make(map[topology.ASN]*BorderRouter),
+		cfg:         cfg,
+	}
+}
+
+// Deploy turns an AS into a DAS: it creates the controller (with its
+// own netsim node), a border-router data plane, hooks DISCS-Ad
+// extraction into the AS's BGP speaker, and re-originates the AS's
+// prefixes carrying the DISCS-Ad (§IV-B). Discovery, peering and key
+// negotiation then run inside the simulator; call s.Net.Converge() (or
+// run the simulator) to let them complete.
+func (s *System) Deploy(asn topology.ASN, seed int64) (*Controller, error) {
+	if _, dup := s.Controllers[asn]; dup {
+		return nil, fmt.Errorf("core: AS%d already deployed", asn)
+	}
+	sp := s.Net.Speakers[asn]
+	if sp == nil {
+		return nil, fmt.Errorf("core: AS%d has no BGP speaker", asn)
+	}
+	name := fmt.Sprintf("ctrl.as%d", asn)
+	node, err := s.Net.Sim.AddNode(name)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := NewController(asn, name, s.Net.Sim, node, s.Dir, s.Net.Topo, s.cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	tables := NewTables(asn, s.Net.Topo.Pfx2AS())
+	router := NewBorderRouter(tables, seed^0x5eed)
+	ctrl.AttachRouter(router)
+	s.Controllers[asn] = ctrl
+	s.Routers[asn] = router
+
+	// Existing Ads already seen by the speaker are replayed to the new
+	// controller, then future Ads stream in.
+	for _, ad := range sp.KnownAds() {
+		ctrl.HandleAd(ad)
+	}
+	sp.OnAd(ctrl.HandleAd)
+
+	// Announce ourselves Internet-wide.
+	ad := bgp.NewDISCSAdAttr(ctrl.Ad())
+	for _, p := range s.Net.Topo.AS(asn).Prefixes {
+		if err := sp.ReOriginate(p, ad); err != nil {
+			return nil, err
+		}
+	}
+	return ctrl, nil
+}
+
+// Settle runs the simulator until the control plane goes quiet.
+func (s *System) Settle() error {
+	_, err := s.Net.Sim.RunAll()
+	return err
+}
+
+// Now returns the data-plane clock (simulated time mapped to wall
+// clock).
+func (s *System) Now() time.Time { return time.Unix(0, 0).UTC().Add(s.Net.Sim.Now()) }
+
+// HopResult records what happened to a packet at one AS.
+type HopResult struct {
+	AS      topology.ASN
+	Verdict Verdict
+}
+
+// DeliveryResult is the outcome of an end-to-end Send.
+type DeliveryResult struct {
+	Delivered bool
+	// DroppedAt is the AS whose border router dropped the packet (0 if
+	// delivered).
+	DroppedAt topology.ASN
+	Hops      []HopResult
+	// TTLExpired is set when the packet died of TTL, in which case an
+	// ICMP time-exceeded was generated (see ICMPReturned).
+	TTLExpired bool
+	// ICMPReturned is the time-exceeded message delivered back to the
+	// packet's source address owner, after DISCS mark scrubbing at that
+	// AS's border (§VI-E2). Nil unless TTL expired en route.
+	ICMPReturned *packet.IPv4
+}
+
+// SendV4 injects an IPv4 packet at fromAS and walks it along the
+// valley-free AS path toward the owner of its destination address,
+// applying DISCS processing: outbound at the source AS border (if it
+// is a DAS), inbound at the destination AS border (if it is a DAS).
+// Transit ASes decrement TTL only — DISCS functions execute only at
+// the victim's and peers' borders, never in transit (§III-B).
+func (s *System) SendV4(fromAS topology.ASN, p *packet.IPv4) DeliveryResult {
+	res := DeliveryResult{}
+	dstAS, ok := s.Net.Topo.OwnerOf(p.Dst)
+	if !ok {
+		res.DroppedAt = fromAS
+		return res
+	}
+	now := s.Now()
+
+	// Outbound processing at the source AS border.
+	if r := s.Routers[fromAS]; r != nil {
+		v := r.ProcessOutbound(V4{p}, now)
+		res.Hops = append(res.Hops, HopResult{fromAS, v})
+		if v.Dropped() {
+			res.DroppedAt = fromAS
+			return res
+		}
+	}
+	if dstAS == fromAS {
+		res.Delivered = true
+		return res
+	}
+	path, ok := s.Net.Topo.Path(fromAS, dstAS)
+	if !ok {
+		res.DroppedAt = fromAS
+		return res
+	}
+	// Transit: TTL decrements at each AS hop (an abstraction of the
+	// routers along the path).
+	for i := 1; i < len(path); i++ {
+		if p.TTL == 0 || p.TTL == 1 {
+			p.TTL = 0
+			res.TTLExpired = true
+			res.DroppedAt = path[i]
+			res.ICMPReturned = s.returnTimeExceeded(path[i], fromAS, p)
+			return res
+		}
+		p.TTL--
+	}
+	// Inbound processing at the destination AS border.
+	if r := s.Routers[dstAS]; r != nil {
+		v := r.ProcessInbound(V4{p}, now)
+		res.Hops = append(res.Hops, HopResult{dstAS, v})
+		if v.Dropped() {
+			res.DroppedAt = dstAS
+			return res
+		}
+	}
+	res.Delivered = true
+	return res
+}
+
+// returnTimeExceeded builds the ICMP error at the expiring AS and
+// routes it back toward the original source. If the AS owning the
+// original source address is a DAS, its border router scrubs the
+// embedded DISCS mark before the message enters the AS.
+func (s *System) returnTimeExceeded(atAS, origFrom topology.ASN, orig *packet.IPv4) *packet.IPv4 {
+	// The reporting router needs an address inside the expiring AS.
+	a := s.Net.Topo.AS(atAS)
+	if a == nil || len(a.Prefixes) == 0 || !a.Prefixes[0].Addr().Is4() {
+		return nil
+	}
+	icmp, err := packet.ICMPv4TimeExceeded(a.Prefixes[0].Addr(), orig)
+	if err != nil {
+		return nil
+	}
+	// Serialize/reparse: the scrubber operates on raw bytes.
+	b, err := icmp.Marshal()
+	if err != nil {
+		return nil
+	}
+	back, err := packet.ParseIPv4(b)
+	if err != nil {
+		return nil
+	}
+	// Inbound at the source-address owner's border: scrub marks.
+	srcOwner, ok := s.Net.Topo.OwnerOf(orig.Src)
+	if ok {
+		if r := s.Routers[srcOwner]; r != nil {
+			r.ScrubInboundICMP(back)
+		}
+	}
+	_ = origFrom
+	return back
+}
+
+// SendV6 is the IPv6 counterpart of SendV4 (hop limit instead of TTL;
+// ICMPv6 handling is exercised directly in tests).
+func (s *System) SendV6(fromAS topology.ASN, p *packet.IPv6) DeliveryResult {
+	res := DeliveryResult{}
+	dstAS, ok := s.Net.Topo.OwnerOf(p.Dst)
+	if !ok {
+		res.DroppedAt = fromAS
+		return res
+	}
+	now := s.Now()
+	if r := s.Routers[fromAS]; r != nil {
+		v := r.ProcessOutbound(V6{p}, now)
+		res.Hops = append(res.Hops, HopResult{fromAS, v})
+		if v.Dropped() {
+			res.DroppedAt = fromAS
+			return res
+		}
+	}
+	if dstAS == fromAS {
+		res.Delivered = true
+		return res
+	}
+	path, ok := s.Net.Topo.Path(fromAS, dstAS)
+	if !ok {
+		res.DroppedAt = fromAS
+		return res
+	}
+	for i := 1; i < len(path); i++ {
+		if p.HopLimit <= 1 {
+			p.HopLimit = 0
+			res.TTLExpired = true
+			res.DroppedAt = path[i]
+			return res
+		}
+		p.HopLimit--
+	}
+	if r := s.Routers[dstAS]; r != nil {
+		v := r.ProcessInbound(V6{p}, now)
+		res.Hops = append(res.Hops, HopResult{dstAS, v})
+		if v.Dropped() {
+			res.DroppedAt = dstAS
+			return res
+		}
+	}
+	res.Delivered = true
+	return res
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"discs/internal/lpm"
+	"discs/internal/topology"
+)
+
+// window is the activation interval of one operation on one prefix.
+// Invocation is always bounded by a duration (§IV-E1); when it expires
+// the entry becomes inert and is lazily purged.
+type window struct {
+	start, end time.Time
+	grace      time.Duration // tolerance interval for verify ops
+}
+
+func (w window) activeAt(now time.Time) bool {
+	return !now.Before(w.start) && now.Before(w.end)
+}
+
+// graceAt reports whether now falls into the head or tail tolerance
+// interval, during which verification ends only erase marks (§IV-E1).
+func (w window) graceAt(now time.Time) bool {
+	if !w.activeAt(now) {
+		return false
+	}
+	return now.Before(w.start.Add(w.grace)) || !now.Before(w.end.Add(-w.grace))
+}
+
+// opWindows is the value stored per prefix in a function table: the
+// set of scheduled operations with their activation windows.
+type opWindows struct {
+	wins map[Op]window
+}
+
+// FuncTable is one of the four data-plane function tables (§V-A),
+// mapping prefixes (longest match) to scheduled operations. Lookups
+// (ActiveOps) may run concurrently from many forwarding goroutines;
+// mutations (Install/Remove/Purge, driven by the controller) take the
+// write lock.
+type FuncTable struct {
+	kind TableKind
+	mu   sync.RWMutex
+	tbl  *lpm.Table[*opWindows]
+}
+
+// NewFuncTable creates an empty table of the given kind.
+func NewFuncTable(kind TableKind) *FuncTable {
+	return &FuncTable{kind: kind, tbl: lpm.New[*opWindows]()}
+}
+
+// Kind returns the table kind.
+func (ft *FuncTable) Kind() TableKind { return ft.kind }
+
+// Install schedules op on prefix for [start, start+duration), with the
+// given grace tolerance. Re-installing extends/replaces the window —
+// this is how a victim re-invokes with a longer duration (§IV-E1).
+func (ft *FuncTable) Install(p netip.Prefix, op Op, start time.Time, duration, grace time.Duration) error {
+	if duration <= 0 {
+		return fmt.Errorf("core: non-positive duration %v", duration)
+	}
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	ow, ok := ft.tbl.Get(p)
+	if !ok {
+		ow = &opWindows{wins: make(map[Op]window)}
+		if err := ft.tbl.Insert(p, ow); err != nil {
+			return err
+		}
+	}
+	ow.wins[op] = window{start: start, end: start.Add(duration), grace: grace}
+	return nil
+}
+
+// Remove deletes op from prefix immediately (used when quitting a
+// protection early).
+func (ft *FuncTable) Remove(p netip.Prefix, op Op) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if ow, ok := ft.tbl.Get(p); ok {
+		delete(ow.wins, op)
+		if len(ow.wins) == 0 {
+			ft.tbl.Delete(p)
+		}
+	}
+}
+
+// ActiveOps returns the operations active for addr at time now, along
+// with a set of ops currently inside their grace interval.
+func (ft *FuncTable) ActiveOps(addr netip.Addr, now time.Time) (active, grace OpSet) {
+	ft.mu.RLock()
+	defer ft.mu.RUnlock()
+	ow, _, ok := ft.tbl.Lookup(addr)
+	if !ok {
+		return 0, 0
+	}
+	for op, w := range ow.wins {
+		if w.activeAt(now) {
+			active = active.Add(op)
+			if w.graceAt(now) {
+				grace = grace.Add(op)
+			}
+		}
+	}
+	return active, grace
+}
+
+// Len returns the number of prefixes with any scheduled op.
+func (ft *FuncTable) Len() int {
+	ft.mu.RLock()
+	defer ft.mu.RUnlock()
+	return ft.tbl.Len()
+}
+
+// Purge removes every entry whose windows have all expired; returns
+// the number of prefixes removed. Controllers run this periodically.
+func (ft *FuncTable) Purge(now time.Time) int {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	var dead []netip.Prefix
+	ft.tbl.Walk(func(p netip.Prefix, ow *opWindows) bool {
+		expired := true
+		for _, w := range ow.wins {
+			if now.Before(w.end) {
+				expired = false
+				break
+			}
+		}
+		if expired {
+			dead = append(dead, p)
+		}
+		return true
+	})
+	for _, p := range dead {
+		ft.tbl.Delete(p)
+	}
+	return len(dead)
+}
+
+// InTuple is the data structure generated for an inbound packet
+// (§V-B): whether to verify and which peer's key to verify with.
+type InTuple struct {
+	Verify bool
+	// EraseOnly is set during grace intervals: erase the mark, skip
+	// enforcement.
+	EraseOnly bool
+	// SrcAS is Pfx2AS(s); the verification key is Key-V(SrcAS).
+	SrcAS topology.ASN
+	// SrcKnown is false when the source address maps to no AS.
+	SrcKnown bool
+}
+
+// OutTuple is the data structure generated for an outbound packet
+// (§V-B): whether to drop, whether to stamp, and which key to stamp
+// with (Key-S(Pfx2AS(d))).
+type OutTuple struct {
+	Drop  bool
+	Stamp bool
+	DstAS topology.ASN
+}
+
+// Tables bundles the per-router DISCS tables: the Pfx2AS mapping, the
+// key tables, and the four function tables.
+type Tables struct {
+	LocalAS topology.ASN
+	Pfx2AS  *lpm.Table[topology.ASN]
+	Keys    *KeyTable
+	In      map[TableKind]*FuncTable
+}
+
+// NewTables creates empty tables for a router of localAS. pfx2as is
+// shared — the controller obtains it from RPKI (§V-A) and installs it.
+func NewTables(localAS topology.ASN, pfx2as *lpm.Table[topology.ASN]) *Tables {
+	return &Tables{
+		LocalAS: localAS,
+		Pfx2AS:  pfx2as,
+		Keys:    NewKeyTable(),
+		In: map[TableKind]*FuncTable{
+			TableInSrc:  NewFuncTable(TableInSrc),
+			TableInDst:  NewFuncTable(TableInDst),
+			TableOutSrc: NewFuncTable(TableOutSrc),
+			TableOutDst: NewFuncTable(TableOutDst),
+		},
+	}
+}
+
+// srcAS maps an address to its AS via longest-prefix match.
+func (t *Tables) srcAS(a netip.Addr) (topology.ASN, bool) {
+	asn, _, ok := t.Pfx2AS.Lookup(a)
+	return asn, ok
+}
+
+// GenInTuple implements the in-tuple generation of §V-B: verify? is
+// set iff CSP-verify ∈ In-Src(s) or CDP-verify ∈ In-Dst(d).
+func (t *Tables) GenInTuple(src, dst netip.Addr, now time.Time) InTuple {
+	srcOps, srcGrace := t.In[TableInSrc].ActiveOps(src, now)
+	dstOps, dstGrace := t.In[TableInDst].ActiveOps(dst, now)
+	verify := srcOps.Has(OpCSPVerify) || dstOps.Has(OpCDPVerify)
+	if !verify {
+		return InTuple{}
+	}
+	erase := false
+	if srcOps.Has(OpCSPVerify) && srcGrace.Has(OpCSPVerify) {
+		erase = true
+	}
+	if dstOps.Has(OpCDPVerify) && dstGrace.Has(OpCDPVerify) {
+		erase = true
+	}
+	asn, known := t.srcAS(src)
+	return InTuple{Verify: true, EraseOnly: erase, SrcAS: asn, SrcKnown: known}
+}
+
+// GenOutTuple implements the out-tuple generation of §V-B:
+//
+//	drop?  iff Pfx2AS(s) ≠ LocalAS and (SP ∈ Out-Src(s) or DP ∈ Out-Dst(d))
+//	stamp? iff (CSP ∈ Out-Src(s) and Key-S(Pfx2AS(d)) ≠ Null) or CDP ∈ Out-Dst(d)
+//
+// (The paper's prose for drop? reads "Pfx2AS(s) = LocalAS", but Table I
+// defines DP-filter as "if src ∉ local, drop" and SP's condition
+// src ∈ v implies a non-local source, so the equality is a typo for ≠.)
+func (t *Tables) GenOutTuple(src, dst netip.Addr, now time.Time) OutTuple {
+	srcOps, _ := t.In[TableOutSrc].ActiveOps(src, now)
+	dstOps, _ := t.In[TableOutDst].ActiveOps(dst, now)
+	var tup OutTuple
+	srcAS, srcKnown := t.srcAS(src)
+	local := srcKnown && srcAS == t.LocalAS
+	if !local && (srcOps.Has(OpSPFilter) || dstOps.Has(OpDPFilter)) {
+		tup.Drop = true
+		return tup
+	}
+	dstAS, _ := t.srcAS(dst)
+	tup.DstAS = dstAS
+	if (srcOps.Has(OpCSPStamp) && t.Keys.StampKey(dstAS) != nil) || dstOps.Has(OpCDPStamp) {
+		tup.Stamp = true
+	}
+	return tup
+}

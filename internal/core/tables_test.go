@@ -1,0 +1,332 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"discs/internal/lpm"
+	"discs/internal/topology"
+)
+
+var t0 = time.Unix(0, 0).UTC()
+
+func testPfx2AS(t *testing.T) *lpm.Table[topology.ASN] {
+	t.Helper()
+	tbl := lpm.New[topology.ASN]()
+	// AS1: 10.1.0.0/16 (the local AS in these tests)
+	// AS2: 10.2.0.0/16 (a peer)
+	// AS3: 10.3.0.0/16 (the victim)
+	// AS4: 10.4.0.0/16 (a legacy AS)
+	for asn, p := range map[topology.ASN]string{
+		1: "10.1.0.0/16", 2: "10.2.0.0/16", 3: "10.3.0.0/16", 4: "10.4.0.0/16",
+	} {
+		if err := tbl.Insert(netip.MustParsePrefix(p), asn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func ip(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestFuncTableInstallAndExpiry(t *testing.T) {
+	ft := NewFuncTable(TableOutDst)
+	v := netip.MustParsePrefix("10.3.0.0/16")
+	if err := ft.Install(v, OpDPFilter, t0, time.Hour, 0); err != nil {
+		t.Fatal(err)
+	}
+	active, _ := ft.ActiveOps(ip("10.3.1.1"), t0.Add(time.Minute))
+	if !active.Has(OpDPFilter) {
+		t.Fatal("op not active inside window")
+	}
+	active, _ = ft.ActiveOps(ip("10.3.1.1"), t0.Add(2*time.Hour))
+	if active != 0 {
+		t.Fatal("op active after expiry")
+	}
+	active, _ = ft.ActiveOps(ip("10.4.1.1"), t0.Add(time.Minute))
+	if active != 0 {
+		t.Fatal("op active for non-matching address")
+	}
+	// Exactly at end: exclusive.
+	active, _ = ft.ActiveOps(ip("10.3.1.1"), t0.Add(time.Hour))
+	if active != 0 {
+		t.Fatal("window end must be exclusive")
+	}
+}
+
+func TestFuncTableGrace(t *testing.T) {
+	ft := NewFuncTable(TableInDst)
+	v := netip.MustParsePrefix("10.3.0.0/16")
+	ft.Install(v, OpCDPVerify, t0, time.Hour, 30*time.Second)
+	// Head grace.
+	_, grace := ft.ActiveOps(ip("10.3.0.1"), t0.Add(10*time.Second))
+	if !grace.Has(OpCDPVerify) {
+		t.Fatal("head grace not reported")
+	}
+	// Middle: no grace.
+	_, grace = ft.ActiveOps(ip("10.3.0.1"), t0.Add(30*time.Minute))
+	if grace != 0 {
+		t.Fatal("grace in the middle of the window")
+	}
+	// Tail grace.
+	_, grace = ft.ActiveOps(ip("10.3.0.1"), t0.Add(time.Hour-10*time.Second))
+	if !grace.Has(OpCDPVerify) {
+		t.Fatal("tail grace not reported")
+	}
+}
+
+func TestFuncTableReinvokeExtends(t *testing.T) {
+	ft := NewFuncTable(TableOutDst)
+	v := netip.MustParsePrefix("10.3.0.0/16")
+	ft.Install(v, OpDPFilter, t0, time.Hour, 0)
+	// Re-invoke at 30 min with a longer duration (§IV-E1).
+	ft.Install(v, OpDPFilter, t0.Add(30*time.Minute), 24*time.Hour, 0)
+	active, _ := ft.ActiveOps(ip("10.3.0.1"), t0.Add(20*time.Hour))
+	if !active.Has(OpDPFilter) {
+		t.Fatal("re-invocation did not extend the window")
+	}
+}
+
+func TestFuncTableRemoveAndPurge(t *testing.T) {
+	ft := NewFuncTable(TableOutSrc)
+	v := netip.MustParsePrefix("10.3.0.0/16")
+	ft.Install(v, OpSPFilter, t0, time.Hour, 0)
+	ft.Install(v, OpCSPStamp, t0, 2*time.Hour, 0)
+	if ft.Len() != 1 {
+		t.Fatalf("Len = %d", ft.Len())
+	}
+	ft.Remove(v, OpSPFilter)
+	active, _ := ft.ActiveOps(ip("10.3.0.1"), t0.Add(time.Minute))
+	if active.Has(OpSPFilter) || !active.Has(OpCSPStamp) {
+		t.Fatalf("after Remove: %v", active)
+	}
+	// Purge removes fully expired prefixes only.
+	if n := ft.Purge(t0.Add(90 * time.Minute)); n != 0 {
+		t.Fatalf("Purge removed %d, want 0 (CSP window still open)", n)
+	}
+	if n := ft.Purge(t0.Add(3 * time.Hour)); n != 1 {
+		t.Fatalf("Purge removed %d, want 1", n)
+	}
+	if ft.Len() != 0 {
+		t.Fatalf("Len = %d after purge", ft.Len())
+	}
+}
+
+func TestFuncTableBadDuration(t *testing.T) {
+	ft := NewFuncTable(TableOutDst)
+	if err := ft.Install(netip.MustParsePrefix("10.0.0.0/8"), OpDPFilter, t0, 0, 0); err == nil {
+		t.Fatal("zero duration should fail")
+	}
+}
+
+// TestGenOutTupleDP checks the drop? rule for DP: outbound packets
+// targeting the victim are dropped iff their source is not local.
+func TestGenOutTupleDP(t *testing.T) {
+	tb := NewTables(1, testPfx2AS(t))
+	v := netip.MustParsePrefix("10.3.0.0/16")
+	tb.In[TableOutDst].Install(v, OpDPFilter, t0, time.Hour, 0)
+	now := t0.Add(time.Minute)
+
+	// Spoofed source (another AS's space) targeting the victim: drop.
+	tup := tb.GenOutTuple(ip("10.2.9.9"), ip("10.3.0.1"), now)
+	if !tup.Drop {
+		t.Fatal("spoofed packet to victim not dropped")
+	}
+	// Unroutable source: also not local, drop.
+	tup = tb.GenOutTuple(ip("99.9.9.9"), ip("10.3.0.1"), now)
+	if !tup.Drop {
+		t.Fatal("unroutable-source packet to victim not dropped")
+	}
+	// Genuine local source: pass.
+	tup = tb.GenOutTuple(ip("10.1.5.5"), ip("10.3.0.1"), now)
+	if tup.Drop {
+		t.Fatal("genuine local packet dropped (inherent false positive!)")
+	}
+	// Traffic to a non-victim destination: untouched even if spoofed.
+	tup = tb.GenOutTuple(ip("10.2.9.9"), ip("10.4.0.1"), now)
+	if tup.Drop {
+		t.Fatal("DP filtered traffic not targeting the victim")
+	}
+}
+
+// TestGenOutTupleSP checks SP: outbound packets whose source lies in
+// the victim prefix are dropped (reflection prevention).
+func TestGenOutTupleSP(t *testing.T) {
+	tb := NewTables(1, testPfx2AS(t))
+	v := netip.MustParsePrefix("10.3.0.0/16")
+	tb.In[TableOutSrc].Install(v, OpSPFilter, t0, time.Hour, 0)
+	now := t0.Add(time.Minute)
+
+	tup := tb.GenOutTuple(ip("10.3.7.7"), ip("10.4.0.1"), now)
+	if !tup.Drop {
+		t.Fatal("packet spoofing the victim's source not dropped")
+	}
+	// Local traffic unaffected.
+	tup = tb.GenOutTuple(ip("10.1.7.7"), ip("10.4.0.1"), now)
+	if tup.Drop {
+		t.Fatal("local packet dropped by SP")
+	}
+}
+
+// TestGenOutTupleCDPStamp checks stamp?: CDP ∈ Out-Dst(d) triggers
+// stamping with Key-S(Pfx2AS(d)).
+func TestGenOutTupleCDPStamp(t *testing.T) {
+	tb := NewTables(1, testPfx2AS(t))
+	v := netip.MustParsePrefix("10.3.0.0/16")
+	tb.In[TableOutDst].Install(v, OpCDPStamp, t0, time.Hour, 0)
+	tb.Keys.SetStampKey(3, make([]byte, 16))
+	now := t0.Add(time.Minute)
+
+	tup := tb.GenOutTuple(ip("10.1.5.5"), ip("10.3.0.1"), now)
+	if !tup.Stamp || tup.DstAS != 3 {
+		t.Fatalf("tuple = %+v, want stamp toward AS3", tup)
+	}
+	tup = tb.GenOutTuple(ip("10.1.5.5"), ip("10.4.0.1"), now)
+	if tup.Stamp {
+		t.Fatal("stamped packet not targeting the victim")
+	}
+}
+
+// TestGenOutTupleCSPStamp checks the CSP condition: stamp only when
+// the destination is a peer (Key-S(Pfx2AS(d)) ≠ Null).
+func TestGenOutTupleCSPStamp(t *testing.T) {
+	// This table belongs to the victim AS3 itself.
+	tb := NewTables(3, testPfx2AS(t))
+	v := netip.MustParsePrefix("10.3.0.0/16")
+	tb.In[TableOutSrc].Install(v, OpCSPStamp, t0, time.Hour, 0)
+	tb.Keys.SetStampKey(2, make([]byte, 16)) // AS2 is a peer
+	now := t0.Add(time.Minute)
+
+	// Own traffic to the peer: stamp.
+	tup := tb.GenOutTuple(ip("10.3.1.1"), ip("10.2.0.1"), now)
+	if !tup.Stamp || tup.DstAS != 2 {
+		t.Fatalf("tuple = %+v", tup)
+	}
+	// Own traffic to a legacy AS: no key, no stamp.
+	tup = tb.GenOutTuple(ip("10.3.1.1"), ip("10.4.0.1"), now)
+	if tup.Stamp {
+		t.Fatal("CSP stamped toward a non-peer")
+	}
+}
+
+// TestGenInTuple checks verify?: set iff CSP-verify ∈ In-Src(s) or
+// CDP-verify ∈ In-Dst(d), with the key chosen by the source AS.
+func TestGenInTuple(t *testing.T) {
+	tb := NewTables(3, testPfx2AS(t)) // victim AS3 verifying CDP
+	v := netip.MustParsePrefix("10.3.0.0/16")
+	tb.In[TableInDst].Install(v, OpCDPVerify, t0, time.Hour, 30*time.Second)
+	now := t0.Add(10 * time.Minute)
+
+	tup := tb.GenInTuple(ip("10.2.1.1"), ip("10.3.0.1"), now)
+	if !tup.Verify || tup.SrcAS != 2 || !tup.SrcKnown || tup.EraseOnly {
+		t.Fatalf("in-tuple = %+v", tup)
+	}
+	// Traffic to other destinations: not verified.
+	tup = tb.GenInTuple(ip("10.2.1.1"), ip("10.1.0.1"), now)
+	if tup.Verify {
+		t.Fatal("verify set for non-victim destination")
+	}
+	// Grace interval: erase-only.
+	tup = tb.GenInTuple(ip("10.2.1.1"), ip("10.3.0.1"), t0.Add(5*time.Second))
+	if !tup.Verify || !tup.EraseOnly {
+		t.Fatalf("grace in-tuple = %+v", tup)
+	}
+	// Unroutable source: SrcKnown false.
+	tup = tb.GenInTuple(ip("99.1.1.1"), ip("10.3.0.1"), now)
+	if !tup.Verify || tup.SrcKnown {
+		t.Fatalf("unroutable-src in-tuple = %+v", tup)
+	}
+}
+
+func TestGenInTupleCSPVerify(t *testing.T) {
+	tb := NewTables(2, testPfx2AS(t)) // peer AS2 verifying CSP for victim AS3
+	v := netip.MustParsePrefix("10.3.0.0/16")
+	tb.In[TableInSrc].Install(v, OpCSPVerify, t0, time.Hour, 0)
+	now := t0.Add(time.Minute)
+
+	tup := tb.GenInTuple(ip("10.3.1.1"), ip("10.2.0.1"), now)
+	if !tup.Verify || tup.SrcAS != 3 {
+		t.Fatalf("in-tuple = %+v", tup)
+	}
+	// Inbound traffic from elsewhere: untouched.
+	tup = tb.GenInTuple(ip("10.4.1.1"), ip("10.2.0.1"), now)
+	if tup.Verify {
+		t.Fatal("CSP-verify matched non-victim source")
+	}
+}
+
+func TestKeyTableRekeyWindow(t *testing.T) {
+	kt := NewKeyTable()
+	k1 := make([]byte, 16)
+	k2 := make([]byte, 16)
+	k2[0] = 0xff
+	if err := kt.SetVerifyKey(2, k1); err != nil {
+		t.Fatal(err)
+	}
+	// Build a packet stamped with k1.
+	tbl := lpm.New[topology.ASN]()
+	_ = tbl
+	p := samplePacketV4()
+	kt2 := NewKeyTable()
+	kt2.SetStampKey(9, k1)
+	V4{p}.Stamp(kt2.StampKey(9))
+
+	if valid, known := kt.VerifyMark(2, V4{p}); !valid || !known {
+		t.Fatal("mark with current key rejected")
+	}
+	// Rekey: k2 becomes current, k1 previous.
+	kt.SetVerifyKey(2, k2)
+	if valid, _ := kt.VerifyMark(2, V4{p}); !valid {
+		t.Fatal("mark with previous key rejected during rekey window")
+	}
+	// End of window.
+	kt.DropPreviousVerifyKey(2)
+	if valid, _ := kt.VerifyMark(2, V4{p}); valid {
+		t.Fatal("mark with dropped key still accepted")
+	}
+	// New-key marks verify.
+	kt2.SetStampKey(9, k2)
+	V4{p}.Stamp(kt2.StampKey(9))
+	if valid, _ := kt.VerifyMark(2, V4{p}); !valid {
+		t.Fatal("mark with new key rejected")
+	}
+}
+
+func TestKeyTableUnknownPeer(t *testing.T) {
+	kt := NewKeyTable()
+	p := samplePacketV4()
+	if _, known := kt.VerifyMark(7, V4{p}); known {
+		t.Fatal("unknown peer reported as known")
+	}
+	if kt.StampKey(7) != nil {
+		t.Fatal("unknown peer has a stamp key")
+	}
+	if kt.HasVerifyKey(7) {
+		t.Fatal("unknown peer has a verify key")
+	}
+}
+
+func TestKeyTableRemovePeerAndCount(t *testing.T) {
+	kt := NewKeyTable()
+	kt.SetStampKey(2, make([]byte, 16))
+	kt.SetVerifyKey(2, make([]byte, 16))
+	kt.SetVerifyKey(3, make([]byte, 16))
+	if kt.NumPeers() != 2 {
+		t.Fatalf("NumPeers = %d", kt.NumPeers())
+	}
+	kt.RemovePeer(2)
+	if kt.NumPeers() != 1 || kt.StampKey(2) != nil || kt.HasVerifyKey(2) {
+		t.Fatal("RemovePeer incomplete")
+	}
+}
+
+func TestKeyTableBadKeyLength(t *testing.T) {
+	kt := NewKeyTable()
+	if err := kt.SetStampKey(2, make([]byte, 8)); err == nil {
+		t.Fatal("short stamp key accepted")
+	}
+	if err := kt.SetVerifyKey(2, make([]byte, 8)); err == nil {
+		t.Fatal("short verify key accepted")
+	}
+}

@@ -1,0 +1,178 @@
+// Package cost implements the resource model of §VI-C of the paper:
+// controller storage/computation/network overhead and border-router
+// SRAM/CAM/crypto-throughput, parameterized by Internet scale so every
+// published number can be regenerated (and re-derived for other
+// scales).
+package cost
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Params are the §VI-C sizing inputs with the paper's values as
+// defaults.
+type Params struct {
+	// NumASes is the number of ASes; §VI-C uses "around 43k".
+	NumASes int
+	// NumPrefixes is the number of routable IPv4 prefixes (~442k).
+	NumPrefixes int
+	// RekeyDays is the key renegotiation period (10 days).
+	RekeyDays float64
+	// AttacksPerDay is the global attack rate; §VI-C derives 1611 from
+	// Arbor's 1128 reported attacks over 70% visibility.
+	AttacksPerDay float64
+	// ReactionSeconds is the budget to notify all peers of an
+	// invocation (5 minutes).
+	ReactionSeconds float64
+	// SSLConnMemory is the per-connection memory of the secure channel
+	// (<10 kB per §VI-C).
+	SSLConnMemory int
+	// SSLConnPerSecCapacity is a low-end CPU's connection-setup rate
+	// (2000/s on an Atom per §VI-C).
+	SSLConnPerSecCapacity float64
+	// SSLConnBytes is the traffic per connection with session cache
+	// (1.5 kB).
+	SSLConnBytes int
+	// CryptoBitsPerSec is the AES-CMAC message throughput of one
+	// hardware core (2 Gbps per §VI-C).
+	CryptoBitsPerSec float64
+	// AvgPayload is the assumed mean payload size (400 B).
+	AvgPayload int
+}
+
+// Defaults returns the paper's §VI-C parameters.
+func Defaults() Params {
+	return Params{
+		NumASes:               43_000,
+		NumPrefixes:           442_000,
+		RekeyDays:             10,
+		AttacksPerDay:         1128 / 0.7, // ≈1611
+		ReactionSeconds:       300,
+		SSLConnMemory:         10_000,
+		SSLConnPerSecCapacity: 2000,
+		SSLConnBytes:          1500,
+		CryptoBitsPerSec:      2e9,
+		AvgPayload:            400,
+	}
+}
+
+// Per-entry byte sizes from §VI-C1/C2.
+const (
+	asEntryBytes     = 4 + 1 + 1 + 32 // ASN + blacklist flag + peer flag + 2 keys
+	prefixEntryBytes = 5 + 4 + 64     // prefix + ASN + 4 functions × (start,end)
+	routerPfxBytes   = 4 + 1          // ASN + 6-bit function set (1 byte)
+	routerKeyBits    = 32             // CAM: AS number
+	routerKeyBytes   = 32             // SRAM: stamping + verification key
+)
+
+// ControllerCost is the §VI-C1 result set.
+type ControllerCost struct {
+	ASMemoryBytes     float64
+	PrefixMemoryBytes float64
+	SSLMemoryBytes    float64
+	TotalMemoryBytes  float64
+
+	KeyNegotiationsPerMin float64
+	InvocationsPerMin     float64
+	ConnPerSecOnAttack    float64
+	CPUUtilization        float64 // fraction of the low-end CPU
+	BandwidthMbps         float64
+}
+
+// Controller evaluates the controller model.
+func Controller(p Params) ControllerCost {
+	var c ControllerCost
+	c.ASMemoryBytes = float64(p.NumASes) * asEntryBytes
+	c.PrefixMemoryBytes = float64(p.NumPrefixes) * prefixEntryBytes
+	c.SSLMemoryBytes = float64(p.NumASes) * float64(p.SSLConnMemory)
+	c.TotalMemoryBytes = c.ASMemoryBytes + c.PrefixMemoryBytes + c.SSLMemoryBytes
+
+	minutes := p.RekeyDays * 24 * 60
+	// Each peer pair renegotiates two directed keys per period: one we
+	// generate, one we receive and deploy.
+	c.KeyNegotiationsPerMin = 2 * float64(p.NumASes) / minutes
+	c.InvocationsPerMin = p.AttacksPerDay / (24 * 60)
+	c.ConnPerSecOnAttack = float64(p.NumASes) / p.ReactionSeconds
+	c.CPUUtilization = c.ConnPerSecOnAttack / p.SSLConnPerSecCapacity
+	c.BandwidthMbps = c.ConnPerSecOnAttack * float64(p.SSLConnBytes) * 8 / 1e6
+	return c
+}
+
+// RouterCost is the §VI-C2 result set.
+type RouterCost struct {
+	SRAMBytes float64
+	CAMBits   float64
+
+	// MAC throughput of one hardware crypto core, in packets/sec:
+	// AES-CMAC over the 21-byte IPv4 msg pads to 2 AES blocks, the
+	// 40-byte IPv6 msg to 3.
+	V4MACPerSec float64
+	V6MACPerSec float64
+	// Corresponding line rates assuming AvgPayload-byte payloads.
+	V4Gbps float64
+	V6Gbps float64
+	// V6GoodputLoss is the goodput reduction from the 8-byte stamp.
+	V6GoodputLoss float64
+}
+
+// cmacBlocks returns the number of AES blocks CMAC processes for an
+// n-byte message (10* padding for partial blocks).
+func cmacBlocks(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return int(math.Ceil(float64(n) / 16))
+}
+
+// Router evaluates the router model.
+func Router(p Params) RouterCost {
+	var r RouterCost
+	r.SRAMBytes = float64(p.NumPrefixes)*routerPfxBytes + float64(p.NumASes)*routerKeyBytes
+	r.CAMBits = float64(p.NumASes) * routerKeyBits
+
+	bytesPerSec := p.CryptoBitsPerSec / 8
+	v4Blocks := cmacBlocks(21) // §V-E msg
+	v6Blocks := cmacBlocks(40) // §V-F msg
+	r.V4MACPerSec = bytesPerSec / float64(v4Blocks*16)
+	r.V6MACPerSec = bytesPerSec / float64(v6Blocks*16)
+	r.V4Gbps = r.V4MACPerSec * float64(p.AvgPayload+20) * 8 / 1e9
+	r.V6Gbps = r.V6MACPerSec * float64(p.AvgPayload+40) * 8 / 1e9
+	r.V6GoodputLoss = 8 / float64(p.AvgPayload+40+8+8) // +UDP header +stamp
+	return r
+}
+
+// WriteTable prints both cost tables in the format of cmd/discs-cost.
+func WriteTable(w io.Writer, p Params) error {
+	c := Controller(p)
+	r := Router(p)
+	mb := func(b float64) float64 { return b / 1e6 }
+	rows := []struct {
+		k string
+		v string
+	}{
+		{"controller.memory.as_table_MB", fmt.Sprintf("%.1f", mb(c.ASMemoryBytes))},
+		{"controller.memory.prefix_table_MB", fmt.Sprintf("%.1f", mb(c.PrefixMemoryBytes))},
+		{"controller.memory.ssl_MB", fmt.Sprintf("%.1f", mb(c.SSLMemoryBytes))},
+		{"controller.memory.total_MB", fmt.Sprintf("%.1f", mb(c.TotalMemoryBytes))},
+		{"controller.key_negotiations_per_min", fmt.Sprintf("%.1f", c.KeyNegotiationsPerMin)},
+		{"controller.invocations_per_min", fmt.Sprintf("%.1f", c.InvocationsPerMin)},
+		{"controller.ssl_conn_per_sec_on_attack", fmt.Sprintf("%.0f", c.ConnPerSecOnAttack)},
+		{"controller.cpu_utilization_pct", fmt.Sprintf("%.1f", c.CPUUtilization*100)},
+		{"controller.bandwidth_Mbps", fmt.Sprintf("%.2f", c.BandwidthMbps)},
+		{"router.sram_MB", fmt.Sprintf("%.1f", mb(r.SRAMBytes))},
+		{"router.cam_bits", fmt.Sprintf("%.0f", r.CAMBits)},
+		{"router.v4_mac_Mpps_per_core", fmt.Sprintf("%.2f", r.V4MACPerSec/1e6)},
+		{"router.v6_mac_Mpps_per_core", fmt.Sprintf("%.2f", r.V6MACPerSec/1e6)},
+		{"router.v4_line_rate_Gbps", fmt.Sprintf("%.2f", r.V4Gbps)},
+		{"router.v6_line_rate_Gbps", fmt.Sprintf("%.2f", r.V6Gbps)},
+		{"router.v6_goodput_loss_pct", fmt.Sprintf("%.2f", r.V6GoodputLoss*100)},
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintf(w, "%s\t%s\n", row.k, row.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

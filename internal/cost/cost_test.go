@@ -1,0 +1,126 @@
+package cost
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// within reports |got−want| ≤ tol·want.
+func within(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*want
+}
+
+// TestControllerMatchesPaper checks every §VI-C1 number. The paper
+// mixes "43k" (memory arithmetic) and 44 036 (rates) and rounds
+// aggressively, so tolerances are a few percent.
+func TestControllerMatchesPaper(t *testing.T) {
+	c := Controller(Defaults())
+
+	if !within(c.ASMemoryBytes, 1.6e6, 0.05) {
+		t.Errorf("AS memory = %.2f MB, paper 1.6 MB", c.ASMemoryBytes/1e6)
+	}
+	if !within(c.PrefixMemoryBytes, 31.5e6, 0.05) {
+		t.Errorf("prefix memory = %.2f MB, paper 31.5 MB", c.PrefixMemoryBytes/1e6)
+	}
+	if !within(c.SSLMemoryBytes, 430e6, 0.02) {
+		t.Errorf("SSL memory = %.2f MB, paper 430 MB", c.SSLMemoryBytes/1e6)
+	}
+	if !within(c.TotalMemoryBytes, 463.1e6, 0.02) {
+		t.Errorf("total memory = %.2f MB, paper 463.1 MB", c.TotalMemoryBytes/1e6)
+	}
+	if !within(c.KeyNegotiationsPerMin, 6.1, 0.05) {
+		t.Errorf("key negotiations = %.2f/min, paper 6.1", c.KeyNegotiationsPerMin)
+	}
+	if !within(c.InvocationsPerMin, 1.1, 0.05) {
+		t.Errorf("invocations = %.2f/min, paper 1.1", c.InvocationsPerMin)
+	}
+	if !within(c.ConnPerSecOnAttack, 147, 0.05) {
+		t.Errorf("SSL conns = %.1f/s, paper 147", c.ConnPerSecOnAttack)
+	}
+	if !within(c.CPUUtilization, 0.073, 0.05) {
+		t.Errorf("CPU = %.1f%%, paper 7.3%%", c.CPUUtilization*100)
+	}
+	if !within(c.BandwidthMbps, 1.76, 0.05) {
+		t.Errorf("bandwidth = %.2f Mbps, paper 1.76", c.BandwidthMbps)
+	}
+}
+
+// TestRouterMatchesPaper checks the §VI-C2 numbers.
+func TestRouterMatchesPaper(t *testing.T) {
+	r := Router(Defaults())
+	if !within(r.SRAMBytes, 3.5e6, 0.05) {
+		t.Errorf("SRAM = %.2f MB, paper 3.5 MB", r.SRAMBytes/1e6)
+	}
+	if r.CAMBits != 43000*32 {
+		t.Errorf("CAM = %.0f bits, paper 43k×32", r.CAMBits)
+	}
+	// Paper: ~8 Mpps IPv4, ~5.33 Mpps IPv6 per 2 Gbps core.
+	if !within(r.V4MACPerSec, 8e6, 0.05) {
+		t.Errorf("v4 MAC rate = %.2f Mpps, paper ≈8", r.V4MACPerSec/1e6)
+	}
+	if !within(r.V6MACPerSec, 5.33e6, 0.05) {
+		t.Errorf("v6 MAC rate = %.2f Mpps, paper ≈5.33", r.V6MACPerSec/1e6)
+	}
+	// Paper: 26.25 / 18.33 Gbps at 400-byte payloads.
+	if !within(r.V4Gbps, 26.25, 0.05) {
+		t.Errorf("v4 line rate = %.2f Gbps, paper 26.25", r.V4Gbps)
+	}
+	if !within(r.V6Gbps, 18.33, 0.05) {
+		t.Errorf("v6 line rate = %.2f Gbps, paper 18.33", r.V6Gbps)
+	}
+	// Paper: goodput decreases by only ~1.6% for victim-related IPv6.
+	if !within(r.V6GoodputLoss, 0.016, 0.15) {
+		t.Errorf("v6 goodput loss = %.2f%%, paper ≈1.6%%", r.V6GoodputLoss*100)
+	}
+}
+
+func TestCMACBlocks(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 16: 1, 17: 2, 21: 2, 32: 2, 40: 3, 48: 3}
+	for n, want := range cases {
+		if got := cmacBlocks(n); got != want {
+			t.Errorf("cmacBlocks(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestScaling: costs scale linearly with Internet size — the §VI-C
+// claim that the system "can scale to the Internet scope".
+func TestScaling(t *testing.T) {
+	p := Defaults()
+	base := Controller(p)
+	p.NumASes *= 2
+	p.NumPrefixes *= 2
+	dbl := Controller(p)
+	if !within(dbl.TotalMemoryBytes, 2*base.TotalMemoryBytes, 0.01) {
+		t.Errorf("memory does not scale linearly: %v vs %v", dbl.TotalMemoryBytes, base.TotalMemoryBytes)
+	}
+	if !within(dbl.ConnPerSecOnAttack, 2*base.ConnPerSecOnAttack, 0.01) {
+		t.Error("connection rate does not scale linearly")
+	}
+	rb := Router(Defaults())
+	rd := Router(p)
+	if !within(rd.SRAMBytes, 2*rb.SRAMBytes, 0.01) {
+		t.Error("router SRAM does not scale linearly")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, Defaults()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, key := range []string{
+		"controller.memory.total_MB", "controller.cpu_utilization_pct",
+		"router.sram_MB", "router.v4_line_rate_Gbps",
+	} {
+		if !strings.Contains(out, key) {
+			t.Errorf("table missing %s", key)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 16 {
+		t.Errorf("table rows = %d, want 16", len(strings.Split(strings.TrimSpace(out), "\n")))
+	}
+}

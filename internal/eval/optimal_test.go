@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"discs/internal/topology"
+)
+
+// subsetInc computes the weighted-average DP+CDP incentive for an
+// arbitrary deployment subset.
+func subsetInc(r *Ratios, subset []topology.ASN) float64 {
+	acc := NewAccumulator(r)
+	for _, asn := range subset {
+		if err := acc.Deploy(asn); err != nil {
+			panic(err)
+		}
+	}
+	return acc.IncBoth()
+}
+
+// forEachSubset enumerates all size-m subsets of items.
+func forEachSubset(items []topology.ASN, m int, fn func([]topology.ASN)) {
+	subset := make([]topology.ASN, m)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == m {
+			fn(subset)
+			return
+		}
+		for i := start; i <= len(items)-(m-k); i++ {
+			subset[k] = items[i]
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// TestOptimalStrategyExhaustive verifies the §VI-A3 theorem (proved in
+// the paper's supplementary material) by brute force on small random
+// Internets: among ALL subsets of m early deployers, choosing the m
+// largest ASes maximizes the average follower incentive.
+func TestOptimalStrategyExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		n := 6 + rng.Intn(3) // 6..8 ASes
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64()*20 + 0.1
+		}
+		r := smallRatios(t, weights)
+		top := r.OptimalOrder()
+
+		for m := 1; m < n-1; m++ {
+			best := subsetInc(r, top[:m])
+			forEachSubset(r.ASNs, m, func(subset []topology.ASN) {
+				if got := subsetInc(r, subset); got > best+1e-9 {
+					t.Fatalf("trial %d m=%d: subset %v incentive %v beats top-%d %v (weights %v)",
+						trial, m, subset, got, m, best, weights)
+				}
+			})
+		}
+	}
+}
+
+// TestOptimalStrategyExhaustiveEffectiveness does the same for the
+// §VI-B effectiveness measure (Figure 7's optimal curve).
+func TestOptimalStrategyExhaustiveEffectiveness(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	subsetEff := func(r *Ratios, subset []topology.ASN) float64 {
+		acc := NewAccumulator(r)
+		for _, asn := range subset {
+			acc.Deploy(asn)
+		}
+		return acc.Effectiveness()
+	}
+	for trial := 0; trial < 6; trial++ {
+		n := 6 + rng.Intn(2)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64()*20 + 0.1
+		}
+		r := smallRatios(t, weights)
+		top := r.OptimalOrder()
+		for m := 1; m <= n; m++ {
+			best := subsetEff(r, top[:m])
+			forEachSubset(r.ASNs, m, func(subset []topology.ASN) {
+				if got := subsetEff(r, subset); got > best+1e-9 {
+					t.Fatalf("trial %d m=%d: subset %v effectiveness %v beats top-%d %v",
+						trial, m, subset, got, m, best)
+				}
+			})
+		}
+	}
+}

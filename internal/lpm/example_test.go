@@ -1,0 +1,24 @@
+package lpm_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"discs/internal/lpm"
+)
+
+// A miniature Pfx2AS table (§V-A): longest-prefix match maps addresses
+// to their origin AS.
+func Example() {
+	t := lpm.New[uint32]()
+	t.Insert(netip.MustParsePrefix("10.0.0.0/8"), 64500)
+	t.Insert(netip.MustParsePrefix("10.1.0.0/16"), 64501) // customer carve-out
+
+	asn, pfx, _ := t.Lookup(netip.MustParseAddr("10.1.2.3"))
+	fmt.Println(asn, pfx)
+	asn, pfx, _ = t.Lookup(netip.MustParseAddr("10.2.0.1"))
+	fmt.Println(asn, pfx)
+	// Output:
+	// 64501 10.1.0.0/16
+	// 64500 10.0.0.0/8
+}

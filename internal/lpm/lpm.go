@@ -1,0 +1,224 @@
+// Package lpm provides longest-prefix-match tables over IPv4 and IPv6
+// prefixes, built on binary tries.
+//
+// DISCS border routers and controllers use several LPM tables (§V-A of
+// the paper): the Pfx2AS mapping table and the four function tables
+// (In-Src, In-Dst, Out-Src, Out-Dst). All of them need exact-prefix
+// insert/delete and longest-prefix lookup by address; this package
+// provides a single generic implementation.
+package lpm
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Table is a longest-prefix-match table mapping prefixes to values of
+// type V. IPv4 and IPv6 prefixes live in separate tries inside the same
+// table. IPv4-mapped IPv6 addresses are treated as IPv4.
+//
+// Table is not safe for concurrent mutation; concurrent readers are
+// safe as long as there is no writer. The zero value is unusable; use
+// New.
+type Table[V any] struct {
+	v4, v6 *node[V]
+	n      int
+}
+
+type node[V any] struct {
+	child [2]*node[V]
+	val   V
+	set   bool
+}
+
+// New creates an empty table.
+func New[V any]() *Table[V] {
+	return &Table[V]{v4: &node[V]{}, v6: &node[V]{}}
+}
+
+// Len returns the number of prefixes in the table.
+func (t *Table[V]) Len() int { return t.n }
+
+// canon normalizes a prefix: unwraps 4-in-6 addresses and masks host
+// bits. It returns an error for invalid prefixes.
+func canon(p netip.Prefix) (netip.Prefix, error) {
+	if !p.IsValid() {
+		return netip.Prefix{}, fmt.Errorf("lpm: invalid prefix %v", p)
+	}
+	a := p.Addr()
+	if a.Is4In6() {
+		bits := p.Bits() - 96
+		if bits < 0 {
+			return netip.Prefix{}, fmt.Errorf("lpm: 4-in-6 prefix %v shorter than /96", p)
+		}
+		p = netip.PrefixFrom(a.Unmap(), bits)
+	}
+	return p.Masked(), nil
+}
+
+// bit returns bit i (0 = most significant) of the address.
+func bit(a netip.Addr, i int) int {
+	b := a.AsSlice()
+	return int(b[i/8]>>(7-i%8)) & 1
+}
+
+func (t *Table[V]) root(a netip.Addr) *node[V] {
+	if a.Is4() {
+		return t.v4
+	}
+	return t.v6
+}
+
+// Insert adds or replaces the value for an exact prefix.
+func (t *Table[V]) Insert(p netip.Prefix, v V) error {
+	p, err := canon(p)
+	if err != nil {
+		return err
+	}
+	n := t.root(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		b := bit(p.Addr(), i)
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.n++
+	}
+	n.val, n.set = v, true
+	return nil
+}
+
+// Delete removes an exact prefix. It reports whether the prefix was
+// present. Trie nodes are left in place (they are tiny and the DISCS
+// tables are rebuilt wholesale by the controller on policy change).
+func (t *Table[V]) Delete(p netip.Prefix) bool {
+	p, err := canon(p)
+	if err != nil {
+		return false
+	}
+	n := t.root(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[bit(p.Addr(), i)]
+		if n == nil {
+			return false
+		}
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.n--
+	return true
+}
+
+// Get returns the value stored for the exact prefix.
+func (t *Table[V]) Get(p netip.Prefix) (V, bool) {
+	var zero V
+	p, err := canon(p)
+	if err != nil {
+		return zero, false
+	}
+	n := t.root(p.Addr())
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[bit(p.Addr(), i)]
+		if n == nil {
+			return zero, false
+		}
+	}
+	return n.val, n.set
+}
+
+// Lookup performs a longest-prefix match for the address and returns
+// the matched value, the matched prefix, and whether anything matched.
+func (t *Table[V]) Lookup(a netip.Addr) (V, netip.Prefix, bool) {
+	var zero V
+	if !a.IsValid() {
+		return zero, netip.Prefix{}, false
+	}
+	a = a.Unmap()
+	n := t.root(a)
+	maxBits := 32
+	if a.Is6() {
+		maxBits = 128
+	}
+	bestLen := -1
+	var best V
+	for i := 0; ; i++ {
+		if n.set {
+			bestLen, best = i, n.val
+		}
+		if i == maxBits {
+			break
+		}
+		n = n.child[bit(a, i)]
+		if n == nil {
+			break
+		}
+	}
+	if bestLen < 0 {
+		return zero, netip.Prefix{}, false
+	}
+	return best, netip.PrefixFrom(a, bestLen).Masked(), true
+}
+
+// Contains reports whether a longest-prefix match exists for a.
+func (t *Table[V]) Contains(a netip.Addr) bool {
+	_, _, ok := t.Lookup(a)
+	return ok
+}
+
+// Walk visits every (prefix, value) pair in the table in unspecified
+// order. Returning false from fn stops the walk.
+func (t *Table[V]) Walk(fn func(p netip.Prefix, v V) bool) {
+	var rec func(n *node[V], addr [16]byte, depth int, v6 bool) bool
+	rec = func(n *node[V], addr [16]byte, depth int, v6 bool) bool {
+		if n == nil {
+			return true
+		}
+		if n.set {
+			var p netip.Prefix
+			if v6 {
+				p = netip.PrefixFrom(netip.AddrFrom16(addr), depth)
+			} else {
+				var a4 [4]byte
+				copy(a4[:], addr[:4])
+				p = netip.PrefixFrom(netip.AddrFrom4(a4), depth)
+			}
+			if !fn(p, n.val) {
+				return false
+			}
+		}
+		if n.child[0] != nil && !rec(n.child[0], addr, depth+1, v6) {
+			return false
+		}
+		if n.child[1] != nil {
+			addr[depth/8] |= 1 << (7 - depth%8)
+			if !rec(n.child[1], addr, depth+1, v6) {
+				return false
+			}
+		}
+		return true
+	}
+	var a [16]byte
+	if !rec(t.v4, a, 0, false) {
+		return
+	}
+	a = [16]byte{}
+	rec(t.v6, a, 0, true)
+}
+
+// Prefixes returns all prefixes in the table sorted by string form,
+// useful for deterministic iteration in tests and reports.
+func (t *Table[V]) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, t.n)
+	t.Walk(func(p netip.Prefix, _ V) bool {
+		out = append(out, p)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

@@ -1,0 +1,348 @@
+// Package netsim implements a deterministic discrete-event network
+// simulator. It is the substrate on which every protocol in this
+// repository (BGP, the DISCS control plane, the secure controller
+// channel and the packet-level data plane) runs.
+//
+// The simulator models a set of Nodes connected by point-to-point Links.
+// A Link has a propagation delay and an optional bandwidth limit;
+// messages sent over a link are delivered to the remote node's handler
+// at the simulated time they would arrive. All state transitions happen
+// inside event callbacks, executed in strict timestamp order, so a run
+// is fully reproducible given the same inputs.
+//
+// The zero value of Simulator is not usable; create one with New.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a simulated timestamp measured as a duration since the start
+// of the simulation.
+type Time = time.Duration
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker for deterministic ordering
+	fn   func()
+	dead bool
+}
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns the simulated clock and the event queue.
+type Simulator struct {
+	now   Time
+	seq   uint64
+	queue eventQueue
+	nodes map[string]*Node
+	links []*Link
+	// Stats.
+	delivered uint64
+	dropped   uint64
+}
+
+// New creates an empty simulator at time zero.
+func New() *Simulator {
+	return &Simulator{nodes: make(map[string]*Node)}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Delivered reports the total number of messages delivered so far.
+func (s *Simulator) Delivered() uint64 { return s.delivered }
+
+// Dropped reports the total number of messages dropped (down links or
+// bandwidth overflow with a drop policy).
+func (s *Simulator) Dropped() uint64 { return s.dropped }
+
+// Schedule runs fn at the given absolute simulated time. Scheduling in
+// the past is an error.
+func (s *Simulator) Schedule(at Time, fn func()) (*Timer, error) {
+	if at < s.now {
+		return nil, fmt.Errorf("netsim: schedule at %v before now %v", at, s.now)
+	}
+	e := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return &Timer{ev: e}, nil
+}
+
+// After runs fn after delay d. It panics if d is negative, which always
+// indicates a programming error in a protocol implementation.
+func (s *Simulator) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("netsim: negative delay %v", d))
+	}
+	t, _ := s.Schedule(s.now+d, fn)
+	return t
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It is safe to call Stop on an already-fired
+// or already-stopped timer. It reports whether the call prevented the
+// event from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	t.ev.fn = nil
+	return true
+}
+
+// Step executes the single earliest pending event. It reports false
+// when the queue is empty.
+func (s *Simulator) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or the simulated clock
+// would pass deadline. It returns the number of events executed.
+func (s *Simulator) Run(deadline Time) int {
+	n := 0
+	for s.queue.Len() > 0 {
+		e := s.queue[0]
+		if e.at > deadline {
+			break
+		}
+		if s.Step() {
+			n++
+		}
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return n
+}
+
+// RunAll executes every pending event (including events scheduled by
+// other events) until the queue is empty, with a safety cap to convert
+// accidental event storms into a detectable error.
+func (s *Simulator) RunAll() (int, error) {
+	const cap = 50_000_000
+	n := 0
+	for s.Step() {
+		n++
+		if n >= cap {
+			return n, errors.New("netsim: event cap exceeded (livelock?)")
+		}
+	}
+	return n, nil
+}
+
+// Handler processes a message arriving at a node over a link.
+type Handler interface {
+	Receive(from *Node, link *Link, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from *Node, link *Link, msg Message)
+
+// Receive calls f.
+func (f HandlerFunc) Receive(from *Node, link *Link, msg Message) { f(from, link, msg) }
+
+// Message is an opaque payload carried over a link. Size is used for
+// serialization-time accounting when the link has finite bandwidth.
+type Message interface {
+	// Size returns the wire size of the message in bytes.
+	Size() int
+}
+
+// Bytes is a trivial Message wrapping a byte slice.
+type Bytes []byte
+
+// Size returns the byte length.
+func (b Bytes) Size() int { return len(b) }
+
+// Node is an endpoint in the simulated network.
+type Node struct {
+	Name    string
+	sim     *Simulator
+	links   []*Link
+	handler Handler
+	// Meta lets protocol layers attach state without wrapper structs.
+	Meta map[string]any
+}
+
+// AddNode registers a node with a unique name.
+func (s *Simulator) AddNode(name string) (*Node, error) {
+	if name == "" {
+		return nil, errors.New("netsim: empty node name")
+	}
+	if _, dup := s.nodes[name]; dup {
+		return nil, fmt.Errorf("netsim: duplicate node %q", name)
+	}
+	n := &Node{Name: name, sim: s, Meta: make(map[string]any)}
+	s.nodes[name] = n
+	return n, nil
+}
+
+// Node returns the node with the given name, or nil.
+func (s *Simulator) Node(name string) *Node { return s.nodes[name] }
+
+// NumNodes returns the number of registered nodes.
+func (s *Simulator) NumNodes() int { return len(s.nodes) }
+
+// SetHandler installs the receive callback for the node.
+func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// Links returns the links attached to this node.
+func (n *Node) Links() []*Link { return n.links }
+
+// Sim returns the owning simulator.
+func (n *Node) Sim() *Simulator { return n.sim }
+
+// Neighbor returns the node on the other side of the link.
+func (l *Link) Neighbor(n *Node) *Node {
+	if l.a == n {
+		return l.b
+	}
+	if l.b == n {
+		return l.a
+	}
+	return nil
+}
+
+// Link is a bidirectional point-to-point channel between two nodes.
+type Link struct {
+	a, b  *Node
+	Delay Time    // propagation delay, per direction
+	Bps   float64 // bandwidth in bytes/second; 0 means infinite
+	// MaxBacklog bounds the per-direction transmit queue as a time
+	// depth: a send whose serialization would start more than
+	// MaxBacklog after now is tail-dropped. 0 means unbounded (the
+	// default); finite values model congested links with finite
+	// buffers.
+	MaxBacklog Time
+	up         bool
+	// busyUntil tracks per-direction serialization backlog (a->b, b->a).
+	busyUntil [2]Time
+	sim       *Simulator
+}
+
+// Connect creates a link between two nodes with the given propagation
+// delay and unlimited bandwidth.
+func (s *Simulator) Connect(a, b *Node, delay Time) (*Link, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("netsim: connect with nil node")
+	}
+	if a == b {
+		return nil, fmt.Errorf("netsim: self-link on %q", a.Name)
+	}
+	if delay < 0 {
+		return nil, fmt.Errorf("netsim: negative delay %v", delay)
+	}
+	l := &Link{a: a, b: b, Delay: delay, up: true, sim: s}
+	a.links = append(a.links, l)
+	b.links = append(b.links, l)
+	s.links = append(s.links, l)
+	return l, nil
+}
+
+// SetUp marks the link up or down. Messages in flight when a link goes
+// down are still delivered (they already left the interface); new sends
+// are dropped.
+func (l *Link) SetUp(up bool) { l.up = up }
+
+// Up reports whether the link is up.
+func (l *Link) Up() bool { return l.up }
+
+// Endpoints returns the two nodes of the link.
+func (l *Link) Endpoints() (*Node, *Node) { return l.a, l.b }
+
+// Send transmits msg from node `from` over the link. The message is
+// delivered to the peer's handler after serialization and propagation
+// delay. Send reports whether the message was accepted (false if the
+// link is down or from is not an endpoint).
+func (l *Link) Send(from *Node, msg Message) bool {
+	var dir int
+	var to *Node
+	switch from {
+	case l.a:
+		dir, to = 0, l.b
+	case l.b:
+		dir, to = 1, l.a
+	default:
+		return false
+	}
+	if !l.up {
+		l.sim.dropped++
+		return false
+	}
+	now := l.sim.now
+	start := now
+	if l.busyUntil[dir] > start {
+		start = l.busyUntil[dir]
+	}
+	if l.MaxBacklog > 0 && start-now > l.MaxBacklog {
+		// Finite buffer: the transmit queue is too deep; tail-drop.
+		l.sim.dropped++
+		return false
+	}
+	var ser Time
+	if l.Bps > 0 {
+		sec := float64(msg.Size()) / l.Bps
+		if sec > math.MaxInt64/float64(time.Second) {
+			sec = math.MaxInt64 / float64(time.Second)
+		}
+		ser = Time(sec * float64(time.Second))
+	}
+	l.busyUntil[dir] = start + ser
+	arrive := start + ser + l.Delay
+	l.sim.Schedule(arrive, func() {
+		l.sim.delivered++
+		if to.handler != nil {
+			to.handler.Receive(from, l, msg)
+		}
+	})
+	return true
+}
+
+// SendTo is a convenience that finds the first up link from n to the
+// named neighbor and sends msg over it. It reports whether a link was
+// found and the send accepted.
+func (n *Node) SendTo(neighbor *Node, msg Message) bool {
+	for _, l := range n.links {
+		if l.Neighbor(n) == neighbor && l.up {
+			return l.Send(n, msg)
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package packet
+
+import (
+	"encoding/hex"
+	"net/netip"
+	"testing"
+)
+
+// Golden wire-format tests: the exact bytes of stamped packets are part
+// of DISCS's backward-compatibility contract (§V-E/§V-F); any change to
+// them breaks interop between stamping and verification ends.
+
+func TestGoldenStampedIPv4(t *testing.T) {
+	p := &IPv4{
+		TOS: 0, TTL: 64, Protocol: ProtoUDP, Flags: FlagDF,
+		Src:     netip.MustParseAddr("10.1.0.10"),
+		Dst:     netip.MustParseAddr("10.3.0.1"),
+		Payload: []byte{0xde, 0xad, 0xbe, 0xef},
+	}
+	p.SetMark(0x15555555) // 29-bit pattern across IPID+FragOff
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "45000018" + // ver|ihl, tos, total length 24
+		"aaaa" + // IPID = mark >> 13
+		"5555" + // flags(010=DF) | fragoff = mark & 0x1fff: 0b010 1010101010101
+		"4011" + // ttl 64, proto 17
+		"66c7" + // header checksum (validated by TestIPv4ChecksumValid)
+		"0a01000a" + // src
+		"0a030001" + // dst
+		"deadbeef"
+	if got := hex.EncodeToString(b); got != want {
+		t.Fatalf("stamped IPv4 bytes changed:\n got %s\nwant %s", got, want)
+	}
+	// And the mark reads back.
+	q, err := ParseIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mark() != 0x15555555 {
+		t.Fatalf("mark = %08x", q.Mark())
+	}
+}
+
+func TestGoldenStampedIPv6(t *testing.T) {
+	p := &IPv6{
+		HopLimit: 64, Proto: ProtoUDP,
+		Src:     netip.MustParseAddr("2001:db8:1::a"),
+		Dst:     netip.MustParseAddr("2001:db8:3::1"),
+		Payload: []byte{0xde, 0xad},
+	}
+	if err := p.StampV6(0xcafebabe); err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference bytes: base header (ver/tc/flow, payload length 10,
+	// next header 60 = destination options, hop limit 64), addresses,
+	// then the 8-byte options header (inner next header UDP, ext len 0,
+	// DISCS option 0x26 length 4 with the 32-bit mark) and the payload.
+	ref := make([]byte, 0, len(b))
+	ref = append(ref, 0x60, 0, 0, 0, 0x00, 0x0a, 0x3c, 0x40)
+	src := p.Src.As16()
+	dst := p.Dst.As16()
+	ref = append(ref, src[:]...)
+	ref = append(ref, dst[:]...)
+	ref = append(ref, 0x11, 0x00, 0x26, 0x04, 0xca, 0xfe, 0xba, 0xbe)
+	ref = append(ref, 0xde, 0xad)
+	if hex.EncodeToString(b) != hex.EncodeToString(ref) {
+		t.Fatalf("stamped IPv6 bytes changed:\n got %s\nwant %s",
+			hex.EncodeToString(b), hex.EncodeToString(ref))
+	}
+}
+
+// TestGoldenDISCSOptionType pins the §V-F option type bits: 00 (skip
+// unknown) + 1 (mutable en route) + 00110.
+func TestGoldenDISCSOptionType(t *testing.T) {
+	if OptionTypeDISCS != 0x26 {
+		t.Fatalf("option type = %#x", OptionTypeDISCS)
+	}
+	if OptionTypeDISCS>>6 != 0 {
+		t.Fatal("high bits must be 00: legacy nodes skip and continue")
+	}
+	if OptionTypeDISCS&0x20 == 0 {
+		t.Fatal("change-en-route bit must be set (AH exclusion)")
+	}
+}

@@ -1,0 +1,286 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// IP protocol numbers used in this repository.
+const (
+	ProtoICMP   = 1
+	ProtoTCP    = 6
+	ProtoUDP    = 17
+	ProtoICMPv6 = 58
+)
+
+// IPv4 flag bits (in the 3-bit Flags field).
+const (
+	FlagDF = 0b010 // don't fragment
+	FlagMF = 0b001 // more fragments
+)
+
+// MsgLenV4 is the length of the DISCS MAC input for IPv4 (§V-E).
+const MsgLenV4 = 21
+
+// IPv4 is a parsed IPv4 packet. Header length and total length are
+// derived during Marshal; Checksum records the checksum observed at
+// parse time and is recomputed on Marshal.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8  // 3 bits
+	FragOff  uint16 // 13 bits, in 8-byte units
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16 // as parsed; recomputed by Marshal
+	Src, Dst netip.Addr
+	Options  []byte // raw options, length must be a multiple of 4
+	Payload  []byte
+}
+
+var (
+	errShort     = errors.New("packet: truncated packet")
+	errVersion   = errors.New("packet: wrong IP version")
+	errHeaderLen = errors.New("packet: bad header length")
+)
+
+// ParseIPv4 parses a raw IPv4 packet. The returned struct aliases b's
+// payload bytes; callers that mutate the packet should treat the
+// original buffer as consumed.
+func ParseIPv4(b []byte) (*IPv4, error) {
+	if len(b) < 20 {
+		return nil, errShort
+	}
+	if b[0]>>4 != 4 {
+		return nil, errVersion
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < 20 || ihl > len(b) {
+		return nil, errHeaderLen
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total < ihl || total > len(b) {
+		return nil, fmt.Errorf("packet: total length %d outside [%d,%d]", total, ihl, len(b))
+	}
+	var src, dst [4]byte
+	copy(src[:], b[12:16])
+	copy(dst[:], b[16:20])
+	p := &IPv4{
+		TOS:      b[1],
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		Flags:    b[6] >> 5,
+		FragOff:  binary.BigEndian.Uint16(b[6:8]) & 0x1fff,
+		TTL:      b[8],
+		Protocol: b[9],
+		Checksum: binary.BigEndian.Uint16(b[10:12]),
+		Src:      netip.AddrFrom4(src),
+		Dst:      netip.AddrFrom4(dst),
+	}
+	if ihl > 20 {
+		p.Options = append([]byte(nil), b[20:ihl]...)
+	}
+	p.Payload = b[ihl:total]
+	return p, nil
+}
+
+// HeaderLen returns the header length in bytes including options.
+func (p *IPv4) HeaderLen() int {
+	opt := len(p.Options)
+	opt = (opt + 3) &^ 3 // options are padded to 4-byte multiples
+	return 20 + opt
+}
+
+// TotalLen returns the on-wire total length.
+func (p *IPv4) TotalLen() int { return p.HeaderLen() + len(p.Payload) }
+
+// Marshal serializes the packet with a freshly computed checksum and
+// updates p.Checksum to the computed value.
+func (p *IPv4) Marshal() ([]byte, error) {
+	if !p.Src.Is4() || !p.Dst.Is4() {
+		return nil, errors.New("packet: IPv4 addresses required")
+	}
+	hl := p.HeaderLen()
+	if hl > 60 {
+		return nil, errHeaderLen
+	}
+	total := hl + len(p.Payload)
+	if total > 0xffff {
+		return nil, fmt.Errorf("packet: total length %d exceeds 65535", total)
+	}
+	b := make([]byte, total)
+	b[0] = 4<<4 | uint8(hl/4)
+	b[1] = p.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(total))
+	binary.BigEndian.PutUint16(b[4:6], p.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(p.Flags&0x7)<<13|p.FragOff&0x1fff)
+	b[8] = p.TTL
+	b[9] = p.Protocol
+	src := p.Src.As4()
+	dst := p.Dst.As4()
+	copy(b[12:16], src[:])
+	copy(b[16:20], dst[:])
+	copy(b[20:], p.Options)
+	cs := Checksum(b[:hl])
+	binary.BigEndian.PutUint16(b[10:12], cs)
+	p.Checksum = cs
+	copy(b[hl:], p.Payload)
+	return b, nil
+}
+
+// Msg extracts the 21-byte DISCS MAC input (§V-E): Version|IHL, Total
+// Length, Flags (padded with five zero bits), Protocol, source and
+// destination addresses, then the first 8 bytes of the payload
+// (zero-padded). IPID and Fragment Offset are deliberately excluded
+// because stamping rewrites them.
+func (p *IPv4) Msg() [MsgLenV4]byte {
+	var m [MsgLenV4]byte
+	m[0] = 4<<4 | uint8(p.HeaderLen()/4)
+	binary.BigEndian.PutUint16(m[1:3], uint16(p.TotalLen()))
+	m[3] = p.Flags & 0x7 << 5
+	m[4] = p.Protocol
+	src := p.Src.As4()
+	dst := p.Dst.As4()
+	copy(m[5:9], src[:])
+	copy(m[9:13], dst[:])
+	copy(m[13:21], p.Payload) // copies min(8, len) bytes; rest stays zero
+	return m
+}
+
+// Mark reads the 29-bit DISCS mark from the IPID and Fragment Offset
+// fields: the 16 IPID bits are the high bits, the 13 fragment-offset
+// bits the low bits.
+func (p *IPv4) Mark() uint32 {
+	return uint32(p.ID)<<13 | uint32(p.FragOff&0x1fff)
+}
+
+// SetMark writes a 29-bit DISCS mark into IPID and Fragment Offset.
+// Values above 2^29-1 are masked.
+func (p *IPv4) SetMark(mark uint32) {
+	mark &= 1<<29 - 1
+	p.ID = uint16(mark >> 13)
+	p.FragOff = uint16(mark & 0x1fff)
+}
+
+// ScrubMark replaces the mark fields with caller-supplied bits (the
+// verification end replaces them with random bits after a successful
+// verification, §V-E).
+func (p *IPv4) ScrubMark(random uint32) { p.SetMark(random) }
+
+// Clone deep-copies the packet.
+func (p *IPv4) Clone() *IPv4 {
+	q := *p
+	q.Options = append([]byte(nil), p.Options...)
+	q.Payload = append([]byte(nil), p.Payload...)
+	return &q
+}
+
+// ICMPv4TimeExceeded builds the ICMP time-exceeded (type 11, code 0)
+// message a router sends when a packet's TTL expires: the original IP
+// header plus the first 8 payload bytes are embedded. src is the
+// reporting router, orig the expired packet.
+func ICMPv4TimeExceeded(src netip.Addr, orig *IPv4) (*IPv4, error) {
+	ob, err := orig.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	embed := orig.HeaderLen() + 8
+	if embed > len(ob) {
+		embed = len(ob)
+	}
+	body := make([]byte, 8+embed)
+	body[0] = 11 // type: time exceeded
+	// code 0: TTL exceeded in transit; bytes 4..8 unused.
+	copy(body[8:], ob[:embed])
+	binary.BigEndian.PutUint16(body[2:4], Checksum(body))
+	return &IPv4{
+		TTL:      64,
+		Protocol: ProtoICMP,
+		Src:      src,
+		Dst:      orig.Src,
+		Payload:  body,
+	}, nil
+}
+
+// ICMPv4Embedded extracts the packet embedded in an ICMP error message
+// (time exceeded, destination unreachable, ...). It returns nil, false
+// when p is not an ICMP error carrying an embedded header. The embedded
+// packet usually holds only the first 8 payload bytes of the original.
+func ICMPv4Embedded(p *IPv4) (*IPv4, bool) {
+	if p.Protocol != ProtoICMP || len(p.Payload) < 8+20 {
+		return nil, false
+	}
+	t := p.Payload[0]
+	// ICMP error types that embed the original datagram.
+	if t != 3 && t != 4 && t != 5 && t != 11 && t != 12 {
+		return nil, false
+	}
+	inner := p.Payload[8:]
+	// The embedded packet's TotalLength describes the *original* packet,
+	// which is longer than the embedded snippet; parse leniently.
+	emb, err := parseIPv4Lenient(inner)
+	if err != nil {
+		return nil, false
+	}
+	return emb, true
+}
+
+// parseIPv4Lenient parses a possibly-truncated IPv4 packet as embedded
+// in ICMP errors, ignoring the TotalLength bound.
+func parseIPv4Lenient(b []byte) (*IPv4, error) {
+	if len(b) < 20 {
+		return nil, errShort
+	}
+	if b[0]>>4 != 4 {
+		return nil, errVersion
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < 20 || ihl > len(b) {
+		return nil, errHeaderLen
+	}
+	var src, dst [4]byte
+	copy(src[:], b[12:16])
+	copy(dst[:], b[16:20])
+	p := &IPv4{
+		TOS:      b[1],
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		Flags:    b[6] >> 5,
+		FragOff:  binary.BigEndian.Uint16(b[6:8]) & 0x1fff,
+		TTL:      b[8],
+		Protocol: b[9],
+		Checksum: binary.BigEndian.Uint16(b[10:12]),
+		Src:      netip.AddrFrom4(src),
+		Dst:      netip.AddrFrom4(dst),
+	}
+	if ihl > 20 {
+		p.Options = append([]byte(nil), b[20:ihl]...)
+	}
+	p.Payload = b[ihl:]
+	return p, nil
+}
+
+// ReplaceICMPv4Embedded re-serializes an ICMP error message in p with
+// the given embedded packet, recomputing the ICMP checksum. Used by the
+// DISCS source-AS border router to scrub marks from returning TTL
+// exceeded messages (§VI-E2).
+func ReplaceICMPv4Embedded(p *IPv4, emb *IPv4) error {
+	if p.Protocol != ProtoICMP || len(p.Payload) < 8 {
+		return errors.New("packet: not an ICMP error message")
+	}
+	eb, err := emb.Marshal()
+	if err != nil {
+		return err
+	}
+	keep := len(p.Payload) - 8
+	if keep > len(eb) {
+		keep = len(eb)
+	}
+	body := make([]byte, 8+keep)
+	copy(body, p.Payload[:8])
+	body[2], body[3] = 0, 0
+	copy(body[8:], eb[:keep])
+	binary.BigEndian.PutUint16(body[2:4], Checksum(body))
+	p.Payload = body
+	return nil
+}

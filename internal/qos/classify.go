@@ -1,0 +1,19 @@
+package qos
+
+import "discs/internal/core"
+
+// ClassOf maps a DISCS data-plane verdict to a queue class: packets
+// whose marks verified are provably from collaborator ASes and go to
+// the high-priority queue; everything else the victim cannot vouch for
+// is low priority. Dropped packets never reach the queue (callers
+// should filter them first); they map to Low defensively.
+//
+// This is the §I capability MEF lacks: because MEF's egress filtering
+// leaves no evidence in the packet, an MEF victim must treat all
+// inbound traffic as one class.
+func ClassOf(v core.Verdict) Class {
+	if v == core.VerdictPassVerified {
+		return High
+	}
+	return Low
+}

@@ -1,0 +1,23 @@
+package qos_test
+
+import (
+	"fmt"
+
+	"discs/internal/qos"
+)
+
+// A 10× flood of unverifiable traffic cannot displace verified
+// collaborator traffic from a strict-priority uplink.
+func ExampleFluid() {
+	res := qos.Fluid(1000,
+		qos.FluidDemand{Class: qos.High, PPS: 400},   // CDP-verified
+		qos.FluidDemand{Class: qos.Low, PPS: 10_000}, // spoofed flood
+	)
+	fmt.Printf("verified served: %.0f pps (%.0f%% loss)\n",
+		res.Served[qos.High], 100*res.LossRate[qos.High])
+	fmt.Printf("flood served:    %.0f pps (%.0f%% loss)\n",
+		res.Served[qos.Low], 100*res.LossRate[qos.Low])
+	// Output:
+	// verified served: 400 pps (0% loss)
+	// flood served:    600 pps (94% loss)
+}

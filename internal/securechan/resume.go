@@ -1,0 +1,112 @@
+package securechan
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Session resumption. The §VI-C cost model assumes the con-con channel
+// uses a session cache ("each connection consumes 1.5kB data with SSL
+// session cache"): a controller re-contacting a peer skips the
+// asymmetric key agreement and derives fresh record keys from a cached
+// resumption secret plus fresh nonces. Both sides obtain the secret
+// from the full handshake (ResumptionSecret); either may initiate the
+// abbreviated two-frame exchange.
+
+// ResumeHelloLen is the wire size of a resumption hello.
+const ResumeHelloLen = nonceLen
+
+// ResumeReplyLen is the wire size of a resumption reply.
+const ResumeReplyLen = nonceLen + macLen
+
+// ResumptionSecret returns the cached secret shared by the two ends of
+// an established session. It is directionless: both ends of one full
+// handshake return the same value.
+func (s *Session) ResumptionSecret() [16]byte { return s.resume }
+
+// Resumer is the initiator side of an abbreviated handshake.
+type Resumer struct {
+	secret [16]byte
+	nonce  [nonceLen]byte
+}
+
+// NewResumer starts an abbreviated handshake from a cached secret.
+func NewResumer(secret [16]byte, rand io.Reader) (*Resumer, error) {
+	r := &Resumer{secret: secret}
+	if _, err := io.ReadFull(rand, r.nonce[:]); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Hello returns the resumption hello frame (the client nonce).
+func (r *Resumer) Hello() []byte { return r.nonce[:] }
+
+// ResumeRespond processes a resumption hello with the cached secret
+// and returns the reply frame plus the responder's session.
+func ResumeRespond(secret [16]byte, hello []byte, rand io.Reader) (reply []byte, sess *Session, err error) {
+	if len(hello) != ResumeHelloLen {
+		return nil, nil, fmt.Errorf("securechan: resume hello length %d", len(hello))
+	}
+	var nonce [nonceLen]byte
+	if _, err := io.ReadFull(rand, nonce[:]); err != nil {
+		return nil, nil, err
+	}
+	keys := deriveResumedKeys(secret, hello, nonce[:])
+	mac, err := transcriptMAC(keys.macKey[:], hello, nonce[:])
+	if err != nil {
+		return nil, nil, err
+	}
+	reply = append(append([]byte{}, nonce[:]...), mac...)
+	sess, err = newSession(keys, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return reply, sess, nil
+}
+
+// Finish processes the resumption reply and returns the initiator's
+// session. A responder that does not hold the secret cannot produce a
+// valid transcript MAC.
+func (r *Resumer) Finish(reply []byte) (*Session, error) {
+	if len(reply) != ResumeReplyLen {
+		return nil, fmt.Errorf("securechan: resume reply length %d", len(reply))
+	}
+	serverNonce := reply[:nonceLen]
+	mac := reply[nonceLen:]
+	keys := deriveResumedKeys(r.secret, r.nonce[:], serverNonce)
+	want, err := transcriptMAC(keys.macKey[:], r.nonce[:], serverNonce)
+	if err != nil {
+		return nil, err
+	}
+	if subtleCompare(mac, want) == 0 {
+		return nil, errors.New("securechan: resumption authentication failed")
+	}
+	return newSession(keys, true)
+}
+
+// deriveResumedKeys expands (secret, cnonce, snonce) into fresh
+// directional keys. Fresh nonces give each resumed session unique
+// record keys, so replaying old records across sessions fails.
+func deriveResumedKeys(secret [16]byte, clientNonce, serverNonce []byte) sessionKeys {
+	h := sha256.New()
+	h.Write([]byte("discs-securechan-resume-v1"))
+	h.Write(secret[:])
+	h.Write(clientNonce)
+	h.Write(serverNonce)
+	master := h.Sum(nil)
+	expand := func(label byte) [16]byte {
+		hh := sha256.Sum256(append(append([]byte{}, master...), label))
+		var k [16]byte
+		copy(k[:], hh[:16])
+		return k
+	}
+	return sessionKeys{
+		encKeyAB: expand(1),
+		encKeyBA: expand(2),
+		macKey:   expand(3),
+		resume:   expand(4),
+	}
+}

@@ -1,0 +1,105 @@
+package topology
+
+import (
+	"testing"
+)
+
+// TestPathCacheCorrectness: cached results equal fresh computations,
+// and graph changes invalidate the cache.
+func TestPathCacheCorrectness(t *testing.T) {
+	tp := New()
+	for i := ASN(1); i <= 4; i++ {
+		mustAS(t, tp, i)
+	}
+	mustLink(t, tp, 1, 2, CustomerToProvider)
+	mustLink(t, tp, 3, 2, CustomerToProvider)
+
+	p1, ok := tp.Path(1, 3)
+	if !ok || len(p1) != 3 {
+		t.Fatalf("path = %v", p1)
+	}
+	// Second call: cached, identical.
+	p2, ok := tp.Path(1, 3)
+	if !ok || &p1[0] != &p2[0] {
+		t.Fatal("second call should return the memoized slice")
+	}
+	// Negative results are cached too.
+	if _, ok := tp.Path(1, 4); ok {
+		t.Fatal("no path to isolated AS4 expected")
+	}
+	if _, ok := tp.Path(1, 4); ok {
+		t.Fatal("cached negative result changed")
+	}
+	// Adding a link invalidates: AS4 becomes reachable.
+	mustLink(t, tp, 4, 2, CustomerToProvider)
+	p3, ok := tp.Path(1, 4)
+	if !ok || len(p3) != 3 {
+		t.Fatalf("post-invalidation path = %v %v", p3, ok)
+	}
+	// And the old cached path is recomputed consistently.
+	p4, ok := tp.Path(1, 3)
+	if !ok || len(p4) != len(p1) {
+		t.Fatalf("recomputed path = %v", p4)
+	}
+}
+
+// TestPathCacheConcurrentReaders: Path is safe for concurrent use on a
+// static topology (the baselines' Monte-Carlo runs depend on this).
+func TestPathCacheConcurrentReaders(t *testing.T) {
+	tp, err := GenerateInternet(GenConfig{
+		NumASes: 150, NumPrefixes: 300, ZipfExponent: 1.0, TierOneCount: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool)
+	for w := 0; w < 8; w++ {
+		w := w
+		go func() {
+			for i := 0; i < 300; i++ {
+				src := ASN(1 + (i*7+w)%150)
+				dst := ASN(1 + (i*13+w*3)%150)
+				tp.Path(src, dst)
+			}
+			done <- true
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}
+
+func BenchmarkPathCold(b *testing.B) {
+	tp, err := GenerateInternet(GenConfig{
+		NumASes: 500, NumPrefixes: 1000, ZipfExponent: 1.0, TierOneCount: 5, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Different pair every time defeats the cache.
+		src := ASN(1 + i%500)
+		dst := ASN(1 + (i*271+13)%500)
+		b.StopTimer()
+		tp.pathMu.Lock()
+		tp.pathCache = nil
+		tp.pathMu.Unlock()
+		b.StartTimer()
+		tp.Path(src, dst)
+	}
+}
+
+func BenchmarkPathCached(b *testing.B) {
+	tp, err := GenerateInternet(GenConfig{
+		NumASes: 500, NumPrefixes: 1000, ZipfExponent: 1.0, TierOneCount: 5, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tp.Path(100, 400) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp.Path(100, 400)
+	}
+}

@@ -1,0 +1,264 @@
+// Package topology models the AS-level Internet: autonomous systems,
+// their business relationships (customer/provider/peer), their address
+// space (prefixes and prefix-to-AS mapping), and valley-free inter-AS
+// routing.
+//
+// The DISCS evaluation (§VI of the paper) runs against the real CAIDA
+// Routeviews prefix-to-AS snapshot of 2012-10-11 (44 036 ASes, ~442k
+// routable IPv4 prefixes). That dataset is proprietary-by-availability
+// here, so this package also provides a synthetic generator
+// (GenerateInternet) producing an Internet of the same scale with a
+// heavy-tailed (Zipf) address-space distribution — the only property
+// the paper's incentive/effectiveness math depends on is the per-AS
+// routable-address ratio r_j.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"discs/internal/lpm"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// Relationship describes the business relationship of a link from the
+// perspective of the first AS.
+type Relationship int
+
+const (
+	// CustomerToProvider: the first AS buys transit from the second.
+	CustomerToProvider Relationship = iota
+	// ProviderToCustomer: the first AS sells transit to the second.
+	ProviderToCustomer
+	// PeerToPeer: settlement-free peering.
+	PeerToPeer
+)
+
+func (r Relationship) String() string {
+	switch r {
+	case CustomerToProvider:
+		return "c2p"
+	case ProviderToCustomer:
+		return "p2c"
+	case PeerToPeer:
+		return "p2p"
+	}
+	return fmt.Sprintf("Relationship(%d)", int(r))
+}
+
+// AS is one autonomous system.
+type AS struct {
+	ASN       ASN
+	Prefixes  []netip.Prefix
+	AddrSpace uint64 // number of routable addresses (sum over Prefixes)
+
+	Providers []ASN
+	Customers []ASN
+	Peers     []ASN
+}
+
+// Degree returns the total number of neighbors.
+func (a *AS) Degree() int { return len(a.Providers) + len(a.Customers) + len(a.Peers) }
+
+// Topology is an AS-level Internet.
+type Topology struct {
+	ases   map[ASN]*AS
+	order  []ASN // insertion order, for deterministic iteration
+	pfx2as *lpm.Table[ASN]
+	total  uint64 // global routable address space
+
+	// Path memoization (see Path); invalidated on graph changes.
+	pathMu    sync.RWMutex
+	pathCache map[[2]ASN][]ASN
+}
+
+// New creates an empty topology.
+func New() *Topology {
+	return &Topology{ases: make(map[ASN]*AS), pfx2as: lpm.New[ASN]()}
+}
+
+// AddAS registers a new AS.
+func (t *Topology) AddAS(asn ASN) (*AS, error) {
+	if asn == 0 {
+		return nil, errors.New("topology: ASN 0 is reserved")
+	}
+	if _, dup := t.ases[asn]; dup {
+		return nil, fmt.Errorf("topology: duplicate AS%d", asn)
+	}
+	a := &AS{ASN: asn}
+	t.ases[asn] = a
+	t.order = append(t.order, asn)
+	return a, nil
+}
+
+// AS returns the AS with the given number, or nil.
+func (t *Topology) AS(asn ASN) *AS { return t.ases[asn] }
+
+// NumASes returns the number of ASes.
+func (t *Topology) NumASes() int { return len(t.ases) }
+
+// ASNs returns all AS numbers in insertion order. The returned slice
+// must not be modified.
+func (t *Topology) ASNs() []ASN { return t.order }
+
+// Link records a relationship between two ASes. rel is from a's
+// perspective: Link(a, b, CustomerToProvider) makes b a provider of a.
+func (t *Topology) Link(a, b ASN, rel Relationship) error {
+	asA, asB := t.ases[a], t.ases[b]
+	if asA == nil || asB == nil {
+		return fmt.Errorf("topology: link %d-%d references unknown AS", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("topology: self link on AS%d", a)
+	}
+	switch rel {
+	case CustomerToProvider:
+		asA.Providers = append(asA.Providers, b)
+		asB.Customers = append(asB.Customers, a)
+	case ProviderToCustomer:
+		asA.Customers = append(asA.Customers, b)
+		asB.Providers = append(asB.Providers, a)
+	case PeerToPeer:
+		asA.Peers = append(asA.Peers, b)
+		asB.Peers = append(asB.Peers, a)
+	default:
+		return fmt.Errorf("topology: unknown relationship %d", rel)
+	}
+	// The graph changed: memoized paths are stale.
+	t.pathMu.Lock()
+	t.pathCache = nil
+	t.pathMu.Unlock()
+	return nil
+}
+
+// Connected reports whether a and b share a link.
+func (t *Topology) Connected(a, b ASN) bool {
+	asA := t.ases[a]
+	if asA == nil {
+		return false
+	}
+	for _, n := range asA.Providers {
+		if n == b {
+			return true
+		}
+	}
+	for _, n := range asA.Customers {
+		if n == b {
+			return true
+		}
+	}
+	for _, n := range asA.Peers {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}
+
+// AddPrefix assigns a prefix to an AS and updates the prefix-to-AS
+// table and address-space accounting. Prefixes must be disjoint across
+// ASes for the accounting to be exact; overlapping announcements
+// replace the longest-match owner the way a routing table would.
+func (t *Topology) AddPrefix(asn ASN, p netip.Prefix) error {
+	a := t.ases[asn]
+	if a == nil {
+		return fmt.Errorf("topology: unknown AS%d", asn)
+	}
+	p = p.Masked()
+	if err := t.pfx2as.Insert(p, asn); err != nil {
+		return err
+	}
+	a.Prefixes = append(a.Prefixes, p)
+	size := prefixSize(p)
+	a.AddrSpace += size
+	t.total += size
+	return nil
+}
+
+// prefixSize returns the number of addresses covered by p, with IPv6
+// prefixes counted in /64 subnets to keep magnitudes comparable.
+func prefixSize(p netip.Prefix) uint64 {
+	if p.Addr().Is4() {
+		return 1 << (32 - p.Bits())
+	}
+	bits := p.Bits()
+	if bits > 64 {
+		bits = 64
+	}
+	return 1 << (64 - bits)
+}
+
+// OwnerOf returns the AS owning the longest matching prefix for addr.
+// This doubles as the RPKI ownership oracle used by DISCS controllers
+// to validate invocation requests (§IV-E3).
+func (t *Topology) OwnerOf(addr netip.Addr) (ASN, bool) {
+	asn, _, ok := t.pfx2as.Lookup(addr)
+	return asn, ok
+}
+
+// OwnerOfPrefix returns the AS owning the prefix (by longest match on
+// its base address) and whether the entire prefix lies inside the
+// owner's matched prefix.
+func (t *Topology) OwnerOfPrefix(p netip.Prefix) (ASN, bool) {
+	asn, matched, ok := t.pfx2as.Lookup(p.Addr())
+	if !ok || matched.Bits() > p.Bits() {
+		return 0, false
+	}
+	return asn, true
+}
+
+// Owns reports whether the address belongs to the AS.
+func (t *Topology) Owns(asn ASN, addr netip.Addr) bool {
+	got, ok := t.OwnerOf(addr)
+	return ok && got == asn
+}
+
+// TotalSpace returns the global routable address space size.
+func (t *Topology) TotalSpace() uint64 { return t.total }
+
+// Ratio returns r_j, the ratio of AS j's routable address space to the
+// global routable space. Per §VI-A2, an AS with zero space is treated
+// as owning one address to avoid division by zero.
+func (t *Topology) Ratio(asn ASN) float64 {
+	a := t.ases[asn]
+	if a == nil || t.total == 0 {
+		return 0
+	}
+	space := a.AddrSpace
+	if space == 0 {
+		space = 1
+	}
+	return float64(space) / float64(t.total)
+}
+
+// Ratios returns r_j for every AS, keyed by ASN.
+func (t *Topology) Ratios() map[ASN]float64 {
+	out := make(map[ASN]float64, len(t.ases))
+	for _, asn := range t.order {
+		out[asn] = t.Ratio(asn)
+	}
+	return out
+}
+
+// BySizeDesc returns all ASNs sorted by address space, largest first,
+// with ASN as the tie-breaker for determinism. This is the paper's
+// optimal deployment order (§VI-A3).
+func (t *Topology) BySizeDesc() []ASN {
+	out := append([]ASN(nil), t.order...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := t.ases[out[i]].AddrSpace, t.ases[out[j]].AddrSpace
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Pfx2AS exposes the prefix-to-AS mapping table (read-only use).
+func (t *Topology) Pfx2AS() *lpm.Table[ASN] { return t.pfx2as }

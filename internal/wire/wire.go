@@ -1,0 +1,224 @@
+// Package wire overlays a packet-level data plane on the DISCS system:
+// every AS gets a data-forwarding node in the discrete-event simulator,
+// adjacent ASes are joined by links with configurable delay, bandwidth
+// and buffer depth, and IPv4 packets ride those links hop by hop.
+//
+// This is the substrate for the paper's core motivation (§I): a
+// brute-force DDoS "overwhelm[s] the uplink of victim networks", and
+// inter-AS collaboration "enables spoofing traffic to be filtered far
+// from the victim AS, which alleviates the victim AS's bandwidth
+// pressure and saves intermediate network bandwidth". With wire mode,
+// both effects are measured rather than asserted: the victim's uplink
+// is a finite-capacity link that congests, and per-link byte counters
+// show where attack traffic dies.
+//
+// DISCS processing happens where it does in reality: outbound at the
+// source AS border (if it deployed), inbound at the destination AS
+// border (if it deployed); transit ASes only forward.
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"discs/internal/core"
+	"discs/internal/netsim"
+	"discs/internal/packet"
+	"discs/internal/topology"
+)
+
+// Config sets the default link parameters of the data plane.
+type Config struct {
+	// HopDelay is the per-link propagation delay.
+	HopDelay time.Duration
+	// LinkBps is the default link bandwidth in bytes/second (0 =
+	// unlimited). Individual links can be retuned via Link.
+	LinkBps float64
+	// MaxBacklog is the default per-link buffer depth (0 = unbounded).
+	MaxBacklog time.Duration
+}
+
+// DefaultConfig: 1 ms hops, unlimited core links.
+func DefaultConfig() Config { return Config{HopDelay: time.Millisecond} }
+
+// dataMsg carries one IPv4 packet across a link.
+type dataMsg struct {
+	pkt   *packet.IPv4
+	dstAS topology.ASN
+}
+
+// Size implements netsim.Message with the packet's wire size.
+func (m *dataMsg) Size() int { return m.pkt.TotalLen() }
+
+// Delivery reports one packet reaching its destination AS.
+type Delivery struct {
+	Pkt *packet.IPv4
+	At  time.Duration
+}
+
+// DataNet is the instantiated data plane.
+type DataNet struct {
+	sys   *core.System
+	nodes map[topology.ASN]*netsim.Node
+
+	// OnDeliver, when set, observes every delivered packet.
+	OnDeliver func(Delivery)
+
+	// Counters.
+	Delivered     uint64
+	DroppedDISCS  uint64 // dropped by DISCS processing
+	DroppedNet    uint64 // tail-dropped by congested links / no route
+	linkBytes     map[[2]topology.ASN]uint64
+	deliveredPkts []Delivery
+}
+
+// New builds data nodes and links for every AS and adjacency of the
+// system's topology.
+func New(sys *core.System, cfg Config) (*DataNet, error) {
+	dn := &DataNet{
+		sys:       sys,
+		nodes:     make(map[topology.ASN]*netsim.Node),
+		linkBytes: make(map[[2]topology.ASN]uint64),
+	}
+	topo := sys.Net.Topo
+	for _, asn := range topo.ASNs() {
+		node, err := sys.Net.Sim.AddNode(fmt.Sprintf("data%d", asn))
+		if err != nil {
+			return nil, err
+		}
+		dn.nodes[asn] = node
+		asn := asn
+		node.SetHandler(netsim.HandlerFunc(func(_ *netsim.Node, _ *netsim.Link, msg netsim.Message) {
+			dn.receive(asn, msg)
+		}))
+	}
+	for _, asn := range topo.ASNs() {
+		a := topo.AS(asn)
+		for _, prov := range a.Providers {
+			if _, err := dn.connect(asn, prov, cfg); err != nil {
+				return nil, err
+			}
+		}
+		for _, peer := range a.Peers {
+			if peer < asn {
+				continue
+			}
+			if _, err := dn.connect(asn, peer, cfg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return dn, nil
+}
+
+func (dn *DataNet) connect(a, b topology.ASN, cfg Config) (*netsim.Link, error) {
+	l, err := dn.sys.Net.Sim.Connect(dn.nodes[a], dn.nodes[b], cfg.HopDelay)
+	if err != nil {
+		return nil, err
+	}
+	l.Bps = cfg.LinkBps
+	l.MaxBacklog = cfg.MaxBacklog
+	return l, nil
+}
+
+// Link returns the data link between two adjacent ASes so tests and
+// experiments can tune its bandwidth/buffer (e.g. the victim's uplink).
+func (dn *DataNet) Link(a, b topology.ASN) *netsim.Link {
+	na, nb := dn.nodes[a], dn.nodes[b]
+	if na == nil || nb == nil {
+		return nil
+	}
+	for _, l := range na.Links() {
+		if l.Neighbor(na) == nb {
+			return l
+		}
+	}
+	return nil
+}
+
+// LinkBytes returns the bytes that crossed the directed link a→b.
+func (dn *DataNet) LinkBytes(a, b topology.ASN) uint64 {
+	return dn.linkBytes[[2]topology.ASN{a, b}]
+}
+
+// Inject enters a packet at fromAS. The source border applies DISCS
+// outbound processing (if fromAS deployed), then the packet rides the
+// data links hop by hop toward the owner of its destination address.
+// Injection happens at the current simulated time; run the simulator
+// to progress deliveries.
+func (dn *DataNet) Inject(fromAS topology.ASN, p *packet.IPv4) {
+	dstAS, ok := dn.sys.Net.Topo.OwnerOf(p.Dst)
+	if !ok {
+		dn.DroppedNet++
+		return
+	}
+	if r := dn.sys.Routers[fromAS]; r != nil {
+		if r.ProcessOutbound(core.V4{P: p}, dn.sys.Now()).Dropped() {
+			dn.DroppedDISCS++
+			return
+		}
+	}
+	if fromAS == dstAS {
+		dn.deliver(p)
+		return
+	}
+	dn.forward(fromAS, &dataMsg{pkt: p, dstAS: dstAS})
+}
+
+// receive handles a packet arriving at an AS's data node.
+func (dn *DataNet) receive(at topology.ASN, msg netsim.Message) {
+	m, ok := msg.(*dataMsg)
+	if !ok {
+		return
+	}
+	if at == m.dstAS {
+		// Destination border: inbound DISCS processing.
+		if r := dn.sys.Routers[at]; r != nil {
+			if r.ProcessInbound(core.V4{P: m.pkt}, dn.sys.Now()).Dropped() {
+				dn.DroppedDISCS++
+				return
+			}
+		}
+		dn.deliver(m.pkt)
+		return
+	}
+	if m.pkt.TTL <= 1 {
+		dn.DroppedNet++
+		return
+	}
+	m.pkt.TTL--
+	dn.forward(at, m)
+}
+
+// forward sends the packet one hop along the valley-free path.
+func (dn *DataNet) forward(at topology.ASN, m *dataMsg) {
+	next, ok := dn.sys.Net.Topo.NextHop(at, m.dstAS)
+	if !ok {
+		dn.DroppedNet++
+		return
+	}
+	dn.linkBytes[[2]topology.ASN{at, next}] += uint64(m.pkt.TotalLen())
+	if !dn.nodes[at].SendTo(dn.nodes[next], m) {
+		dn.DroppedNet++ // congested or down link
+	}
+}
+
+func (dn *DataNet) deliver(p *packet.IPv4) {
+	dn.Delivered++
+	d := Delivery{Pkt: p, At: dn.sys.Net.Sim.Now()}
+	dn.deliveredPkts = append(dn.deliveredPkts, d)
+	if dn.OnDeliver != nil {
+		dn.OnDeliver(d)
+	}
+}
+
+// Deliveries returns all deliveries so far.
+func (dn *DataNet) Deliveries() []Delivery { return dn.deliveredPkts }
+
+// ResetCounters clears delivery/drop/byte counters (links keep their
+// configuration) so experiments can measure phases independently.
+func (dn *DataNet) ResetCounters() {
+	dn.Delivered, dn.DroppedDISCS, dn.DroppedNet = 0, 0, 0
+	dn.linkBytes = make(map[[2]topology.ASN]uint64)
+	dn.deliveredPkts = nil
+}
