@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench fuzz report figures cost sim examples cover clean
+.PHONY: all build test test-race vet check bench fuzz report figures cost sim examples cover clean
 
-all: build test
+all: build check
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,13 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The pre-merge gate: static analysis plus the full suite under the
+# race detector.
+check: vet test-race
 
 # Per-figure/table reproduction benches (bench_test.go at the root).
 bench:
@@ -27,6 +34,7 @@ fuzz:
 	$(GO) test ./internal/packet/ -fuzz FuzzFragmentReassemble -fuzztime 15s
 	$(GO) test ./internal/core/ -fuzz FuzzDecodeControlMsg -fuzztime 15s
 	$(GO) test ./internal/core/ -fuzz FuzzParseInvocation -fuzztime 15s
+	$(GO) test ./internal/core/ -fuzz FuzzCtrlFrame -fuzztime 15s
 	$(GO) test ./internal/flowexport/ -fuzz FuzzUnmarshal -fuzztime 15s
 	$(GO) test ./internal/securechan/ -fuzz FuzzOpen -fuzztime 15s
 	$(GO) test ./internal/securechan/ -fuzz FuzzHandshakeFrames -fuzztime 15s

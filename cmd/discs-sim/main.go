@@ -129,7 +129,15 @@ func main() {
 		for asn := range res.DroppedAt {
 			where = append(where, asn)
 		}
-		sort.Slice(where, func(i, j int) bool { return res.DroppedAt[where[i]] > res.DroppedAt[where[j]] })
+		sort.Slice(where, func(i, j int) bool {
+			// Tie-break equal drop counts by ASN: map iteration order must
+			// not leak into the report (the output is diffed across runs).
+			di, dj := res.DroppedAt[where[i]], res.DroppedAt[where[j]]
+			if di != dj {
+				return di > dj
+			}
+			return where[i] < where[j]
+		})
 		for _, asn := range where {
 			role := "peer egress (far from victim)"
 			if asn == victim {

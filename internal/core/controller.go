@@ -57,6 +57,10 @@ const (
 	PeerEstablished
 	// PeerRejected: the remote side declined (or we blacklisted it).
 	PeerRejected
+	// PeerDead: the peer missed enough heartbeats to be declared down;
+	// its keys and table entries are purged and reconnection probes run
+	// until it answers again.
+	PeerDead
 )
 
 func (s PeerStatus) String() string {
@@ -69,6 +73,8 @@ func (s PeerStatus) String() string {
 		return "established"
 	case PeerRejected:
 		return "rejected"
+	case PeerDead:
+		return "dead"
 	}
 	return "unknown"
 }
@@ -84,18 +90,44 @@ type peerState struct {
 	out        *securechan.Session
 	in         *securechan.Session
 	initiator  *securechan.Initiator
-	pendingOut [][]byte // encoded ControlMsgs awaiting session
+	resumer    *securechan.Resumer // abbreviated handshake in flight
+	pendingOut [][]byte            // encoded ControlMsgs awaiting session
 
 	// Key negotiation: serial of the last stamping key we generated and
 	// whether the peer acked it.
 	stampSerial uint64
 	stampKey    []byte
 	stampActive bool
-	verifySeen  uint64 // highest serial received from peer
+	verifySeen  uint64 // serial of the verify key currently deployed
 
 	// Retry machinery.
 	retryArmed bool
 	retries    int
+
+	// Liveness: lastSeen is the simulated time of the last
+	// authenticated message from the peer; missed counts consecutive
+	// silent heartbeat intervals.
+	lastSeen   netsim.Time
+	missed     int
+	hbArmed    bool
+	probeArmed bool
+
+	// campaignSeen is the serial of the newest defense campaign this
+	// peer has been asked to execute; campaignAcked is the newest one
+	// it has acknowledged (see Controller.campaigns). A gap between the
+	// two marks an invoke in flight, which the retry timer re-drives.
+	campaignSeen  uint64
+	campaignAcked uint64
+	// installed tracks the function-table entries this peer asked us to
+	// install, so declaring it dead can withdraw them.
+	installed []installedEntry
+}
+
+// installedEntry identifies one peer-requested function-table install.
+type installedEntry struct {
+	table TableKind
+	pfx   netip.Prefix
+	op    Op
 }
 
 // Config tunes controller behaviour.
@@ -124,19 +156,42 @@ type Config struct {
 	// MaxRetries bounds re-drives per peer so a permanently
 	// unreachable controller cannot busy-loop the simulator.
 	MaxRetries int
+	// RetryJitter adds a uniform random extra delay in [0, RetryJitter]
+	// to every retry timer. §IV-C's randomized-peering-delay rationale
+	// applies here too: fixed retry intervals synchronize the re-drives
+	// of every DAS that lost frames to the same outage, recreating the
+	// request storm.
+	RetryJitter time.Duration
+	// HeartbeatInterval is the keepalive period on established
+	// peerings; zero disables liveness detection entirely.
+	HeartbeatInterval time.Duration
+	// DeadAfterMisses is how many consecutive silent heartbeat
+	// intervals declare the peer dead.
+	DeadAfterMisses int
+	// ReconnectInterval paces re-peering probes toward a dead peer
+	// (plus up to 50% jitter); zero disables probing.
+	ReconnectInterval time.Duration
+	// PurgeInterval paces the periodic PurgeExpired sweep; zero falls
+	// back to the old behaviour of purging only on invocations.
+	PurgeInterval time.Duration
 }
 
 // DefaultConfig returns sensible simulation defaults.
 func DefaultConfig() Config {
 	return Config{
-		PeeringDelayMax: 2 * time.Second,
-		CtrlLinkDelay:   20 * time.Millisecond,
-		Grace:           DefaultGrace,
-		RekeyOverlap:    time.Minute,
-		AlarmThreshold:  100,
-		AlarmWindow:     10 * time.Second,
-		RetryInterval:   5 * time.Second,
-		MaxRetries:      8,
+		PeeringDelayMax:   2 * time.Second,
+		CtrlLinkDelay:     20 * time.Millisecond,
+		Grace:             DefaultGrace,
+		RekeyOverlap:      time.Minute,
+		AlarmThreshold:    100,
+		AlarmWindow:       10 * time.Second,
+		RetryInterval:     5 * time.Second,
+		MaxRetries:        8,
+		RetryJitter:       2 * time.Second,
+		HeartbeatInterval: 15 * time.Second,
+		DeadAfterMisses:   4,
+		ReconnectInterval: 30 * time.Second,
+		PurgeInterval:     time.Minute,
 	}
 }
 
@@ -164,6 +219,21 @@ type Controller struct {
 
 	peers map[topology.ASN]*peerState
 
+	// resumeCache holds the con-con resumption secret per peer — the
+	// paper's SSL session cache (§VI-C). It models durable state: a
+	// real deployment persists it, so it survives Crash, and a
+	// restarted controller reconnects via the abbreviated handshake.
+	resumeCache map[topology.ASN][16]byte
+
+	// campaigns journals active defense invocations so the controller
+	// can re-drive them to a peer that died and came back (or after its
+	// own crash, to every re-established peer). Durable like
+	// resumeCache.
+	campaigns      []campaign
+	campaignSerial uint64
+
+	purgeArmed bool
+
 	// OnAttackDetected fires when alarm-mode samples cross the
 	// threshold; the argument is the offending source AS (0 if mixed).
 	OnAttackDetected func(src topology.ASN)
@@ -187,6 +257,23 @@ type Controller struct {
 	AdsSeen              uint64
 	PeeringRequestsSent  uint64
 	PeeringRequestsRecvd uint64
+	HeartbeatsSent       uint64
+	PeersDeclaredDead    uint64
+	ResumesInitiated     uint64
+	ResumesResponded     uint64
+	ResumeFallbacks      uint64
+	CampaignResyncs      uint64
+	Purged               uint64 // prefixes reclaimed by periodic purge
+	Crashes              uint64
+}
+
+// campaign is one journaled Invoke call: the invocations plus the
+// wall-clock end of the longest window, after which re-driving it to
+// recovered peers is pointless.
+type campaign struct {
+	serial uint64
+	invs   []Invocation
+	end    time.Time
 }
 
 // NewController creates a controller. node must be a dedicated netsim
@@ -203,8 +290,9 @@ func NewController(as topology.ASN, name string, sim *netsim.Simulator, node *ne
 		AS: as, Name: name,
 		sim: sim, node: node, id: id, dir: dir, topo: topo,
 		rng: rng, cfg: cfg,
-		Blacklist: make(map[topology.ASN]bool),
-		peers:     make(map[topology.ASN]*peerState),
+		Blacklist:   make(map[topology.ASN]bool),
+		peers:       make(map[topology.ASN]*peerState),
+		resumeCache: make(map[topology.ASN][16]byte),
 	}
 	node.SetHandler(netsim.HandlerFunc(c.receive))
 	if err := dir.Register(&DirEntry{Name: name, ASN: as, Pub: id.Public(), Node: node}); err != nil {
@@ -250,6 +338,49 @@ func (c *Controller) Peers() []topology.ASN {
 // the data-plane tables.
 func (c *Controller) now() time.Time { return time.Unix(0, 0).UTC().Add(c.sim.Now()) }
 
+// after arms a node-scoped timer: crashing the controller kills it, as
+// a real process crash would. All controller timers go through this
+// (or the background variants) so Crash leaves nothing armed.
+func (c *Controller) after(d time.Duration, fn func()) { c.node.After(d, fn) }
+
+// Crash models a controller process crash: the netsim node goes down
+// (in-flight frames toward it are discarded, every armed timer dies)
+// and all in-memory state is lost — peering state machines, secure
+// sessions, alarm counters. What survives is what a real deployment
+// persists to disk: the resumption-secret cache (§VI-C's SSL session
+// cache) and the campaign journal. Border routers are separate boxes:
+// their key and function tables keep enforcing installed windows.
+func (c *Controller) Crash() {
+	c.node.Crash()
+	c.Crashes++
+	c.peers = make(map[topology.ASN]*peerState)
+	c.alarmTimes = nil
+	c.purgeArmed = false
+}
+
+// Restart brings a crashed controller back up with empty volatile
+// state. Rediscovery is driven by the BGP layer replaying known
+// DISCS-Ads (System.Restart does that); peerings then re-establish
+// over the abbreviated resumption handshake and active campaigns are
+// re-driven from the journal.
+func (c *Controller) Restart() {
+	c.node.Restart()
+	if c.anyTableEntries() {
+		c.armPurge()
+	}
+}
+
+func (c *Controller) anyTableEntries() bool {
+	for _, r := range c.routers {
+		for _, ft := range r.Tables.In {
+			if ft.Len() > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // HandleAd implements step 1+2 of §IV: upon seeing a DISCS-Ad, check
 // the blacklist and schedule a peering request after a random delay.
 func (c *Controller) HandleAd(ad bgp.DISCSAd) {
@@ -264,12 +395,30 @@ func (c *Controller) HandleAd(ad bgp.DISCSAd) {
 	if exists && p.status != PeerRejected {
 		// Controller name change: update the pointer but keep state.
 		p.ctrlName = ad.Controller
+		// A reappearing Ad is evidence the peer's control plane is
+		// alive: refresh the retry budget so a state machine that gave
+		// up after MaxRetries gets to try again.
+		p.retries = 0
+		if p.status == PeerDead {
+			// The peer is back from the dead: re-run discovery.
+			p.status = PeerDiscovered
+			c.after(c.peeringDelay(), func() { c.sendPeeringRequest(p) })
+			return
+		}
+		if c.stalled(p) {
+			c.armRetry(p)
+		}
 		return
 	}
 	p = &peerState{asn: ad.Origin, ctrlName: ad.Controller, status: PeerDiscovered}
 	c.peers[ad.Origin] = p
-	delay := time.Duration(c.rng.Int63n(int64(c.cfg.PeeringDelayMax) + 1))
-	c.sim.After(delay, func() { c.sendPeeringRequest(p) })
+	c.after(c.peeringDelay(), func() { c.sendPeeringRequest(p) })
+}
+
+// peeringDelay draws the §IV-C randomized delay before a peering
+// request.
+func (c *Controller) peeringDelay() time.Duration {
+	return time.Duration(c.rng.Int63n(int64(c.cfg.PeeringDelayMax) + 1))
 }
 
 func (c *Controller) sendPeeringRequest(p *peerState) {
@@ -317,8 +466,27 @@ func (c *Controller) sendEncoded(p *peerState, data []byte) {
 		return
 	}
 	p.pendingOut = append(p.pendingOut, data)
-	if p.initiator != nil {
+	c.startHandshake(p, false)
+}
+
+// startHandshake opens the con-con transport toward p unless one is
+// already in flight. With a cached resumption secret the abbreviated
+// exchange is tried first (§VI-C); full forces the asymmetric
+// handshake (used after the peer rejected a resumption).
+func (c *Controller) startHandshake(p *peerState, full bool) {
+	if p.initiator != nil || p.resumer != nil {
 		return // handshake already in flight
+	}
+	if !full {
+		if secret, ok := c.resumeCache[p.asn]; ok {
+			res, err := securechan.NewResumer(secret, c.rng)
+			if err == nil {
+				p.resumer = res
+				c.ResumesInitiated++
+				c.sendFrame(p, &ctrlFrame{Kind: frameResumeHello, From: c.Name, Data: res.Hello()})
+				return
+			}
+		}
 	}
 	ent := c.dir.Lookup(p.ctrlName)
 	if ent == nil {
@@ -336,7 +504,9 @@ func (c *Controller) sendEncoded(p *peerState, data []byte) {
 // stalled reports whether the peer state machine is waiting on remote
 // progress that a lost frame could block forever.
 func (c *Controller) stalled(p *peerState) bool {
-	if p.status == PeerRejected {
+	if p.status == PeerRejected || p.status == PeerDead {
+		// Dead peers are the reconnect prober's job, not the retry
+		// timer's.
 		return false
 	}
 	if len(p.pendingOut) > 0 && p.out == nil {
@@ -348,6 +518,24 @@ func (c *Controller) stalled(p *peerState) bool {
 	if p.status == PeerEstablished && p.stampKey != nil && !p.stampActive {
 		return true // key deploy unacked
 	}
+	if p.status == PeerEstablished && c.unackedCampaign(p) {
+		return true // invoke unacked
+	}
+	return false
+}
+
+// unackedCampaign reports whether a still-live campaign was sent to p
+// but never acknowledged (the invoke or its ack was lost).
+func (c *Controller) unackedCampaign(p *peerState) bool {
+	if p.campaignAcked >= p.campaignSeen {
+		return false
+	}
+	now := c.now()
+	for _, cp := range c.campaigns {
+		if cp.serial > p.campaignAcked && cp.serial <= p.campaignSeen && now.Before(cp.end) {
+			return true
+		}
+	}
 	return false
 }
 
@@ -356,7 +544,18 @@ func (c *Controller) armRetry(p *peerState) {
 		return
 	}
 	p.retryArmed = true
-	c.sim.After(c.cfg.RetryInterval, func() { c.retry(p) })
+	c.after(c.retryDelay(), func() { c.retry(p) })
+}
+
+// retryDelay is RetryInterval plus a seeded uniform jitter in
+// [0, RetryJitter], desynchronizing the retries of DASes that lost
+// frames to the same outage (the §IV-C request-storm argument).
+func (c *Controller) retryDelay() time.Duration {
+	d := c.cfg.RetryInterval
+	if c.cfg.RetryJitter > 0 {
+		d += time.Duration(c.rng.Int63n(int64(c.cfg.RetryJitter) + 1))
+	}
+	return d
 }
 
 // retry re-drives a stalled exchange: it abandons any half-open
@@ -372,6 +571,7 @@ func (c *Controller) retry(p *peerState) {
 	c.Retries++
 	// Restart transport: a fresh handshake replaces any wedged session.
 	p.initiator = nil
+	p.resumer = nil
 	p.out = nil
 	p.pendingOut = nil
 	if p.status == PeerRequested {
@@ -381,6 +581,16 @@ func (c *Controller) retry(p *peerState) {
 		c.sendEncoded(p, mustEncode(&ControlMsg{
 			Type: MsgKeyDeploy, From: c.AS, Key: p.stampKey, Serial: p.stampSerial,
 		}))
+	}
+	if p.status == PeerEstablished && c.unackedCampaign(p) {
+		now := c.now()
+		for _, cp := range c.campaigns {
+			if cp.serial > p.campaignAcked && cp.serial <= p.campaignSeen && now.Before(cp.end) {
+				c.sendEncoded(p, mustEncode(&ControlMsg{
+					Type: MsgInvoke, From: c.AS, Invocations: cp.invs, Serial: cp.serial,
+				}))
+			}
+		}
 	}
 	c.armRetry(p)
 }
@@ -435,6 +645,10 @@ func (c *Controller) receive(_ *netsim.Node, _ *netsim.Link, msg netsim.Message)
 		}
 		c.HandshakesResponded++
 		p.in = sess
+		// Cache the resumption secret from full handshakes only: both
+		// ends of one handshake cache the same value, so later
+		// abbreviated exchanges agree (§VI-C session cache).
+		c.resumeCache[ent.ASN] = sess.ResumptionSecret()
 		c.sendFrame(p, &ctrlFrame{Kind: frameReply, From: c.Name, Data: reply})
 	case frameReply:
 		if p == nil || p.initiator == nil {
@@ -448,10 +662,57 @@ func (c *Controller) receive(_ *netsim.Node, _ *netsim.Link, msg netsim.Message)
 		}
 		p.initiator = nil
 		p.out = sess
+		c.resumeCache[p.asn] = sess.ResumptionSecret()
 		for _, data := range p.pendingOut {
 			c.sendRecord(p, p.out.Seal(data))
 		}
 		p.pendingOut = nil
+	case frameResumeHello:
+		if p == nil {
+			p = &peerState{asn: ent.ASN, ctrlName: f.From, status: PeerDiscovered}
+			c.peers[ent.ASN] = p
+		}
+		secret, ok := c.resumeCache[ent.ASN]
+		if !ok {
+			// Secret stale (lost with a crash that predates the cache
+			// entry, or never established): make the peer fall back.
+			c.sendFrame(p, &ctrlFrame{Kind: frameResumeReject, From: c.Name})
+			return
+		}
+		reply, sess, err := securechan.ResumeRespond(secret, f.Data, c.rng)
+		if err != nil {
+			c.sendFrame(p, &ctrlFrame{Kind: frameResumeReject, From: c.Name})
+			return
+		}
+		c.ResumesResponded++
+		p.in = sess
+		c.sendFrame(p, &ctrlFrame{Kind: frameResumeReply, From: c.Name, Data: reply})
+	case frameResumeReply:
+		if p == nil || p.resumer == nil {
+			return
+		}
+		sess, err := p.resumer.Finish(f.Data)
+		if err != nil {
+			return // corrupted or forged; retry machinery re-drives
+		}
+		p.resumer = nil
+		p.out = sess
+		for _, data := range p.pendingOut {
+			c.sendRecord(p, p.out.Seal(data))
+		}
+		p.pendingOut = nil
+	case frameResumeReject:
+		if p == nil || p.resumer == nil {
+			return
+		}
+		// The peer no longer holds the secret: drop ours and run the
+		// full handshake, which refreshes the cache on both ends.
+		p.resumer = nil
+		delete(c.resumeCache, p.asn)
+		c.ResumeFallbacks++
+		if len(p.pendingOut) > 0 {
+			c.startHandshake(p, true)
+		}
 	case frameRecord:
 		if p == nil || p.in == nil {
 			return
@@ -474,6 +735,8 @@ func (c *Controller) handleMsg(p *peerState, m *ControlMsg) {
 	if m.From != p.asn {
 		return // sender identity must match the authenticated channel
 	}
+	// Any authenticated message proves the peer alive.
+	c.markAlive(p)
 	switch m.Type {
 	case MsgPeeringRequest:
 		c.PeeringRequestsRecvd++
@@ -482,15 +745,27 @@ func (c *Controller) handleMsg(p *peerState, m *ControlMsg) {
 			c.sendMsg(p, &ControlMsg{Type: MsgPeeringReject, From: c.AS, Reason: "blacklisted"})
 			return
 		}
-		wasEstablished := p.status == PeerEstablished
+		if p.status == PeerEstablished {
+			// A peer we consider established does not re-request peering
+			// unless it lost its state: it declared us dead (purging its
+			// inbound session and our keys) or crashed and restarted.
+			// Our outbound session and deployed key are stale on its side
+			// — keeping them would livelock: we would keep sending
+			// records it cannot decrypt while happily receiving its.
+			// Reset the transport and re-drive keys and campaigns.
+			p.out, p.initiator, p.resumer = nil, nil, nil
+			p.pendingOut = nil
+			p.stampActive = false
+			p.campaignSeen, p.campaignAcked = 0, 0
+		}
 		p.status = PeerEstablished
 		c.sendMsg(p, &ControlMsg{Type: MsgPeeringAccept, From: c.AS})
-		if !wasEstablished {
-			c.negotiateKey(p)
-		}
+		c.armHeartbeat(p)
+		c.negotiateKey(p)
 	case MsgPeeringAccept:
 		if p.status == PeerRequested {
 			p.status = PeerEstablished
+			c.armHeartbeat(p)
 			c.negotiateKey(p)
 		}
 	case MsgPeeringReject:
@@ -503,15 +778,141 @@ func (c *Controller) handleMsg(p *peerState, m *ControlMsg) {
 		c.handleInvoke(p, m)
 	case MsgInvokeAck:
 		c.InvokesAccepted++
+		if m.Serial > p.campaignAcked {
+			p.campaignAcked = m.Serial
+		}
 	case MsgInvokeReject:
 		c.InvokesRejected++
+		// A rejection settles the exchange too: retrying a request the
+		// peer refuses would loop forever.
+		if m.Serial > p.campaignAcked {
+			p.campaignAcked = m.Serial
+		}
 	case MsgQuitAlarm:
 		if p.status == PeerEstablished {
 			for _, r := range c.routers {
 				r.SetAlarmMode(false)
 			}
 		}
+	case MsgHeartbeat:
+		if p.status == PeerEstablished {
+			// Answer outside sendMsg: keepalives must not arm retry
+			// timers (liveness has its own clock).
+			c.sendEncoded(p, mustEncode(&ControlMsg{Type: MsgHeartbeatAck, From: c.AS}))
+		}
+	case MsgHeartbeatAck:
+		// markAlive above already did the work.
 	}
+}
+
+// --- liveness (heartbeats, dead-peer detection, recovery) -----------------
+
+func (c *Controller) markAlive(p *peerState) {
+	p.lastSeen = c.sim.Now()
+	p.missed = 0
+}
+
+// armHeartbeat starts the keepalive loop toward an established peer.
+// The loop runs on background events: it keeps a live deployment
+// ticking without preventing run-to-quiescence tests from settling.
+func (c *Controller) armHeartbeat(p *peerState) {
+	if p.hbArmed || c.cfg.HeartbeatInterval <= 0 {
+		return
+	}
+	p.hbArmed = true
+	c.markAlive(p)
+	c.node.AfterBackground(c.cfg.HeartbeatInterval, func() { c.heartbeatTick(p) })
+}
+
+func (c *Controller) heartbeatTick(p *peerState) {
+	if p.status != PeerEstablished {
+		p.hbArmed = false
+		return
+	}
+	if c.sim.Now()-p.lastSeen >= c.cfg.HeartbeatInterval {
+		p.missed++
+		if c.cfg.DeadAfterMisses > 0 && p.missed >= c.cfg.DeadAfterMisses {
+			p.hbArmed = false
+			c.declarePeerDead(p)
+			return
+		}
+	}
+	c.HeartbeatsSent++
+	c.sendEncoded(p, mustEncode(&ControlMsg{Type: MsgHeartbeat, From: c.AS}))
+	if p.out == nil {
+		// The keepalive queued behind a handshake. If that handshake's
+		// frames were lost nothing else may be scheduled to re-drive it —
+		// arm the retry timer so the channel cannot wedge silently until
+		// the peer declares us dead.
+		c.armRetry(p)
+	}
+	c.node.AfterBackground(c.cfg.HeartbeatInterval, func() { c.heartbeatTick(p) })
+}
+
+// declarePeerDead executes graceful degradation: the peer's key state
+// is purged from every router (stamping toward a dead DAS buys nothing
+// and verification against it would drop legitimate unstamped
+// traffic), the function-table entries it requested are withdrawn to
+// free table slots, and the secure sessions are torn down. A
+// reconnection prober then takes over from the heartbeat loop.
+func (c *Controller) declarePeerDead(p *peerState) {
+	p.status = PeerDead
+	c.PeersDeclaredDead++
+	for _, r := range c.routers {
+		r.Tables.Keys.RemovePeer(p.asn)
+	}
+	for _, e := range p.installed {
+		for _, r := range c.routers {
+			r.Tables.In[e.table].Remove(e.pfx, e.op)
+		}
+	}
+	p.installed = nil
+	p.out, p.in = nil, nil
+	p.initiator, p.resumer = nil, nil
+	p.pendingOut = nil
+	p.stampKey = nil
+	p.stampActive = false
+	p.verifySeen = 0
+	p.retries = 0
+	p.missed = 0
+	p.campaignSeen = 0
+	p.campaignAcked = 0
+	c.armReconnect(p)
+}
+
+// armReconnect schedules a re-peering probe toward a dead (or stuck)
+// peer, paced by ReconnectInterval plus up to 50% jitter.
+func (c *Controller) armReconnect(p *peerState) {
+	if p.probeArmed || c.cfg.ReconnectInterval <= 0 {
+		return
+	}
+	p.probeArmed = true
+	d := c.cfg.ReconnectInterval +
+		time.Duration(c.rng.Int63n(int64(c.cfg.ReconnectInterval)/2+1))
+	c.node.AfterBackground(d, func() { c.reconnectTick(p) })
+}
+
+// reconnectTick probes a dead peer: the peering request doubles as the
+// liveness probe — a restarted peer answers it and the normal
+// establishment path (resumption handshake, key negotiation, campaign
+// resync) takes it from there. Each probe gets a fresh retry budget.
+func (c *Controller) reconnectTick(p *peerState) {
+	p.probeArmed = false
+	switch p.status {
+	case PeerEstablished, PeerRejected:
+		return // recovered (or a policy decision ended the peering)
+	case PeerDead:
+		p.status = PeerDiscovered
+		p.retries = 0
+		c.sendPeeringRequest(p)
+	case PeerDiscovered:
+		p.retries = 0
+		c.sendPeeringRequest(p)
+	case PeerRequested:
+		p.retries = 0
+		c.sendEncoded(p, mustEncode(&ControlMsg{Type: MsgPeeringRequest, From: c.AS}))
+	}
+	c.armReconnect(p)
 }
 
 // --- key negotiation (§IV-D) ---------------------------------------------
@@ -540,25 +941,39 @@ func (c *Controller) Rekey(peer topology.ASN) error {
 // RekeyAll rotates keys toward every established peer; used after a
 // suspected key leakage (§VI-E3).
 func (c *Controller) RekeyAll() {
+	for _, p := range c.establishedPeers() {
+		c.negotiateKey(p)
+	}
+}
+
+// establishedPeers returns established peer states in ascending ASN
+// order. Every fan-out walks peers through this: map iteration order
+// would otherwise leak into send order, RNG draw order and therefore
+// the whole fault schedule, breaking the determinism contract.
+func (c *Controller) establishedPeers() []*peerState {
+	var out []*peerState
 	for _, p := range c.peers {
 		if p.status == PeerEstablished {
-			c.negotiateKey(p)
+			out = append(out, p)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].asn < out[j].asn })
+	return out
 }
 
 func (c *Controller) handleKeyDeploy(p *peerState, m *ControlMsg) {
 	if p.status != PeerEstablished {
 		return
 	}
-	if m.Serial < p.verifySeen {
-		return // stale deploy
-	}
 	if m.Serial == p.verifySeen {
 		// Duplicate (retransmission): the earlier ack was lost, re-ack.
 		c.sendMsg(p, &ControlMsg{Type: MsgKeyAck, From: c.AS, Serial: m.Serial})
 		return
 	}
+	// Any other serial — higher or lower — is a genuine new deploy: a
+	// crashed controller restarts its serial counter at 1, and the
+	// con-con channel is replay-protected, so a regressed serial cannot
+	// be a replayed old deploy.
 	p.verifySeen = m.Serial
 	// Deploy to all local border routers as the verification key for
 	// packets from this peer. The previous key stays valid for the
@@ -569,7 +984,7 @@ func (c *Controller) handleKeyDeploy(p *peerState, m *ControlMsg) {
 		}
 	}
 	peer := p.asn
-	c.sim.After(c.cfg.RekeyOverlap, func() {
+	c.after(c.cfg.RekeyOverlap, func() {
 		for _, r := range c.routers {
 			r.Tables.Keys.DropPreviousVerifyKey(peer)
 		}
@@ -587,6 +1002,26 @@ func (c *Controller) handleKeyAck(p *peerState, m *ControlMsg) {
 	}
 	p.stampActive = true
 	p.retries = 0
+	// Keys active means the peer can enforce: re-drive any campaign it
+	// has not seen (it just restarted, or we did).
+	c.resyncCampaigns(p)
+}
+
+// resyncCampaigns sends the still-active journaled invocations this
+// peer has not executed yet — the tail end of crash recovery: after
+// re-peering and key deployment the interrupted defense campaign
+// resumes without operator action.
+func (c *Controller) resyncCampaigns(p *peerState) {
+	now := c.now()
+	for i := range c.campaigns {
+		cp := &c.campaigns[i]
+		if cp.serial <= p.campaignAcked || !now.Before(cp.end) {
+			continue
+		}
+		c.sendMsg(p, &ControlMsg{Type: MsgInvoke, From: c.AS, Invocations: cp.invs, Serial: cp.serial})
+		p.campaignSeen = cp.serial
+		c.CampaignResyncs++
+	}
 }
 
 // KeysReadyWith reports whether stamping toward peer is active (the
@@ -601,7 +1036,8 @@ func (c *Controller) KeysReadyWith(peer topology.ASN) bool {
 // PurgeExpired removes fully expired function-table entries from all
 // local routers (§IV-E1 windows are lazy-expiring; this reclaims the
 // table slots). It returns the number of prefixes removed. Controllers
-// run it opportunistically on every invocation.
+// run it opportunistically on every invocation and periodically from
+// the event loop (armPurge).
 func (c *Controller) PurgeExpired() int {
 	now := c.now()
 	total := 0
@@ -611,6 +1047,26 @@ func (c *Controller) PurgeExpired() int {
 		}
 	}
 	return total
+}
+
+// armPurge schedules the periodic purge sweep. It runs on background
+// events (housekeeping must not keep the simulator from settling) and
+// re-arms itself only while any function table still has entries, so
+// an idle controller stops sweeping.
+func (c *Controller) armPurge() {
+	if c.purgeArmed || c.cfg.PurgeInterval <= 0 {
+		return
+	}
+	c.purgeArmed = true
+	c.node.AfterBackground(c.cfg.PurgeInterval, func() { c.purgeTick() })
+}
+
+func (c *Controller) purgeTick() {
+	c.purgeArmed = false
+	c.Purged += uint64(c.PurgeExpired())
+	if c.anyTableEntries() {
+		c.armPurge()
+	}
 }
 
 // Invoke requests protection: the victim DAS validates that it owns
@@ -648,18 +1104,39 @@ func (c *Controller) Invoke(invs ...Invocation) (int, error) {
 			}
 		}
 	}
+	// Journal the campaign so peers that die and recover mid-window (or
+	// re-peer after our own crash) get it re-driven.
+	end := now
+	for _, inv := range invs {
+		if e := now.Add(inv.Duration + c.cfg.Grace); e.After(end) {
+			end = e
+		}
+	}
+	c.campaignSerial++
+	c.campaigns = append(c.campaigns, campaign{serial: c.campaignSerial, invs: invs, end: end})
+	c.pruneCampaigns(now)
 	// Peer-side request.
 	n := 0
-	msg := &ControlMsg{Type: MsgInvoke, From: c.AS, Invocations: invs}
-	for _, p := range c.peers {
-		if p.status != PeerEstablished {
-			continue
-		}
+	msg := &ControlMsg{Type: MsgInvoke, From: c.AS, Invocations: invs, Serial: c.campaignSerial}
+	for _, p := range c.establishedPeers() {
 		c.sendMsg(p, msg)
+		p.campaignSeen = c.campaignSerial
 		n++
 	}
 	c.InvokesSent++
+	c.armPurge()
 	return n, nil
+}
+
+// pruneCampaigns drops journal entries whose windows have fully ended.
+func (c *Controller) pruneCampaigns(now time.Time) {
+	kept := c.campaigns[:0]
+	for _, cp := range c.campaigns {
+		if now.Before(cp.end) {
+			kept = append(kept, cp)
+		}
+	}
+	c.campaigns = kept
 }
 
 // handleInvoke executes the peer side of an invocation after the RPKI
@@ -668,18 +1145,21 @@ func (c *Controller) Invoke(invs ...Invocation) (int, error) {
 func (c *Controller) handleInvoke(p *peerState, m *ControlMsg) {
 	c.PurgeExpired()
 	if p.status != PeerEstablished {
+		// Serial 0: a not-yet-a-peer reject is transient — it must not
+		// settle the campaign at the sender, which re-drives it once the
+		// peering establishes.
 		c.sendMsg(p, &ControlMsg{Type: MsgInvokeReject, From: c.AS, Reason: "not a peer"})
 		return
 	}
 	for _, inv := range m.Invocations {
 		if err := inv.Validate(); err != nil {
-			c.sendMsg(p, &ControlMsg{Type: MsgInvokeReject, From: c.AS, Reason: err.Error()})
+			c.sendMsg(p, &ControlMsg{Type: MsgInvokeReject, From: c.AS, Serial: m.Serial, Reason: err.Error()})
 			return
 		}
 		for _, pfx := range inv.Prefixes {
 			owner, ok := c.topo.OwnerOfPrefix(pfx)
 			if !ok || owner != m.From {
-				c.sendMsg(p, &ControlMsg{Type: MsgInvokeReject, From: c.AS,
+				c.sendMsg(p, &ControlMsg{Type: MsgInvokeReject, From: c.AS, Serial: m.Serial,
 					Reason: fmt.Sprintf("prefix %v not owned by AS%d", pfx, m.From)})
 				return
 			}
@@ -696,6 +1176,7 @@ func (c *Controller) handleInvoke(p *peerState, m *ControlMsg) {
 					for _, r := range c.routers {
 						r.Tables.In[table].Install(pfx, op, now, inv.Duration, c.cfg.Grace)
 					}
+					c.recordInstall(p, table, pfx, op)
 				}
 			}
 		}
@@ -705,7 +1186,19 @@ func (c *Controller) handleInvoke(p *peerState, m *ControlMsg) {
 			}
 		}
 	}
-	c.sendMsg(p, &ControlMsg{Type: MsgInvokeAck, From: c.AS})
+	c.armPurge()
+	c.sendMsg(p, &ControlMsg{Type: MsgInvokeAck, From: c.AS, Serial: m.Serial})
+}
+
+// recordInstall remembers a peer-requested install so declarePeerDead
+// can withdraw it. Duplicates (retransmitted invokes) are collapsed.
+func (c *Controller) recordInstall(p *peerState, table TableKind, pfx netip.Prefix, op Op) {
+	for _, e := range p.installed {
+		if e.table == table && e.pfx == pfx && e.op == op {
+			return
+		}
+	}
+	p.installed = append(p.installed, installedEntry{table: table, pfx: pfx, op: op})
 }
 
 // --- alarm mode (§IV-F) -----------------------------------------------------
@@ -754,10 +1247,8 @@ func (c *Controller) handleAlarmSample(s AlarmSample) {
 	}
 	c.alarmTimes = nil
 	c.SetAlarmMode(false)
-	for _, p := range c.peers {
-		if p.status == PeerEstablished {
-			c.sendMsg(p, &ControlMsg{Type: MsgQuitAlarm, From: c.AS})
-		}
+	for _, p := range c.establishedPeers() {
+		c.sendMsg(p, &ControlMsg{Type: MsgQuitAlarm, From: c.AS})
 	}
 	if c.AutoDefend != nil && len(c.AutoDefend.Functions) > 0 {
 		pol := c.AutoDefend
@@ -786,7 +1277,7 @@ func (c *Controller) handleAlarmSample(s AlarmSample) {
 		if pol.Escalate {
 			// Re-arm detection when enforcement lapses: if the attack
 			// persists, the alarm path fires again and re-invokes.
-			c.sim.After(dur, func() { c.SetAlarmMode(true) })
+			c.after(dur, func() { c.SetAlarmMode(true) })
 		}
 	}
 	if c.OnAttackDetected != nil {

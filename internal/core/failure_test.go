@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"net/netip"
 	"testing"
 	"time"
@@ -67,21 +68,106 @@ func TestLossyHandshakeRecovers(t *testing.T) {
 }
 
 // TestPermanentOutageGivesUp: with the peer controller unreachable
-// forever, retries must stop at MaxRetries so the simulator drains.
+// forever, retries must stop at MaxRetries so the simulator drains —
+// but a fresh DISCS-Ad from the peer must refresh the retry budget so
+// a recovered peer can still join.
 func TestPermanentOutageGivesUp(t *testing.T) {
 	s := testInternet(t)
-	prepareOutage(t, s)
+	l := prepareOutage(t, s)
 	// RunAll must terminate (bounded retries) — this is the regression
 	// guard against infinite retry loops.
 	if err := s.Settle(); err != nil {
 		t.Fatal(err)
 	}
-	c1 := s.Controllers[1001]
+	c1, c4 := s.Controllers[1001], s.Controllers[1004]
 	if c1.Retries == 0 {
 		t.Fatal("no retries recorded")
 	}
-	if int(c1.Retries) > s.Controllers[1001].cfg.MaxRetries {
+	if int(c1.Retries) > c1.cfg.MaxRetries {
 		t.Fatalf("retries %d exceed cap %d", c1.Retries, c1.cfg.MaxRetries)
+	}
+
+	// The comeback: the link heals and each side sees the other's Ad
+	// again (BGP refresh). That must reset the exhausted retry budget
+	// and let the peering complete — give-up is per-outage, not
+	// forever.
+	l.SetUp(true)
+	c1.HandleAd(c4.Ad())
+	c4.HandleAd(c1.Ad())
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := c1.PeerStatusOf(1004); st != PeerEstablished {
+		t.Fatalf("AS1001→AS1004 status %v after comeback", st)
+	}
+	if st, _ := c4.PeerStatusOf(1001); st != PeerEstablished {
+		t.Fatalf("AS1004→AS1001 status %v after comeback", st)
+	}
+	if !c1.KeysReadyWith(1004) || !c4.KeysReadyWith(1001) {
+		t.Fatal("keys not active after comeback")
+	}
+}
+
+// TestLossSweepConverges: the peering + key-deployment exchange must
+// converge under up to 30% per-link frame loss within the configured
+// retry budget. The fault schedule is seeded, so a failure here is
+// reproducible bit-for-bit.
+func TestLossSweepConverges(t *testing.T) {
+	for _, loss := range []float64{0.1, 0.2, 0.3} {
+		ok := t.Run(fmt.Sprintf("loss=%.0f%%", loss*100), func(t *testing.T) {
+			s := testInternet(t)
+			sim := s.Net.Sim
+			sim.SeedFaults(42)
+			// Fault only the links created from here on: the BGP mesh is
+			// converged, so the new links are exactly the on-demand
+			// con-con channels.
+			sim.SetDefaultLinkFaults(netsim.LinkFaults{Loss: loss})
+			cfg := &s.cfg
+			cfg.RetryInterval = 2 * time.Second
+			cfg.RetryJitter = time.Second
+			cfg.MaxRetries = 60
+			// Liveness off: this test measures the retry machinery alone.
+			cfg.HeartbeatInterval = 0
+			if _, err := s.Deploy(1001, 1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Deploy(1004, 2); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Settle(); err != nil {
+				t.Fatal(err)
+			}
+			c1, c4 := s.Controllers[1001], s.Controllers[1004]
+			if st, _ := c1.PeerStatusOf(1004); st != PeerEstablished {
+				t.Fatalf("AS1001→AS1004 status %v under %.0f%% loss (lost %d frames, %d retries)",
+					st, loss*100, sim.FaultStats().Lost, c1.Retries)
+			}
+			if st, _ := c4.PeerStatusOf(1001); st != PeerEstablished {
+				t.Fatalf("AS1004→AS1001 status %v under %.0f%% loss", st, loss*100)
+			}
+			if !c1.KeysReadyWith(1004) || !c4.KeysReadyWith(1001) {
+				t.Fatalf("keys not active under %.0f%% loss (retries %d+%d)",
+					loss*100, c1.Retries, c4.Retries)
+			}
+			if int(c1.Retries) > cfg.MaxRetries || int(c4.Retries) > cfg.MaxRetries {
+				t.Fatalf("retry budget blown: %d and %d > %d", c1.Retries, c4.Retries, cfg.MaxRetries)
+			}
+			if sim.FaultStats().Lost == 0 {
+				t.Fatal("no frames lost — the sweep did not exercise the injector")
+			}
+			// The keys that survived the lossy exchange must be
+			// consistent.
+			pkt := samplePacketV4()
+			pkt.Src = netip.MustParseAddr("172.16.1.10")
+			pkt.Dst = netip.MustParseAddr("172.16.4.10")
+			(V4{pkt}).Stamp(s.Routers[1001].Tables.Keys.StampKey(1004))
+			if ok, _ := s.Routers[1004].Tables.Keys.VerifyMark(1001, V4{pkt}); !ok {
+				t.Fatalf("keys inconsistent under %.0f%% loss", loss*100)
+			}
+		})
+		if !ok {
+			break
+		}
 	}
 }
 

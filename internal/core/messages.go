@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"time"
 
+	"discs/internal/netsim"
 	"discs/internal/topology"
 )
 
@@ -24,6 +25,11 @@ const (
 	MsgInvokeAck      MsgType = "invoke-ack"
 	MsgInvokeReject   MsgType = "invoke-reject"
 	MsgQuitAlarm      MsgType = "quit-alarm"
+	// Liveness keepalives on established peerings: any authenticated
+	// traffic proves the peer alive, the heartbeat just guarantees a
+	// floor on how often such traffic exists.
+	MsgHeartbeat    MsgType = "heartbeat"
+	MsgHeartbeatAck MsgType = "heartbeat-ack"
 )
 
 // Invocation is one (v, f, duration) triple of §IV-E: the prefixes to
@@ -93,6 +99,15 @@ const (
 	frameHello frameKind = iota
 	frameReply
 	frameRecord
+	// Abbreviated resumption handshake (§VI-C session cache): hello
+	// carries the client nonce, reply the server nonce + transcript
+	// MAC. A responder without the cached secret answers reject, which
+	// makes the initiator fall back to the full handshake.
+	frameResumeHello
+	frameResumeReply
+	frameResumeReject
+
+	numFrameKinds
 )
 
 // ctrlFrame is the netsim message exchanged between controller nodes:
@@ -105,3 +120,17 @@ type ctrlFrame struct {
 
 // Size implements netsim.Message.
 func (f *ctrlFrame) Size() int { return 1 + len(f.From) + len(f.Data) }
+
+// Corrupt implements netsim.Corruptible: the fault injector models bit
+// errors in the frame payload (handshake material or sealed record),
+// which the crypto layer must reject without panicking. The sender's
+// frame is left intact.
+func (f *ctrlFrame) Corrupt(r uint64) netsim.Message {
+	c := &ctrlFrame{Kind: f.Kind, From: f.From, Data: append([]byte(nil), f.Data...)}
+	if len(c.Data) > 0 {
+		netsim.CorruptBytes(c.Data, r)
+	} else {
+		c.Kind = frameKind(r % uint64(numFrameKinds))
+	}
+	return c
+}

@@ -86,6 +86,36 @@ func (s *System) Settle() error {
 	return err
 }
 
+// Crash takes down the controller of asn — not its border routers,
+// which are separate boxes and keep enforcing their tables. Peers
+// detect the silence via missed heartbeats and degrade gracefully.
+func (s *System) Crash(asn topology.ASN) error {
+	c := s.Controllers[asn]
+	if c == nil {
+		return fmt.Errorf("core: AS%d has no controller", asn)
+	}
+	c.Crash()
+	return nil
+}
+
+// Restart brings a crashed controller back up and replays the
+// BGP-learned DISCS-Ads into it, the same bootstrap Deploy performs:
+// rediscovery, resumption handshakes, key deployment and campaign
+// resync then run inside the simulator.
+func (s *System) Restart(asn topology.ASN) error {
+	c := s.Controllers[asn]
+	if c == nil {
+		return fmt.Errorf("core: AS%d has no controller", asn)
+	}
+	c.Restart()
+	if sp := s.Net.Speakers[asn]; sp != nil {
+		for _, ad := range sp.KnownAds() {
+			c.HandleAd(ad)
+		}
+	}
+	return nil
+}
+
 // Now returns the data-plane clock (simulated time mapped to wall
 // clock).
 func (s *System) Now() time.Time { return time.Unix(0, 0).UTC().Add(s.Net.Sim.Now()) }

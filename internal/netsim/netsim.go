@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"time"
 )
 
@@ -31,6 +32,12 @@ type event struct {
 	seq  uint64 // tie-breaker for deterministic ordering
 	fn   func()
 	dead bool
+	// background marks housekeeping events (heartbeats, periodic
+	// purges) that keep a live system ticking but must not keep RunAll
+	// from reaching quiescence. Events scheduled while a background
+	// event executes inherit the flag, so a whole heartbeat-induced
+	// cascade (send, delivery, ack) counts as background.
+	background bool
 }
 
 // eventQueue is a min-heap of events ordered by (at, seq).
@@ -61,6 +68,15 @@ type Simulator struct {
 	queue eventQueue
 	nodes map[string]*Node
 	links []*Link
+	// fgPending counts queued foreground events; RunAll stops when it
+	// reaches zero even if background events remain queued.
+	fgPending int
+	// inBG is true while a background event executes (see event).
+	inBG bool
+	// Fault injection (fault.go).
+	frng      *rand.Rand
+	defFaults *LinkFaults
+	faults    FaultStats
 	// Stats.
 	delivered uint64
 	dropped   uint64
@@ -82,15 +98,32 @@ func (s *Simulator) Delivered() uint64 { return s.delivered }
 func (s *Simulator) Dropped() uint64 { return s.dropped }
 
 // Schedule runs fn at the given absolute simulated time. Scheduling in
-// the past is an error.
+// the past is an error. Events scheduled while a background event
+// executes are background themselves (see ScheduleBackground).
 func (s *Simulator) Schedule(at Time, fn func()) (*Timer, error) {
+	return s.schedule(at, fn, s.inBG)
+}
+
+// ScheduleBackground schedules a housekeeping event: it runs in
+// timestamp order like any other event, but pending background events
+// do not keep RunAll alive. Use it for periodic liveness tasks
+// (heartbeats, purge sweeps) that would otherwise make a
+// run-to-quiescence loop spin forever.
+func (s *Simulator) ScheduleBackground(at Time, fn func()) (*Timer, error) {
+	return s.schedule(at, fn, true)
+}
+
+func (s *Simulator) schedule(at Time, fn func(), background bool) (*Timer, error) {
 	if at < s.now {
 		return nil, fmt.Errorf("netsim: schedule at %v before now %v", at, s.now)
 	}
-	e := &event{at: at, seq: s.seq, fn: fn}
+	e := &event{at: at, seq: s.seq, fn: fn, background: background}
 	s.seq++
 	heap.Push(&s.queue, e)
-	return &Timer{ev: e}, nil
+	if !background {
+		s.fgPending++
+	}
+	return &Timer{ev: e, sim: s}, nil
 }
 
 // After runs fn after delay d. It panics if d is negative, which always
@@ -103,18 +136,34 @@ func (s *Simulator) After(d Time, fn func()) *Timer {
 	return t
 }
 
+// AfterBackground is After for background events (see
+// ScheduleBackground).
+func (s *Simulator) AfterBackground(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("netsim: negative delay %v", d))
+	}
+	t, _ := s.ScheduleBackground(s.now+d, fn)
+	return t
+}
+
 // Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+type Timer struct {
+	ev  *event
+	sim *Simulator
+}
 
 // Stop cancels the timer. It is safe to call Stop on an already-fired
 // or already-stopped timer. It reports whether the call prevented the
 // event from firing.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+	if t == nil || t.ev == nil || t.ev.dead || t.ev.fn == nil {
 		return false
 	}
 	t.ev.dead = true
 	t.ev.fn = nil
+	if !t.ev.background {
+		t.sim.fgPending--
+	}
 	return true
 }
 
@@ -126,19 +175,29 @@ func (s *Simulator) Step() bool {
 		if e.dead {
 			continue
 		}
+		if !e.background {
+			s.fgPending--
+		}
 		s.now = e.at
+		s.inBG = e.background
 		e.fn()
+		s.inBG = false
 		return true
 	}
 	return false
 }
 
-// Run executes events until the queue drains or the simulated clock
-// would pass deadline. It returns the number of events executed.
+// Run executes events (foreground and background) until the queue
+// drains or the simulated clock would pass deadline. It returns the
+// number of events executed.
 func (s *Simulator) Run(deadline Time) int {
 	n := 0
 	for s.queue.Len() > 0 {
 		e := s.queue[0]
+		if e.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
 		if e.at > deadline {
 			break
 		}
@@ -152,13 +211,19 @@ func (s *Simulator) Run(deadline Time) int {
 	return n
 }
 
-// RunAll executes every pending event (including events scheduled by
-// other events) until the queue is empty, with a safety cap to convert
-// accidental event storms into a detectable error.
+// RunAll executes pending events in timestamp order until no
+// foreground events remain, with a safety cap to convert accidental
+// event storms into a detectable error. Background events run when
+// they precede a pending foreground event but never keep RunAll alive
+// on their own; they stay queued for a later Run. This is what lets a
+// system with periodic heartbeats still "settle".
 func (s *Simulator) RunAll() (int, error) {
 	const cap = 50_000_000
 	n := 0
-	for s.Step() {
+	for s.fgPending > 0 {
+		if !s.Step() {
+			break
+		}
 		n++
 		if n >= cap {
 			return n, errors.New("netsim: event cap exceeded (livelock?)")
@@ -197,6 +262,10 @@ type Node struct {
 	sim     *Simulator
 	links   []*Link
 	handler Handler
+	crashed bool
+	// epoch increments on every crash; node-scoped timers capture it so
+	// a crash invalidates everything armed before it.
+	epoch uint64
 	// Meta lets protocol layers attach state without wrapper structs.
 	Meta map[string]any
 }
@@ -222,6 +291,46 @@ func (s *Simulator) NumNodes() int { return len(s.nodes) }
 
 // SetHandler installs the receive callback for the node.
 func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// Crash takes the node down, modelling a process or host crash: frames
+// in flight toward it are discarded on arrival, new sends from it are
+// rejected, and every node-scoped timer (After/AfterBackground on the
+// node) armed before the crash is dead — exactly the state a real
+// crash destroys. Link and handler wiring survives for Restart.
+func (n *Node) Crash() {
+	n.epoch++
+	n.crashed = true
+}
+
+// Restart brings a crashed node back up with a clean timer slate: the
+// epoch stays bumped, so timers armed before the crash never fire.
+// The protocol layer re-arms whatever its recovery logic needs.
+func (n *Node) Restart() { n.crashed = false }
+
+// Crashed reports whether the node is down.
+func (n *Node) Crashed() bool { return n.crashed }
+
+// After arms a node-scoped timer: fn runs after d unless the node
+// crashes first.
+func (n *Node) After(d Time, fn func()) *Timer {
+	epoch := n.epoch
+	return n.sim.After(d, func() {
+		if n.epoch == epoch && !n.crashed {
+			fn()
+		}
+	})
+}
+
+// AfterBackground is the background-event variant of Node.After (see
+// Simulator.ScheduleBackground).
+func (n *Node) AfterBackground(d Time, fn func()) *Timer {
+	epoch := n.epoch
+	return n.sim.AfterBackground(d, func() {
+		if n.epoch == epoch && !n.crashed {
+			fn()
+		}
+	})
+}
 
 // Links returns the links attached to this node.
 func (n *Node) Links() []*Link { return n.links }
@@ -252,6 +361,9 @@ type Link struct {
 	// buffers.
 	MaxBacklog Time
 	up         bool
+	// faults, when non-nil, injects probabilistic loss, duplication,
+	// corruption and jitter into every send (see fault.go).
+	faults *LinkFaults
 	// busyUntil tracks per-direction serialization backlog (a->b, b->a).
 	busyUntil [2]Time
 	sim       *Simulator
@@ -270,6 +382,10 @@ func (s *Simulator) Connect(a, b *Node, delay Time) (*Link, error) {
 		return nil, fmt.Errorf("netsim: negative delay %v", delay)
 	}
 	l := &Link{a: a, b: b, Delay: delay, up: true, sim: s}
+	if s.defFaults != nil {
+		f := *s.defFaults
+		l.faults = &f
+	}
 	a.links = append(a.links, l)
 	b.links = append(b.links, l)
 	s.links = append(s.links, l)
@@ -290,7 +406,9 @@ func (l *Link) Endpoints() (*Node, *Node) { return l.a, l.b }
 // Send transmits msg from node `from` over the link. The message is
 // delivered to the peer's handler after serialization and propagation
 // delay. Send reports whether the message was accepted (false if the
-// link is down or from is not an endpoint).
+// link is down, either endpoint condition rejects it, or from is not
+// an endpoint). Injected faults (loss, corruption) still report true:
+// the sender cannot tell a frame lost in flight from a delivered one.
 func (l *Link) Send(from *Node, msg Message) bool {
 	var dir int
 	var to *Node
@@ -302,7 +420,7 @@ func (l *Link) Send(from *Node, msg Message) bool {
 	default:
 		return false
 	}
-	if !l.up {
+	if !l.up || from.crashed {
 		l.sim.dropped++
 		return false
 	}
@@ -326,12 +444,57 @@ func (l *Link) Send(from *Node, msg Message) bool {
 	}
 	l.busyUntil[dir] = start + ser
 	arrive := start + ser + l.Delay
-	l.sim.Schedule(arrive, func() {
-		l.sim.delivered++
-		if to.handler != nil {
-			to.handler.Receive(from, l, msg)
+
+	// Fault injection: the draw order (loss, corruption, duplication,
+	// jitter) is fixed and all draws come from the one seeded fault
+	// RNG in event order, so a run is reproducible given the seed.
+	copies := 1
+	if f := l.faults; f != nil {
+		rng := l.sim.faultRNG()
+		if f.Loss > 0 && rng.Float64() < f.Loss {
+			l.sim.dropped++
+			l.sim.faults.Lost++
+			return true
 		}
-	})
+		if f.Corrupt > 0 && rng.Float64() < f.Corrupt {
+			l.sim.faults.Corrupted++
+			if cm, ok := msg.(Corruptible); ok {
+				msg = cm.Corrupt(rng.Uint64())
+			} else {
+				// A message that cannot model bit errors is dropped,
+				// as a corrupted frame would fail its checksum anyway.
+				l.sim.dropped++
+				return true
+			}
+		}
+		if f.Dup > 0 && rng.Float64() < f.Dup {
+			copies = 2
+			l.sim.faults.Duplicated++
+		}
+		if f.JitterMax > 0 {
+			arrive += Time(rng.Int63n(int64(f.JitterMax) + 1))
+		}
+	}
+	for i := 0; i < copies; i++ {
+		at := arrive
+		if i > 0 {
+			// The duplicate takes its own jittered path.
+			if f := l.faults; f.JitterMax > 0 {
+				at += Time(l.sim.faultRNG().Int63n(int64(f.JitterMax) + 1))
+			}
+		}
+		l.sim.Schedule(at, func() {
+			if to.crashed {
+				l.sim.dropped++
+				l.sim.faults.CrashDropped++
+				return
+			}
+			l.sim.delivered++
+			if to.handler != nil {
+				to.handler.Receive(from, l, msg)
+			}
+		})
+	}
 	return true
 }
 

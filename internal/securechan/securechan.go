@@ -42,7 +42,7 @@ type Identity struct {
 // NewIdentity generates a static identity key from the given entropy
 // source (crypto/rand.Reader in production; a seeded reader in tests).
 func NewIdentity(name string, rand io.Reader) (*Identity, error) {
-	priv, err := ecdh.X25519().GenerateKey(rand)
+	priv, err := genKey(rand)
 	if err != nil {
 		return nil, err
 	}
@@ -51,6 +51,19 @@ func NewIdentity(name string, rand io.Reader) (*Identity, error) {
 
 // Public returns the identity's public key bytes (32 bytes).
 func (id *Identity) Public() []byte { return id.priv.PublicKey().Bytes() }
+
+// genKey reads a 32-byte X25519 scalar from rand and builds the key
+// pair. It deliberately avoids ecdh's GenerateKey: that calls
+// randutil.MaybeReadByte, which consumes 0 or 1 bytes from rand
+// NON-deterministically — poison for the simulator's seeded RNG
+// streams and the repo-wide reproducibility contract.
+func genKey(rand io.Reader) (*ecdh.PrivateKey, error) {
+	var seed [32]byte
+	if _, err := io.ReadFull(rand, seed[:]); err != nil {
+		return nil, err
+	}
+	return ecdh.X25519().NewPrivateKey(seed[:])
+}
 
 const (
 	pubLen   = 32
@@ -80,7 +93,7 @@ func NewInitiator(id *Identity, peerStaticPub []byte, rand io.Reader) (*Initiato
 	if err != nil {
 		return nil, fmt.Errorf("securechan: bad peer key: %w", err)
 	}
-	eph, err := ecdh.X25519().GenerateKey(rand)
+	eph, err := genKey(rand)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +130,7 @@ func Respond(id *Identity, initiatorStaticPub, hello []byte, rand io.Reader) (re
 	if err != nil {
 		return nil, nil, err
 	}
-	eph, err := ecdh.X25519().GenerateKey(rand)
+	eph, err := genKey(rand)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -252,8 +265,8 @@ func transcriptMAC(key []byte, parts ...[]byte) ([]byte, error) {
 
 // Session is an established record channel. Each direction has its own
 // key and sequence counter; frames are AES-128-CTR encrypted and
-// CMAC-authenticated, and must be delivered in order (the simulator's
-// links preserve ordering).
+// CMAC-authenticated. Delivery may be lossy — see Open for the
+// forward-window semantics.
 type Session struct {
 	sendBlock, recvBlock cipher.Block
 	mac                  *cmac.CMAC
@@ -301,15 +314,19 @@ func (s *Session) Seal(plaintext []byte) []byte {
 	return out
 }
 
-// Open verifies and decrypts a record. Records must arrive in order;
-// any gap, replay, or forgery fails.
+// Open verifies and decrypts a record. The sequence number may jump
+// forward — records lost by the network are skipped, DTLS-style, so
+// one lost frame does not deafen the rest of the session — but a
+// record at or behind the receive window is rejected as a replay.
+// (Reordered records therefore count as lost; the control plane's
+// retry machinery re-drives them.)
 func (s *Session) Open(record []byte) ([]byte, error) {
 	if len(record) < Overhead {
 		return nil, errors.New("securechan: record too short")
 	}
 	seq := binary.BigEndian.Uint64(record[:8])
-	if seq != s.recvSeq {
-		return nil, fmt.Errorf("securechan: sequence %d, want %d (replay or loss)", seq, s.recvSeq)
+	if seq < s.recvSeq {
+		return nil, fmt.Errorf("securechan: sequence %d, want >= %d (replay)", seq, s.recvSeq)
 	}
 	body := record[:len(record)-macLen]
 	tag := record[len(record)-macLen:]
@@ -320,7 +337,7 @@ func (s *Session) Open(record []byte) ([]byte, error) {
 	binary.BigEndian.PutUint64(iv[8:], seq)
 	plaintext := make([]byte, len(body)-8)
 	cipher.NewCTR(s.recvBlock, iv[:]).XORKeyStream(plaintext, body[8:])
-	s.recvSeq++
+	s.recvSeq = seq + 1
 	s.BytesOpened += uint64(len(record))
 	return plaintext, nil
 }

@@ -89,15 +89,24 @@ func TestReplayRejected(t *testing.T) {
 	}
 }
 
-func TestOutOfOrderRejected(t *testing.T) {
+func TestGapSkippedAndStaleRejected(t *testing.T) {
+	// Loss tolerance: a record arriving after a gap (its predecessor
+	// lost in the network) must open, and the predecessor — now behind
+	// the receive window — must be rejected as a replay.
 	client, server := handshake(t)
 	r1 := client.Seal([]byte("one"))
 	r2 := client.Seal([]byte("two"))
-	if _, err := server.Open(r2); err == nil {
-		t.Fatal("out-of-order record accepted")
+	got, err := server.Open(r2)
+	if err != nil || string(got) != "two" {
+		t.Fatalf("record after a gap rejected: %v", err)
 	}
-	if _, err := server.Open(r1); err != nil {
-		t.Fatal(err)
+	if _, err := server.Open(r1); err == nil {
+		t.Fatal("stale record accepted after the window advanced")
+	}
+	// The channel keeps working past the gap.
+	r3 := client.Seal([]byte("three"))
+	if got, err := server.Open(r3); err != nil || string(got) != "three" {
+		t.Fatalf("channel dead after gap: %v", err)
 	}
 }
 
