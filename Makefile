@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet check bench fuzz report figures cost sim examples cover clean
+.PHONY: all build test test-race vet check bench bench-dataplane fuzz report figures cost sim examples cover clean
 
 all: build check
 
@@ -25,6 +25,12 @@ check: vet test-race
 # Per-figure/table reproduction benches (bench_test.go at the root).
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Data-plane throughput report: serial vs parallel vs batch Mpps into
+# BENCH_dataplane.json. Fails if the idle path computes any CMAC or the
+# allocations per stamped packet regress above BENCH_baseline.json.
+bench-dataplane:
+	DISCS_DATAPLANE_REPORT=1 $(GO) test -run 'TestDataPlane(Budget|Report)' -count=1 -v .
 
 # Short fuzz pass over every parser (extend -fuzztime for deeper runs).
 fuzz:

@@ -7,8 +7,11 @@
 package discs_test
 
 import (
+	"encoding/json"
 	"math/rand"
 	"net/netip"
+	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -221,7 +224,7 @@ func BenchmarkCostRouter(b *testing.B) {
 
 // dataPlanePair builds a stamped CDP peer/victim router pair over a
 // tiny Pfx2AS for the data-plane benches.
-func dataPlanePair(b *testing.B) (peer, victim *core.BorderRouter, now time.Time) {
+func dataPlanePair(b testing.TB) (peer, victim *core.BorderRouter, now time.Time) {
 	b.Helper()
 	tp := topology.New()
 	for asn, p := range map[topology.ASN]string{1: "10.1.0.0/16", 3: "10.3.0.0/16"} {
@@ -249,10 +252,9 @@ func dataPlanePair(b *testing.B) (peer, victim *core.BorderRouter, now time.Time
 	return peer, victim, t0.Add(time.Minute)
 }
 
-// BenchmarkStampVerifyV4 measures software data-plane throughput for
-// the full stamp+verify path (§VI-C2 compares against 8 Mpps/core
-// hardware AES-CMAC).
-func BenchmarkStampVerifyV4(b *testing.B) {
+// stampVerifySerial is the full stamp+verify round trip, one packet at
+// a time; shared by BenchmarkStampVerifyV4 and the JSON report.
+func stampVerifySerial(b *testing.B) {
 	peer, victim, now := dataPlanePair(b)
 	p := &packet.IPv4{
 		TTL: 64, Protocol: packet.ProtoUDP,
@@ -272,11 +274,9 @@ func BenchmarkStampVerifyV4(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
 }
 
-// BenchmarkStampVerifyV4Parallel measures multi-core data-plane
-// scaling: every forwarding goroutine runs the full stamp+verify path
-// against the same router pair (shared tables, atomic counters). The
-// Mpps metric divided by the serial bench's shows the speedup.
-func BenchmarkStampVerifyV4Parallel(b *testing.B) {
+// stampVerifyParallel runs the same round trip from GOMAXPROCS
+// goroutines against one shared router pair.
+func stampVerifyParallel(b *testing.B) {
 	peer, victim, now := dataPlanePair(b)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -296,6 +296,210 @@ func BenchmarkStampVerifyV4Parallel(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
+}
+
+// stampVerifyBatch runs the round trip through the burst entry points:
+// one snapshot load, one CMAC scratch and one counter flush per 64
+// packets instead of per packet.
+func stampVerifyBatch(b *testing.B) {
+	peer, victim, now := dataPlanePair(b)
+	const batchSize = 64
+	pkts := make([]core.MarkCarrier, batchSize)
+	for i := range pkts {
+		pkts[i] = core.V4{P: &packet.IPv4{
+			TTL: 64, Protocol: packet.ProtoUDP,
+			Src: netip.AddrFrom4([4]byte{10, 1, 0, byte(i + 1)}), Dst: netip.MustParseAddr("10.3.0.1"),
+			Payload: []byte("benchmark payload!"),
+		}}
+	}
+	out := make([]core.Verdict, 0, batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSize {
+		out = peer.ProcessOutboundBatch(pkts, now, out[:0])
+		if out[0] != core.VerdictPassStamped {
+			b.Fatalf("outbound %v", out[0])
+		}
+		out = victim.ProcessInboundBatch(pkts, now, out[:0])
+		if out[0] != core.VerdictPassVerified {
+			b.Fatalf("inbound %v", out[0])
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
+}
+
+// idleOutbound measures the no-invocation fast path: table snapshots
+// loaded, idle bounds checked, nothing else.
+func idleOutbound(b *testing.B) {
+	r := idleRouter(b)
+	now := time.Unix(0, 0).UTC().Add(time.Minute)
+	p := &packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP,
+		Src: netip.MustParseAddr("10.1.0.10"), Dst: netip.MustParseAddr("10.3.0.1"),
+		Payload: []byte("x")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ProcessOutbound(core.V4{P: p}, now)
+	}
+	if r.Stats().MACsComputed != 0 {
+		b.Fatal("idle path ran crypto")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
+}
+
+// idleRouter builds a router with keys installed but no invocation
+// scheduled anywhere.
+func idleRouter(tb testing.TB) *core.BorderRouter {
+	tb.Helper()
+	tp := topology.New()
+	tp.AddAS(1)
+	tp.AddPrefix(1, netip.MustParsePrefix("10.1.0.0/16"))
+	tp.AddAS(3)
+	tp.AddPrefix(3, netip.MustParsePrefix("10.3.0.0/16"))
+	tab := core.NewTables(1, tp.Pfx2AS())
+	tab.Keys.SetStampKey(3, make([]byte, 16))
+	return core.NewBorderRouter(tab, 1)
+}
+
+// BenchmarkStampVerifyV4 measures software data-plane throughput for
+// the full stamp+verify path (§VI-C2 compares against 8 Mpps/core
+// hardware AES-CMAC).
+func BenchmarkStampVerifyV4(b *testing.B) { stampVerifySerial(b) }
+
+// BenchmarkStampVerifyV4Parallel measures multi-core data-plane
+// scaling: every forwarding goroutine runs the full stamp+verify path
+// against the same router pair (shared tables, atomic counters). The
+// Mpps metric divided by the serial bench's shows the speedup.
+func BenchmarkStampVerifyV4Parallel(b *testing.B) { stampVerifyParallel(b) }
+
+// BenchmarkStampVerifyV4Batch measures the burst entry points
+// (ProcessOutboundBatch/ProcessInboundBatch).
+func BenchmarkStampVerifyV4Batch(b *testing.B) { stampVerifyBatch(b) }
+
+// dataPlaneBaseline is the committed allocation budget the data plane
+// must not regress above (BENCH_baseline.json).
+type dataPlaneBaseline struct {
+	AllocsPerStampedPacket float64 `json:"allocs_per_stamped_packet"`
+	IdleAllocsPerPacket    float64 `json:"idle_allocs_per_packet"`
+}
+
+// TestDataPlaneBudget enforces the data-plane resource contract on
+// every test run: the idle path computes no CMACs and allocates
+// nothing, and the stamped path's allocations stay within the
+// committed baseline.
+func TestDataPlaneBudget(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_baseline.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	var base dataPlaneBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("BENCH_baseline.json: %v", err)
+	}
+
+	now := time.Unix(0, 0).UTC().Add(time.Minute)
+	idle := idleRouter(t)
+	p := &packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP,
+		Src: netip.MustParseAddr("10.1.0.10"), Dst: netip.MustParseAddr("10.3.0.1"),
+		Payload: []byte("x")}
+	idleAllocs := testing.AllocsPerRun(2000, func() {
+		if v := idle.ProcessOutbound(core.V4{P: p}, now); v != core.VerdictPass {
+			t.Fatalf("idle outbound %v", v)
+		}
+		if v := idle.ProcessInbound(core.V4{P: p}, now); v != core.VerdictPass {
+			t.Fatalf("idle inbound %v", v)
+		}
+	})
+	if macs := idle.Stats().MACsComputed; macs != 0 {
+		t.Fatalf("idle path computed %d MACs, want 0", macs)
+	}
+	if idleAllocs > base.IdleAllocsPerPacket {
+		t.Fatalf("idle path allocates %.1f/packet, budget %.1f", idleAllocs, base.IdleAllocsPerPacket)
+	}
+
+	peer, victim, now := dataPlanePair(t)
+	q := &packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP,
+		Src: netip.MustParseAddr("10.1.0.10"), Dst: netip.MustParseAddr("10.3.0.1"),
+		Payload: []byte("benchmark payload!")}
+	stampAllocs := testing.AllocsPerRun(2000, func() {
+		if v := peer.ProcessOutbound(core.V4{P: q}, now); v != core.VerdictPassStamped {
+			t.Fatalf("outbound %v", v)
+		}
+		if v := victim.ProcessInbound(core.V4{P: q}, now); v != core.VerdictPassVerified {
+			t.Fatalf("inbound %v", v)
+		}
+	})
+	if stampAllocs > base.AllocsPerStampedPacket {
+		t.Fatalf("stamped path allocates %.1f/packet, budget %.1f",
+			stampAllocs, base.AllocsPerStampedPacket)
+	}
+}
+
+// TestDataPlaneReport regenerates BENCH_dataplane.json: the serial vs
+// parallel vs batch Mpps comparison plus the idle-path cost, measured
+// with the standard benchmark driver. Gated behind an environment
+// variable because it runs real benchmarks; `make bench-dataplane`
+// sets it.
+func TestDataPlaneReport(t *testing.T) {
+	if os.Getenv("DISCS_DATAPLANE_REPORT") == "" {
+		t.Skip("set DISCS_DATAPLANE_REPORT=1 (make bench-dataplane) to regenerate BENCH_dataplane.json")
+	}
+
+	type row struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		Mpps        float64 `json:"mpps"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	}
+	mk := func(r testing.BenchmarkResult) row {
+		return row{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			Mpps:        r.Extra["Mpps"],
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+
+	serial := testing.Benchmark(stampVerifySerial)
+	batch := testing.Benchmark(stampVerifyBatch)
+	idle := testing.Benchmark(idleOutbound)
+
+	// The parallel run needs more than one P to mean anything; mirror
+	// `-cpu 4` when the environment gives us fewer.
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 4 {
+		procs = 4
+	}
+	prev := runtime.GOMAXPROCS(procs)
+	parallel := testing.Benchmark(stampVerifyParallel)
+	runtime.GOMAXPROCS(prev)
+
+	report := struct {
+		GeneratedBy   string  `json:"generated_by"`
+		NumCPU        int     `json:"num_cpu"`
+		ParallelProcs int     `json:"parallel_procs"`
+		PaperMpps     float64 `json:"paper_mpps_per_core"`
+		Serial        row     `json:"serial"`
+		Parallel      row     `json:"parallel"`
+		Batch         row     `json:"batch"`
+		Idle          row     `json:"idle"`
+	}{
+		GeneratedBy:   "make bench-dataplane",
+		NumCPU:        runtime.NumCPU(),
+		ParallelProcs: procs,
+		PaperMpps:     8, // §VI-C2: hardware AES-CMAC reference
+		Serial:        mk(serial),
+		Parallel:      mk(parallel),
+		Batch:         mk(batch),
+		Idle:          mk(idle),
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_dataplane.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serial %.3f / parallel %.3f / batch %.3f Mpps, idle %.1f ns/op",
+		report.Serial.Mpps, report.Parallel.Mpps, report.Batch.Mpps, report.Idle.NsPerOp)
 }
 
 // BenchmarkForgery is the §VI-E1 experiment: random 29-bit marks

@@ -176,4 +176,15 @@ func main() {
 	}
 	fmt.Printf("\nlegitimate traffic from peers: %d/%d delivered (false positives: %d)\n",
 		ok, total, total-ok)
+
+	// Fleet-wide data-plane resource accounting (§VI-C2): how much work
+	// the scenario cost across every deployed border router.
+	dp := sys.DataPlaneStats()
+	fmt.Printf("\ndata plane totals across %d routers:\n", len(sys.Routers))
+	fmt.Printf("  outbound: %d processed, %d stamped, %d dropped\n",
+		dp.OutProcessed, dp.OutStamped, dp.OutDropped)
+	fmt.Printf("  inbound:  %d processed, %d verified, %d verify-failed, %d dropped, %d erased-only\n",
+		dp.InProcessed, dp.InVerified, dp.InVerifyFail, dp.InDropped, dp.InErasedOnly)
+	fmt.Printf("  crypto:   %d CMACs computed, %d ICMP errors scrubbed\n",
+		dp.MACsComputed, dp.ICMPScrubbed)
 }

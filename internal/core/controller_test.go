@@ -114,7 +114,7 @@ func TestKeyNegotiationCompletes(t *testing.T) {
 		t.Fatal("no stamp key")
 	}
 	V4{pkt}.Stamp(key)
-	if valid, known := s.Routers[1004].Tables.Keys.VerifyMark(1001, V4{pkt}); !valid || !known {
+	if valid, known, _ := s.Routers[1004].Tables.Keys.VerifyMark(1001, V4{pkt}); !valid || !known {
 		t.Fatalf("cross-verify failed: valid=%v known=%v", valid, known)
 	}
 }

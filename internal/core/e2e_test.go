@@ -311,7 +311,7 @@ func TestE2ETTLExpiryScrubsMark(t *testing.T) {
 	if key == nil {
 		t.Fatal("no stamp key")
 	}
-	if (V4{emb}).Verify(key) {
+	if ok, _ := (V4{emb}).Verify(key); ok {
 		t.Fatal("attacker can learn a valid mark from ICMP TTL-exceeded")
 	}
 	if s.Routers[1001].Stats().ICMPScrubbed != 1 {

@@ -62,7 +62,7 @@ func TestLossyHandshakeRecovers(t *testing.T) {
 	pkt.Src = netip.MustParseAddr("172.16.1.10")
 	pkt.Dst = netip.MustParseAddr("172.16.4.10")
 	(V4{pkt}).Stamp(s.Routers[1001].Tables.Keys.StampKey(1004))
-	if ok, _ := s.Routers[1004].Tables.Keys.VerifyMark(1001, V4{pkt}); !ok {
+	if ok, _, _ := s.Routers[1004].Tables.Keys.VerifyMark(1001, V4{pkt}); !ok {
 		t.Fatal("recovered keys are inconsistent")
 	}
 }
@@ -161,7 +161,7 @@ func TestLossSweepConverges(t *testing.T) {
 			pkt.Src = netip.MustParseAddr("172.16.1.10")
 			pkt.Dst = netip.MustParseAddr("172.16.4.10")
 			(V4{pkt}).Stamp(s.Routers[1001].Tables.Keys.StampKey(1004))
-			if ok, _ := s.Routers[1004].Tables.Keys.VerifyMark(1001, V4{pkt}); !ok {
+			if ok, _, _ := s.Routers[1004].Tables.Keys.VerifyMark(1001, V4{pkt}); !ok {
 				t.Fatalf("keys inconsistent under %.0f%% loss", loss*100)
 			}
 		})
@@ -201,7 +201,7 @@ func TestRetryIdempotentUnderDuplicates(t *testing.T) {
 	pkt.Src = netip.MustParseAddr("172.16.1.10")
 	pkt.Dst = netip.MustParseAddr("172.16.4.10")
 	(V4{pkt}).Stamp(s.Routers[1001].Tables.Keys.StampKey(1004))
-	if ok, _ := s.Routers[1004].Tables.Keys.VerifyMark(1001, V4{pkt}); !ok {
+	if ok, _, _ := s.Routers[1004].Tables.Keys.VerifyMark(1001, V4{pkt}); !ok {
 		t.Fatal("keys inconsistent after duplicates")
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"discs/internal/cmac"
 	"discs/internal/topology"
@@ -16,8 +17,20 @@ import (
 // the previous key live alongside the new one: a mark is valid if it
 // conforms with either. The stamping side switches atomically once the
 // peer has confirmed deployment of the new key.
+//
+// The table is copy-on-write: mutators serialize on mu, clone the maps
+// and publish a new immutable snapshot; the forwarding path loads the
+// snapshot once and reads it without locks. Key churn is a control-plane
+// event (rekey intervals are hours), so the clone cost never shows up
+// on the data path.
 type KeyTable struct {
-	mu     sync.RWMutex
+	mu   sync.Mutex // serializes mutators; readers never take it
+	snap atomic.Pointer[keySnapshot]
+}
+
+// keySnapshot is an immutable view of both key maps. Neither the maps
+// nor the verifyKeys values are ever mutated after publication.
+type keySnapshot struct {
 	stamp  map[topology.ASN]*cmac.CMAC
 	verify map[topology.ASN]*verifyKeys
 }
@@ -27,12 +40,37 @@ type verifyKeys struct {
 	previous *cmac.CMAC // non-nil only during a rekey window
 }
 
+var emptyKeySnapshot = &keySnapshot{
+	stamp:  map[topology.ASN]*cmac.CMAC{},
+	verify: map[topology.ASN]*verifyKeys{},
+}
+
 // NewKeyTable creates empty key tables.
 func NewKeyTable() *KeyTable {
-	return &KeyTable{
-		stamp:  make(map[topology.ASN]*cmac.CMAC),
-		verify: make(map[topology.ASN]*verifyKeys),
+	kt := &KeyTable{}
+	kt.snap.Store(emptyKeySnapshot)
+	return kt
+}
+
+// mutate clones the current snapshot, applies fn to the clone and
+// publishes it. Caller-side granularity is one published snapshot per
+// mutation, which keeps every mutation atomic with respect to readers.
+func (kt *KeyTable) mutate(fn func(s *keySnapshot)) {
+	kt.mu.Lock()
+	defer kt.mu.Unlock()
+	old := kt.snap.Load()
+	s := &keySnapshot{
+		stamp:  make(map[topology.ASN]*cmac.CMAC, len(old.stamp)+1),
+		verify: make(map[topology.ASN]*verifyKeys, len(old.verify)+1),
 	}
+	for p, c := range old.stamp {
+		s.stamp[p] = c
+	}
+	for p, vk := range old.verify {
+		s.verify[p] = vk
+	}
+	fn(s)
+	kt.snap.Store(s)
 }
 
 // SetStampKey installs (or replaces) the stamping key toward peer.
@@ -41,9 +79,7 @@ func (kt *KeyTable) SetStampKey(peer topology.ASN, key []byte) error {
 	if err != nil {
 		return fmt.Errorf("core: stamp key for AS%d: %w", peer, err)
 	}
-	kt.mu.Lock()
-	defer kt.mu.Unlock()
-	kt.stamp[peer] = c
+	kt.mutate(func(s *keySnapshot) { s.stamp[peer] = c })
 	return nil
 }
 
@@ -56,77 +92,94 @@ func (kt *KeyTable) SetVerifyKey(peer topology.ASN, key []byte) error {
 	if err != nil {
 		return fmt.Errorf("core: verify key for AS%d: %w", peer, err)
 	}
-	kt.mu.Lock()
-	defer kt.mu.Unlock()
-	if old := kt.verify[peer]; old != nil {
-		kt.verify[peer] = &verifyKeys{current: c, previous: old.current}
-	} else {
-		kt.verify[peer] = &verifyKeys{current: c}
-	}
+	kt.mutate(func(s *keySnapshot) {
+		if old := s.verify[peer]; old != nil {
+			s.verify[peer] = &verifyKeys{current: c, previous: old.current}
+		} else {
+			s.verify[peer] = &verifyKeys{current: c}
+		}
+	})
 	return nil
 }
 
 // DropPreviousVerifyKey ends the rekey window for peer.
 func (kt *KeyTable) DropPreviousVerifyKey(peer topology.ASN) {
-	kt.mu.Lock()
-	defer kt.mu.Unlock()
-	if vk := kt.verify[peer]; vk != nil {
-		vk.previous = nil
-	}
+	kt.mutate(func(s *keySnapshot) {
+		if vk := s.verify[peer]; vk != nil && vk.previous != nil {
+			s.verify[peer] = &verifyKeys{current: vk.current}
+		}
+	})
 }
 
 // RemovePeer deletes all key state for peer (peer teardown or key
 // compromise recovery, §VI-E3).
 func (kt *KeyTable) RemovePeer(peer topology.ASN) {
-	kt.mu.Lock()
-	defer kt.mu.Unlock()
-	delete(kt.stamp, peer)
-	delete(kt.verify, peer)
+	kt.mutate(func(s *keySnapshot) {
+		delete(s.stamp, peer)
+		delete(s.verify, peer)
+	})
 }
 
 // StampKey returns the CMAC instance for stamping packets toward peer,
 // or nil when peer is not a peer DAS (Key-S(j) = Null in the paper).
 func (kt *KeyTable) StampKey(peer topology.ASN) *cmac.CMAC {
-	kt.mu.RLock()
-	defer kt.mu.RUnlock()
-	return kt.stamp[peer]
+	return kt.snap.Load().stamp[peer]
 }
 
 // HasVerifyKey reports whether a verification key exists for peer —
 // the "src ∈ peer" predicate of CDP-verify (Table I).
 func (kt *KeyTable) HasVerifyKey(peer topology.ASN) bool {
-	kt.mu.RLock()
-	defer kt.mu.RUnlock()
-	return kt.verify[peer] != nil
+	return kt.snap.Load().verify[peer] != nil
 }
 
 // VerifyMark checks a packet's mark against peer's current key, and
 // during a rekey window also against the previous key. It reports
-// (valid, keyKnown): keyKnown is false when peer has no verification
-// key at all.
-func (kt *KeyTable) VerifyMark(peer topology.ASN, carrier MarkCarrier) (valid, keyKnown bool) {
-	kt.mu.RLock()
-	vk := kt.verify[peer]
-	kt.mu.RUnlock()
+// (valid, keyKnown, macs): keyKnown is false when peer has no
+// verification key at all, and macs is the number of CMAC computations
+// performed — up to two during a rekey window, zero when the packet
+// cannot carry a mark — so callers can account crypto cost faithfully
+// (§VI-C2).
+func (kt *KeyTable) VerifyMark(peer topology.ASN, carrier MarkCarrier) (valid, keyKnown bool, macs int) {
+	return kt.snap.Load().verifyMark(peer, carrier, nil)
+}
+
+// verifyMark is the snapshot-level verification used by the forwarding
+// path; s, when non-nil, provides reusable CMAC scratch buffers.
+func (ks *keySnapshot) verifyMark(peer topology.ASN, carrier MarkCarrier, s *cmac.Scratch) (valid, keyKnown bool, macs int) {
+	vk := ks.verify[peer]
 	if vk == nil {
-		return false, false
+		return false, false, 0
 	}
-	if carrier.Verify(vk.current) {
-		return true, true
+	ok, n := verifyOne(carrier, vk.current, s)
+	macs += n
+	if ok {
+		return true, true, macs
 	}
-	if vk.previous != nil && carrier.Verify(vk.previous) {
-		return true, true
+	if vk.previous != nil {
+		ok, n = verifyOne(carrier, vk.previous, s)
+		macs += n
+		if ok {
+			return true, true, macs
+		}
 	}
-	return false, true
+	return false, true, macs
+}
+
+func verifyOne(carrier MarkCarrier, c *cmac.CMAC, s *cmac.Scratch) (bool, int) {
+	if s != nil {
+		if sc, ok := carrier.(scratchCarrier); ok {
+			return sc.verifyWith(c, s)
+		}
+	}
+	return carrier.Verify(c)
 }
 
 // NumPeers returns the number of peers with any key state.
 func (kt *KeyTable) NumPeers() int {
-	kt.mu.RLock()
-	defer kt.mu.RUnlock()
-	n := len(kt.verify)
-	for p := range kt.stamp {
-		if _, ok := kt.verify[p]; !ok {
+	ks := kt.snap.Load()
+	n := len(ks.verify)
+	for p := range ks.stamp {
+		if _, ok := ks.verify[p]; !ok {
 			n++
 		}
 	}

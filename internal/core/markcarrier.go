@@ -11,22 +11,37 @@ import (
 // plane processes IPv4 and IPv6 packets uniformly: 29-bit marks in the
 // IPID/FragmentOffset fields for IPv4 (§V-E), a 32-bit destination
 // option for IPv6 (§V-F).
+//
+// Stamp and Verify return the number of CMAC computations they ran so
+// the router's MACsComputed counter reflects actual crypto cost
+// (§VI-C2): a failed IPv6 stamp still computed its MAC, while a missing
+// IPv6 option fails verification without computing anything.
 type MarkCarrier interface {
 	// SrcAddr and DstAddr return the packet's addresses.
 	SrcAddr() netip.Addr
 	DstAddr() netip.Addr
-	// Stamp writes the truncated CMAC of the packet's msg fields.
-	Stamp(c *cmac.CMAC) error
-	// Verify checks the mark against the key. For IPv4 the mark fields
-	// always exist, so an unstamped packet simply fails verification;
-	// for IPv6 a missing DISCS option fails verification.
-	Verify(c *cmac.CMAC) bool
+	// Stamp writes the truncated CMAC of the packet's msg fields and
+	// returns the number of CMACs computed (even when err != nil).
+	Stamp(c *cmac.CMAC) (macs int, err error)
+	// Verify checks the mark against the key and returns the number of
+	// CMACs computed. For IPv4 the mark fields always exist, so an
+	// unstamped packet simply fails verification; for IPv6 a missing
+	// DISCS option fails verification with zero computations.
+	Verify(c *cmac.CMAC) (ok bool, macs int)
 	// Erase removes the mark: IPv4 replaces the fields with the given
 	// bits, IPv6 strips the DISCS option.
 	Erase(random uint32)
 	// MarkBits returns the mark width (29 for IPv4, 32 for IPv6),
 	// which determines the brute-force forgery factor (§VI-E1).
 	MarkBits() int
+}
+
+// scratchCarrier is the batch-path refinement of MarkCarrier: the same
+// operations with caller-provided CMAC scratch buffers, so a burst of
+// packets shares one Scratch instead of hitting the pool per MAC.
+type scratchCarrier interface {
+	stampWith(c *cmac.CMAC, s *cmac.Scratch) (macs int, err error)
+	verifyWith(c *cmac.CMAC, s *cmac.Scratch) (ok bool, macs int)
 }
 
 // V4 wraps an IPv4 packet as a MarkCarrier.
@@ -39,16 +54,27 @@ func (w V4) SrcAddr() netip.Addr { return w.P.Src }
 func (w V4) DstAddr() netip.Addr { return w.P.Dst }
 
 // Stamp writes the 29-bit truncated CMAC into IPID+FragOffset.
-func (w V4) Stamp(c *cmac.CMAC) error {
+func (w V4) Stamp(c *cmac.CMAC) (int, error) {
 	m := w.P.Msg()
 	w.P.SetMark(c.Sum29(m[:]))
-	return nil
+	return 1, nil
+}
+
+func (w V4) stampWith(c *cmac.CMAC, s *cmac.Scratch) (int, error) {
+	m := w.P.Msg()
+	w.P.SetMark(c.Sum29With(m[:], s))
+	return 1, nil
 }
 
 // Verify recomputes the 29-bit CMAC and compares.
-func (w V4) Verify(c *cmac.CMAC) bool {
+func (w V4) Verify(c *cmac.CMAC) (bool, int) {
 	m := w.P.Msg()
-	return c.Verify29(m[:], w.P.Mark())
+	return c.Verify29(m[:], w.P.Mark()), 1
+}
+
+func (w V4) verifyWith(c *cmac.CMAC, s *cmac.Scratch) (bool, int) {
+	m := w.P.Msg()
+	return c.Sum29With(m[:], s) == w.P.Mark()&(1<<29-1), 1
 }
 
 // Erase replaces the mark fields with the supplied bits (§V-E: random
@@ -68,20 +94,36 @@ func (w V6) SrcAddr() netip.Addr { return w.P.Src }
 func (w V6) DstAddr() netip.Addr { return w.P.Dst }
 
 // Stamp inserts the DISCS destination option carrying the 32-bit
-// truncated CMAC.
-func (w V6) Stamp(c *cmac.CMAC) error {
+// truncated CMAC. The CMAC is computed before the option insertion can
+// fail, so macs is 1 even on error.
+func (w V6) Stamp(c *cmac.CMAC) (int, error) {
 	m := w.P.Msg()
-	return w.P.StampV6(c.Sum32(m[:]))
+	return 1, w.P.StampV6(c.Sum32(m[:]))
 }
 
-// Verify checks the DISCS option; absent option fails.
-func (w V6) Verify(c *cmac.CMAC) bool {
+func (w V6) stampWith(c *cmac.CMAC, s *cmac.Scratch) (int, error) {
+	m := w.P.Msg()
+	return 1, w.P.StampV6(c.Sum32With(m[:], s))
+}
+
+// Verify checks the DISCS option; an absent option fails without
+// computing a CMAC.
+func (w V6) Verify(c *cmac.CMAC) (bool, int) {
 	mac, ok := w.P.MarkV6()
 	if !ok {
-		return false
+		return false, 0
 	}
 	m := w.P.Msg()
-	return c.Verify32(m[:], mac)
+	return c.Verify32(m[:], mac), 1
+}
+
+func (w V6) verifyWith(c *cmac.CMAC, s *cmac.Scratch) (bool, int) {
+	mac, ok := w.P.MarkV6()
+	if !ok {
+		return false, 0
+	}
+	m := w.P.Msg()
+	return c.Sum32With(m[:], s) == mac, 1
 }
 
 // Erase removes the DISCS option (and the destination options header
@@ -92,6 +134,8 @@ func (w V6) Erase(uint32) { w.P.UnstampV6() }
 func (w V6) MarkBits() int { return 32 }
 
 var (
-	_ MarkCarrier = V4{}
-	_ MarkCarrier = V6{}
+	_ MarkCarrier    = V4{}
+	_ MarkCarrier    = V6{}
+	_ scratchCarrier = V4{}
+	_ scratchCarrier = V6{}
 )

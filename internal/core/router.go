@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"discs/internal/cmac"
 	"discs/internal/packet"
 	"discs/internal/topology"
 )
@@ -51,7 +52,9 @@ func (v Verdict) Dropped() bool { return v == VerdictDrop }
 // discussion of §VI-C2. The counters are updated atomically, so the
 // router's processing methods may run concurrently from many
 // forwarding goroutines (a line card per goroutine); read a consistent
-// snapshot with BorderRouter.Stats.
+// snapshot with BorderRouter.Stats. MACsComputed counts actual CMAC
+// computations: a rekey-window verification that tries both keys
+// counts 2, a failed IPv6 stamp still counts its computed MAC.
 type RouterStats struct {
 	OutProcessed uint64
 	OutDropped   uint64 // DP/SP filter drops
@@ -65,6 +68,24 @@ type RouterStats struct {
 	OutTooBig    uint64 // IPv6 packets refused because stamping exceeds the MTU
 	MACsComputed uint64 // crypto operations (stamp + verify attempts)
 	ICMPScrubbed uint64
+}
+
+// Add returns the field-wise sum of two stats snapshots.
+func (s RouterStats) Add(o RouterStats) RouterStats {
+	return RouterStats{
+		OutProcessed: s.OutProcessed + o.OutProcessed,
+		OutDropped:   s.OutDropped + o.OutDropped,
+		OutStamped:   s.OutStamped + o.OutStamped,
+		InProcessed:  s.InProcessed + o.InProcessed,
+		InVerified:   s.InVerified + o.InVerified,
+		InVerifyFail: s.InVerifyFail + o.InVerifyFail,
+		InDropped:    s.InDropped + o.InDropped,
+		InErasedOnly: s.InErasedOnly + o.InErasedOnly,
+		InAlarmed:    s.InAlarmed + o.InAlarmed,
+		OutTooBig:    s.OutTooBig + o.OutTooBig,
+		MACsComputed: s.MACsComputed + o.MACsComputed,
+		ICMPScrubbed: s.ICMPScrubbed + o.ICMPScrubbed,
+	}
 }
 
 // routerCounters is the internal atomic mirror of RouterStats.
@@ -97,6 +118,60 @@ func (c *routerCounters) snapshot() RouterStats {
 		OutTooBig:    c.outTooBig.Load(),
 		MACsComputed: c.macsComputed.Load(),
 		ICMPScrubbed: c.icmpScrubbed.Load(),
+	}
+}
+
+// routerDeltas accumulates counter increments locally during a packet
+// or burst, then flushes only the non-zero fields to the shared atomic
+// counters — per-packet atomic traffic drops from up to five RMW ops
+// to the handful that actually changed.
+type routerDeltas struct {
+	outProcessed uint64
+	outDropped   uint64
+	outStamped   uint64
+	inProcessed  uint64
+	inVerified   uint64
+	inVerifyFail uint64
+	inDropped    uint64
+	inErasedOnly uint64
+	inAlarmed    uint64
+	outTooBig    uint64
+	macsComputed uint64
+}
+
+func (d *routerDeltas) flush(c *routerCounters) {
+	if d.outProcessed != 0 {
+		c.outProcessed.Add(d.outProcessed)
+	}
+	if d.outDropped != 0 {
+		c.outDropped.Add(d.outDropped)
+	}
+	if d.outStamped != 0 {
+		c.outStamped.Add(d.outStamped)
+	}
+	if d.inProcessed != 0 {
+		c.inProcessed.Add(d.inProcessed)
+	}
+	if d.inVerified != 0 {
+		c.inVerified.Add(d.inVerified)
+	}
+	if d.inVerifyFail != 0 {
+		c.inVerifyFail.Add(d.inVerifyFail)
+	}
+	if d.inDropped != 0 {
+		c.inDropped.Add(d.inDropped)
+	}
+	if d.inErasedOnly != 0 {
+		c.inErasedOnly.Add(d.inErasedOnly)
+	}
+	if d.inAlarmed != 0 {
+		c.inAlarmed.Add(d.inAlarmed)
+	}
+	if d.outTooBig != 0 {
+		c.outTooBig.Add(d.outTooBig)
+	}
+	if d.macsComputed != 0 {
+		c.macsComputed.Add(d.macsComputed)
 	}
 }
 
@@ -164,17 +239,45 @@ func NewBorderRouter(tables *Tables, seed int64) *BorderRouter {
 // ProcessOutbound runs the outbound half of the Figure-3 flow on a
 // packet leaving the AS.
 func (r *BorderRouter) ProcessOutbound(p MarkCarrier, now time.Time) Verdict {
-	r.ctr.outProcessed.Add(1)
-	tup := r.Tables.GenOutTuple(p.SrcAddr(), p.DstAddr(), now)
+	st := r.Tables.loadOut()
+	var d routerDeltas
+	v := r.processOutbound(&st, p, now.UnixNano(), &d, nil)
+	d.flush(&r.ctr)
+	return v
+}
+
+// ProcessOutboundBatch processes a burst of outbound packets against a
+// single coherent snapshot of the tables, amortizing snapshot loads,
+// CMAC scratch buffers and counter flushes across the burst. Verdicts
+// are appended to dst (pass a reused buffer to keep the call
+// allocation-free) and returned. Every packet in the burst sees the
+// same table/key state; a concurrent controller mutation applies to
+// the next burst.
+func (r *BorderRouter) ProcessOutboundBatch(pkts []MarkCarrier, now time.Time, dst []Verdict) []Verdict {
+	st := r.Tables.loadOut()
+	nowN := now.UnixNano()
+	var d routerDeltas
+	var s cmac.Scratch
+	for _, p := range pkts {
+		dst = append(dst, r.processOutbound(&st, p, nowN, &d, &s))
+	}
+	d.flush(&r.ctr)
+	return dst
+}
+
+// processOutbound is the snapshot-level outbound path shared by the
+// single-packet and batch entry points.
+func (r *BorderRouter) processOutbound(st *outState, p MarkCarrier, nowN int64, d *routerDeltas, s *cmac.Scratch) Verdict {
+	d.outProcessed++
+	tup := r.Tables.genOutTuple(st, p.SrcAddr(), p.DstAddr(), nowN)
 	if tup.Drop {
-		r.ctr.outDropped.Add(1)
+		d.outDropped++
 		return VerdictDrop
 	}
 	if !tup.Stamp {
 		return VerdictPass
 	}
-	key := r.Tables.Keys.StampKey(tup.DstAS)
-	if key == nil {
+	if tup.Key == nil {
 		// CDP-stamp scheduled but the destination is not a peer (e.g.
 		// key torn down mid-invocation): pass unstamped rather than
 		// break connectivity.
@@ -186,7 +289,7 @@ func (r *BorderRouter) ProcessOutbound(p MarkCarrier, now time.Time) Verdict {
 	if r.ExternalMTU > 0 {
 		if v6, ok := p.(V6); ok {
 			if v6.P.WireLen()+v6.P.StampOverheadV6() > r.ExternalMTU {
-				r.ctr.outTooBig.Add(1)
+				d.outTooBig++
 				if r.OnPacketTooBig != nil {
 					if icmp, err := packet.NewICMPv6PacketTooBig(r.RouterAddr, v6.P, uint32(r.ExternalMTU-8)); err == nil {
 						r.OnPacketTooBig(icmp)
@@ -196,61 +299,96 @@ func (r *BorderRouter) ProcessOutbound(p MarkCarrier, now time.Time) Verdict {
 			}
 		}
 	}
-	if err := p.Stamp(key); err != nil {
+	var macs int
+	var err error
+	if s != nil {
+		if sc, ok := p.(scratchCarrier); ok {
+			macs, err = sc.stampWith(tup.Key, s)
+		} else {
+			macs, err = p.Stamp(tup.Key)
+		}
+	} else {
+		macs, err = p.Stamp(tup.Key)
+	}
+	d.macsComputed += uint64(macs)
+	if err != nil {
 		// Packet cannot carry a mark (e.g. duplicate option): pass; the
 		// verification end will treat it as unmarked.
 		return VerdictPass
 	}
-	r.ctr.macsComputed.Add(1)
-	r.ctr.outStamped.Add(1)
+	d.outStamped++
 	return VerdictPassStamped
 }
 
 // ProcessInbound runs the inbound half of the Figure-3 flow on a
 // packet entering the AS.
 func (r *BorderRouter) ProcessInbound(p MarkCarrier, now time.Time) Verdict {
-	r.ctr.inProcessed.Add(1)
-	tup := r.Tables.GenInTuple(p.SrcAddr(), p.DstAddr(), now)
+	st := r.Tables.loadIn()
+	var d routerDeltas
+	v := r.processInbound(&st, p, now.UnixNano(), &d, nil)
+	d.flush(&r.ctr)
+	return v
+}
+
+// ProcessInboundBatch is the inbound counterpart of
+// ProcessOutboundBatch.
+func (r *BorderRouter) ProcessInboundBatch(pkts []MarkCarrier, now time.Time, dst []Verdict) []Verdict {
+	st := r.Tables.loadIn()
+	nowN := now.UnixNano()
+	var d routerDeltas
+	var s cmac.Scratch
+	for _, p := range pkts {
+		dst = append(dst, r.processInbound(&st, p, nowN, &d, &s))
+	}
+	d.flush(&r.ctr)
+	return dst
+}
+
+// processInbound is the snapshot-level inbound path shared by the
+// single-packet and batch entry points.
+func (r *BorderRouter) processInbound(st *inState, p MarkCarrier, nowN int64, d *routerDeltas, s *cmac.Scratch) Verdict {
+	d.inProcessed++
+	tup := r.Tables.genInTuple(st, p.SrcAddr(), p.DstAddr(), nowN)
 	if !tup.Verify {
 		return VerdictPass
 	}
 	if tup.EraseOnly {
 		// Grace interval: erase without enforcement (§IV-E1).
 		p.Erase(r.randomBits())
-		r.ctr.inErasedOnly.Add(1)
+		d.inErasedOnly++
 		return VerdictPass
 	}
-	valid, keyKnown := false, false
+	valid, keyKnown, macs := false, false, 0
 	if tup.SrcKnown {
-		valid, keyKnown = r.Tables.Keys.VerifyMark(tup.SrcAS, p)
+		valid, keyKnown, macs = st.keys.verifyMark(tup.SrcAS, p, s)
 	}
+	d.macsComputed += uint64(macs)
 	if !keyKnown {
 		// CDP-verify is conditional on src ∈ peer (Table I): traffic
 		// from non-peer sources cannot be verified and passes; it is
 		// the peers' DP filters that handle it.
 		return VerdictPass
 	}
-	r.ctr.macsComputed.Add(1)
 	if valid {
 		p.Erase(r.randomBits())
-		r.ctr.inVerified.Add(1)
+		d.inVerified++
 		return VerdictPassVerified
 	}
-	r.ctr.inVerifyFail.Add(1)
+	d.inVerifyFail++
 	if r.alarmMode.Load() {
-		r.ctr.inAlarmed.Add(1)
+		d.inAlarmed++
 		if r.OnAlarm != nil {
 			r.OnAlarm(AlarmSample{
 				Src:   p.SrcAddr(),
 				Dst:   p.DstAddr(),
 				SrcAS: tup.SrcAS,
-				When:  now,
+				When:  time.Unix(0, nowN).UTC(),
 			})
 		}
 		p.Erase(r.randomBits())
 		return VerdictPassAlarm
 	}
-	r.ctr.inDropped.Add(1)
+	d.inDropped++
 	return VerdictDrop
 }
 

@@ -65,11 +65,11 @@ func TestRekeyDoublesAcceptance(t *testing.T) {
 
 	p := samplePacketV4()
 	(V4{p}).Stamp(stampOld.StampKey(9))
-	if ok, _ := kt.VerifyMark(2, V4{p}); !ok {
+	if ok, _, _ := kt.VerifyMark(2, V4{p}); !ok {
 		t.Fatal("old-key mark rejected during rekey window")
 	}
 	(V4{p}).Stamp(stampNew.StampKey(9))
-	if ok, _ := kt.VerifyMark(2, V4{p}); !ok {
+	if ok, _, _ := kt.VerifyMark(2, V4{p}); !ok {
 		t.Fatal("new-key mark rejected during rekey window")
 	}
 }
@@ -93,7 +93,7 @@ func TestReplayRequiresIdenticalMsg(t *testing.T) {
 	// Exact replay: verifies (and is detectable by the destination
 	// host as a duplicate msg).
 	replay := p.Clone()
-	if ok, _ := vt.VerifyMark(1, V4{replay}); !ok {
+	if ok, _, _ := vt.VerifyMark(1, V4{replay}); !ok {
 		t.Fatal("exact replay should carry a valid mark")
 	}
 
@@ -101,7 +101,7 @@ func TestReplayRequiresIdenticalMsg(t *testing.T) {
 	mod := p.Clone()
 	mod.Payload[0] ^= 0xff
 	mod.SetMark(mark)
-	if ok, _ := vt.VerifyMark(1, V4{mod}); ok {
+	if ok, _, _ := vt.VerifyMark(1, V4{mod}); ok {
 		t.Fatal("payload-modified replay accepted")
 	}
 
@@ -109,7 +109,7 @@ func TestReplayRequiresIdenticalMsg(t *testing.T) {
 	mod = p.Clone()
 	mod.Dst = netip.MustParseAddr("10.3.0.99")
 	mod.SetMark(mark)
-	if ok, _ := vt.VerifyMark(1, V4{mod}); ok {
+	if ok, _, _ := vt.VerifyMark(1, V4{mod}); ok {
 		t.Fatal("redirected replay accepted")
 	}
 
@@ -117,7 +117,7 @@ func TestReplayRequiresIdenticalMsg(t *testing.T) {
 	mod = p.Clone()
 	mod.Payload = append(mod.Payload, 0)
 	mod.SetMark(mark)
-	if ok, _ := vt.VerifyMark(1, V4{mod}); ok {
+	if ok, _, _ := vt.VerifyMark(1, V4{mod}); ok {
 		t.Fatal("length-modified replay accepted")
 	}
 }
@@ -148,7 +148,7 @@ func TestKeyLeakageBlastRadius(t *testing.T) {
 	p.Src = netip.MustParseAddr("172.16.1.10")
 	p.Dst = netip.MustParseAddr("172.16.4.10")
 	(V4{p}).Stamp(leaked)
-	if ok, _ := s.Routers[1004].Tables.Keys.VerifyMark(1001, V4{p}); ok {
+	if ok, _, _ := s.Routers[1004].Tables.Keys.VerifyMark(1001, V4{p}); ok {
 		t.Fatal("leaked key still valid after renewal")
 	}
 	// Fresh traffic with the renewed keys works.
@@ -156,7 +156,7 @@ func TestKeyLeakageBlastRadius(t *testing.T) {
 	q.Src = netip.MustParseAddr("172.16.1.10")
 	q.Dst = netip.MustParseAddr("172.16.4.10")
 	(V4{q}).Stamp(s.Routers[1001].Tables.Keys.StampKey(1004))
-	if ok, _ := s.Routers[1004].Tables.Keys.VerifyMark(1001, V4{q}); !ok {
+	if ok, _, _ := s.Routers[1004].Tables.Keys.VerifyMark(1001, V4{q}); !ok {
 		t.Fatal("renewed keys do not verify")
 	}
 	// Unrelated pair (1003↔1004) unaffected throughout.
@@ -164,7 +164,7 @@ func TestKeyLeakageBlastRadius(t *testing.T) {
 	r.Src = netip.MustParseAddr("172.16.3.10")
 	r.Dst = netip.MustParseAddr("172.16.4.10")
 	(V4{r}).Stamp(s.Routers[1003].Tables.Keys.StampKey(1004))
-	if ok, _ := s.Routers[1004].Tables.Keys.VerifyMark(1003, V4{r}); !ok {
+	if ok, _, _ := s.Routers[1004].Tables.Keys.VerifyMark(1003, V4{r}); !ok {
 		t.Fatal("unrelated pair broken by containment")
 	}
 }

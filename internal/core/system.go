@@ -120,6 +120,17 @@ func (s *System) Restart(asn topology.ASN) error {
 // clock).
 func (s *System) Now() time.Time { return time.Unix(0, 0).UTC().Add(s.Net.Sim.Now()) }
 
+// DataPlaneStats aggregates the processing counters of every deployed
+// border router into one fleet-wide view — the system-level counterpart
+// of the per-router resource accounting in §VI-C2.
+func (s *System) DataPlaneStats() RouterStats {
+	var total RouterStats
+	for _, r := range s.Routers {
+		total = total.Add(r.Stats())
+	}
+	return total
+}
+
 // HopResult records what happened to a packet at one AS.
 type HopResult struct {
 	AS      topology.ASN

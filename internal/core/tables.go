@@ -3,9 +3,12 @@ package core
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"discs/internal/cmac"
 	"discs/internal/lpm"
 	"discs/internal/topology"
 )
@@ -18,43 +21,115 @@ type window struct {
 	grace      time.Duration // tolerance interval for verify ops
 }
 
-func (w window) activeAt(now time.Time) bool {
-	return !now.Before(w.start) && now.Before(w.end)
+// opWin pairs one scheduled operation with its window, the boundaries
+// precomputed as Unix nanoseconds: the per-packet activity test is then
+// two integer comparisons instead of time.Time arithmetic. Per-prefix
+// op sets are tiny (at most the six ops), so a small sorted slice beats
+// a map in both lookup cost and snapshot size.
+type opWin struct {
+	op         Op
+	start, end int64
+	// graceHead/graceTail bound the strict-enforcement interval: now is
+	// in grace when active and (now < graceHead or now >= graceTail).
+	graceHead, graceTail int64
 }
 
-// graceAt reports whether now falls into the head or tail tolerance
-// interval, during which verification ends only erase marks (§IV-E1).
-func (w window) graceAt(now time.Time) bool {
-	if !w.activeAt(now) {
-		return false
+// funcSnapshot is the immutable lookup state of a FuncTable. Forwarding
+// goroutines load it once per packet (or per burst) and read it without
+// locks; mutators build a fresh snapshot and publish it atomically.
+type funcSnapshot struct {
+	tbl *lpm.Table[[]opWin]
+	n   int
+	// minStart/maxEnd bound the union of all windows (Unix nanos),
+	// valid when n > 0. They let idleAt answer "can any op be active
+	// now?" without any trie walk, which is what keeps routers with no
+	// live invocations out of the LPM path entirely.
+	minStart, maxEnd int64
+}
+
+var emptyFuncSnapshot = &funcSnapshot{tbl: lpm.New[[]opWin]()}
+
+// idleAt reports that no operation in the snapshot can be active at
+// nowN (Unix nanos), so lookups against it are pointless.
+func (s *funcSnapshot) idleAt(nowN int64) bool {
+	return s.n == 0 || nowN < s.minStart || nowN >= s.maxEnd
+}
+
+func (s *funcSnapshot) activeOps(addr netip.Addr, nowN int64) (active, grace OpSet) {
+	wins, ok := s.tbl.LookupVal(addr)
+	if !ok {
+		return 0, 0
 	}
-	return now.Before(w.start.Add(w.grace)) || !now.Before(w.end.Add(-w.grace))
-}
-
-// opWindows is the value stored per prefix in a function table: the
-// set of scheduled operations with their activation windows.
-type opWindows struct {
-	wins map[Op]window
+	for _, w := range wins {
+		if nowN >= w.start && nowN < w.end {
+			active = active.Add(w.op)
+			if nowN < w.graceHead || nowN >= w.graceTail {
+				grace = grace.Add(w.op)
+			}
+		}
+	}
+	return active, grace
 }
 
 // FuncTable is one of the four data-plane function tables (§V-A),
 // mapping prefixes (longest match) to scheduled operations. Lookups
-// (ActiveOps) may run concurrently from many forwarding goroutines;
-// mutations (Install/Remove/Purge, driven by the controller) take the
-// write lock.
+// (ActiveOps, the tuple generators) run lock-free against the current
+// snapshot from any number of forwarding goroutines; mutations
+// (Install/Remove/Purge, driven by the controller) serialize on mu,
+// rebuild the snapshot and publish it. Mutations are rare —
+// invocations, expiries — so the rebuild cost is irrelevant next to
+// the per-packet savings.
 type FuncTable struct {
 	kind TableKind
-	mu   sync.RWMutex
-	tbl  *lpm.Table[*opWindows]
+
+	mu      sync.Mutex // serializes mutators; readers never take it
+	entries map[netip.Prefix]map[Op]window
+	snap    atomic.Pointer[funcSnapshot]
 }
 
 // NewFuncTable creates an empty table of the given kind.
 func NewFuncTable(kind TableKind) *FuncTable {
-	return &FuncTable{kind: kind, tbl: lpm.New[*opWindows]()}
+	ft := &FuncTable{kind: kind, entries: make(map[netip.Prefix]map[Op]window)}
+	ft.snap.Store(emptyFuncSnapshot)
+	return ft
 }
 
 // Kind returns the table kind.
 func (ft *FuncTable) Kind() TableKind { return ft.kind }
+
+// rebuildLocked flattens entries into a fresh snapshot and publishes
+// it. Caller holds ft.mu.
+func (ft *FuncTable) rebuildLocked() {
+	if len(ft.entries) == 0 {
+		ft.snap.Store(emptyFuncSnapshot)
+		return
+	}
+	s := &funcSnapshot{tbl: lpm.New[[]opWin]()}
+	first := true
+	for p, wins := range ft.entries {
+		ows := make([]opWin, 0, len(wins))
+		for op, w := range wins {
+			startN, endN := w.start.UnixNano(), w.end.UnixNano()
+			g := int64(w.grace)
+			ows = append(ows, opWin{
+				op: op, start: startN, end: endN,
+				graceHead: startN + g, graceTail: endN - g,
+			})
+			if first || startN < s.minStart {
+				s.minStart = startN
+			}
+			if first || endN > s.maxEnd {
+				s.maxEnd = endN
+			}
+			first = false
+		}
+		sort.Slice(ows, func(i, j int) bool { return ows[i].op < ows[j].op })
+		// p was canonicalized on Install, so Insert cannot fail.
+		s.tbl.Insert(p, ows)
+	}
+	s.n = s.tbl.Len()
+	ft.snap.Store(s)
+}
 
 // Install schedules op on prefix for [start, start+duration), with the
 // given grace tolerance. Re-installing extends/replaces the window —
@@ -63,82 +138,78 @@ func (ft *FuncTable) Install(p netip.Prefix, op Op, start time.Time, duration, g
 	if duration <= 0 {
 		return fmt.Errorf("core: non-positive duration %v", duration)
 	}
+	p, err := lpm.Canon(p)
+	if err != nil {
+		return err
+	}
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
-	ow, ok := ft.tbl.Get(p)
+	wins, ok := ft.entries[p]
 	if !ok {
-		ow = &opWindows{wins: make(map[Op]window)}
-		if err := ft.tbl.Insert(p, ow); err != nil {
-			return err
-		}
+		wins = make(map[Op]window)
+		ft.entries[p] = wins
 	}
-	ow.wins[op] = window{start: start, end: start.Add(duration), grace: grace}
+	wins[op] = window{start: start, end: start.Add(duration), grace: grace}
+	ft.rebuildLocked()
 	return nil
 }
 
 // Remove deletes op from prefix immediately (used when quitting a
 // protection early).
 func (ft *FuncTable) Remove(p netip.Prefix, op Op) {
+	p, err := lpm.Canon(p)
+	if err != nil {
+		return
+	}
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
-	if ow, ok := ft.tbl.Get(p); ok {
-		delete(ow.wins, op)
-		if len(ow.wins) == 0 {
-			ft.tbl.Delete(p)
-		}
+	wins, ok := ft.entries[p]
+	if !ok {
+		return
 	}
+	if _, had := wins[op]; !had {
+		return
+	}
+	delete(wins, op)
+	if len(wins) == 0 {
+		delete(ft.entries, p)
+	}
+	ft.rebuildLocked()
 }
 
 // ActiveOps returns the operations active for addr at time now, along
-// with a set of ops currently inside their grace interval.
+// with a set of ops currently inside their grace interval (the head or
+// tail tolerance, during which verification only erases marks, §IV-E1).
 func (ft *FuncTable) ActiveOps(addr netip.Addr, now time.Time) (active, grace OpSet) {
-	ft.mu.RLock()
-	defer ft.mu.RUnlock()
-	ow, _, ok := ft.tbl.Lookup(addr)
-	if !ok {
-		return 0, 0
-	}
-	for op, w := range ow.wins {
-		if w.activeAt(now) {
-			active = active.Add(op)
-			if w.graceAt(now) {
-				grace = grace.Add(op)
-			}
-		}
-	}
-	return active, grace
+	return ft.snap.Load().activeOps(addr, now.UnixNano())
 }
 
 // Len returns the number of prefixes with any scheduled op.
-func (ft *FuncTable) Len() int {
-	ft.mu.RLock()
-	defer ft.mu.RUnlock()
-	return ft.tbl.Len()
-}
+func (ft *FuncTable) Len() int { return ft.snap.Load().n }
 
 // Purge removes every entry whose windows have all expired; returns
 // the number of prefixes removed. Controllers run this periodically.
 func (ft *FuncTable) Purge(now time.Time) int {
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
-	var dead []netip.Prefix
-	ft.tbl.Walk(func(p netip.Prefix, ow *opWindows) bool {
+	removed := 0
+	for p, wins := range ft.entries {
 		expired := true
-		for _, w := range ow.wins {
+		for _, w := range wins {
 			if now.Before(w.end) {
 				expired = false
 				break
 			}
 		}
 		if expired {
-			dead = append(dead, p)
+			delete(ft.entries, p)
+			removed++
 		}
-		return true
-	})
-	for _, p := range dead {
-		ft.tbl.Delete(p)
 	}
-	return len(dead)
+	if removed > 0 {
+		ft.rebuildLocked()
+	}
+	return removed
 }
 
 // InTuple is the data structure generated for an inbound packet
@@ -155,12 +226,20 @@ type InTuple struct {
 }
 
 // OutTuple is the data structure generated for an outbound packet
-// (§V-B): whether to drop, whether to stamp, and which key to stamp
-// with (Key-S(Pfx2AS(d))).
+// (§V-B): whether to drop, whether to stamp, and the resolved stamping
+// key Key-S(Pfx2AS(d)). Key is resolved from the same key snapshot that
+// decided Stamp, so the stamping router never re-reads the key table —
+// previously the decision and the fetch took separate locks, and a
+// teardown between them could stamp with a key the decision had not
+// seen.
 type OutTuple struct {
 	Drop  bool
 	Stamp bool
 	DstAS topology.ASN
+	// Key is non-nil when Stamp is set because of CSP (which requires a
+	// peer key); with CDP alone it may be nil — CDP-stamp scheduled but
+	// the destination is not a peer — and the packet passes unstamped.
+	Key *cmac.CMAC
 }
 
 // Tables bundles the per-router DISCS tables: the Pfx2AS mapping, the
@@ -170,12 +249,17 @@ type Tables struct {
 	Pfx2AS  *lpm.Table[topology.ASN]
 	Keys    *KeyTable
 	In      map[TableKind]*FuncTable
+
+	// Hot-path aliases of the In map, set by NewTables: the forwarding
+	// path loads four snapshots per packet and must not pay a map
+	// lookup for each.
+	inSrc, inDst, outSrc, outDst *FuncTable
 }
 
 // NewTables creates empty tables for a router of localAS. pfx2as is
 // shared — the controller obtains it from RPKI (§V-A) and installs it.
 func NewTables(localAS topology.ASN, pfx2as *lpm.Table[topology.ASN]) *Tables {
-	return &Tables{
+	t := &Tables{
 		LocalAS: localAS,
 		Pfx2AS:  pfx2as,
 		Keys:    NewKeyTable(),
@@ -186,29 +270,70 @@ func NewTables(localAS topology.ASN, pfx2as *lpm.Table[topology.ASN]) *Tables {
 			TableOutDst: NewFuncTable(TableOutDst),
 		},
 	}
+	t.inSrc = t.In[TableInSrc]
+	t.inDst = t.In[TableInDst]
+	t.outSrc = t.In[TableOutSrc]
+	t.outDst = t.In[TableOutDst]
+	return t
+}
+
+// outState is one coherent view of everything outbound processing
+// needs: both function-table snapshots and the key snapshot. Loading it
+// once per packet (or once per burst) replaces the four-plus lock
+// acquisitions of the old path.
+type outState struct {
+	src, dst *funcSnapshot
+	keys     *keySnapshot
+}
+
+func (t *Tables) loadOut() outState {
+	return outState{src: t.outSrc.snap.Load(), dst: t.outDst.snap.Load(), keys: t.Keys.snap.Load()}
+}
+
+// inState is the inbound counterpart of outState.
+type inState struct {
+	src, dst *funcSnapshot
+	keys     *keySnapshot
+}
+
+func (t *Tables) loadIn() inState {
+	return inState{src: t.inSrc.snap.Load(), dst: t.inDst.snap.Load(), keys: t.Keys.snap.Load()}
 }
 
 // srcAS maps an address to its AS via longest-prefix match.
 func (t *Tables) srcAS(a netip.Addr) (topology.ASN, bool) {
-	asn, _, ok := t.Pfx2AS.Lookup(a)
-	return asn, ok
+	return t.Pfx2AS.LookupVal(a)
 }
 
 // GenInTuple implements the in-tuple generation of §V-B: verify? is
 // set iff CSP-verify ∈ In-Src(s) or CDP-verify ∈ In-Dst(d).
 func (t *Tables) GenInTuple(src, dst netip.Addr, now time.Time) InTuple {
-	srcOps, srcGrace := t.In[TableInSrc].ActiveOps(src, now)
-	dstOps, dstGrace := t.In[TableInDst].ActiveOps(dst, now)
+	st := t.loadIn()
+	return t.genInTuple(&st, src, dst, now.UnixNano())
+}
+
+func (t *Tables) genInTuple(st *inState, src, dst netip.Addr, nowN int64) InTuple {
+	// Idle early return: with no live verify op anywhere, skip the
+	// function-table walks and the Pfx2AS lookup.
+	if st.src.idleAt(nowN) && st.dst.idleAt(nowN) {
+		return InTuple{}
+	}
+	srcOps, srcGrace := st.src.activeOps(src, nowN)
+	dstOps, dstGrace := st.dst.activeOps(dst, nowN)
 	verify := srcOps.Has(OpCSPVerify) || dstOps.Has(OpCDPVerify)
 	if !verify {
 		return InTuple{}
 	}
-	erase := false
-	if srcOps.Has(OpCSPVerify) && srcGrace.Has(OpCSPVerify) {
-		erase = true
+	// §IV-E1: erase-only applies only when every op demanding
+	// verification is inside its tolerance interval. One op still in
+	// strict enforcement keeps enforcement on, even if another
+	// overlapping op is in grace.
+	erase := true
+	if srcOps.Has(OpCSPVerify) && !srcGrace.Has(OpCSPVerify) {
+		erase = false
 	}
-	if dstOps.Has(OpCDPVerify) && dstGrace.Has(OpCDPVerify) {
-		erase = true
+	if dstOps.Has(OpCDPVerify) && !dstGrace.Has(OpCDPVerify) {
+		erase = false
 	}
 	asn, known := t.srcAS(src)
 	return InTuple{Verify: true, EraseOnly: erase, SrcAS: asn, SrcKnown: known}
@@ -223,9 +348,23 @@ func (t *Tables) GenInTuple(src, dst netip.Addr, now time.Time) InTuple {
 // defines DP-filter as "if src ∉ local, drop" and SP's condition
 // src ∈ v implies a non-local source, so the equality is a typo for ≠.)
 func (t *Tables) GenOutTuple(src, dst netip.Addr, now time.Time) OutTuple {
-	srcOps, _ := t.In[TableOutSrc].ActiveOps(src, now)
-	dstOps, _ := t.In[TableOutDst].ActiveOps(dst, now)
+	st := t.loadOut()
+	return t.genOutTuple(&st, src, dst, now.UnixNano())
+}
+
+func (t *Tables) genOutTuple(st *outState, src, dst netip.Addr, nowN int64) OutTuple {
+	// Idle early return: a router with no active out-ops skips both
+	// Pfx2AS LPM lookups and all table walks — the common case for the
+	// vast majority of DISCS routers the vast majority of the time.
+	if st.src.idleAt(nowN) && st.dst.idleAt(nowN) {
+		return OutTuple{}
+	}
+	srcOps, _ := st.src.activeOps(src, nowN)
+	dstOps, _ := st.dst.activeOps(dst, nowN)
 	var tup OutTuple
+	if srcOps == 0 && dstOps == 0 {
+		return tup
+	}
 	srcAS, srcKnown := t.srcAS(src)
 	local := srcKnown && srcAS == t.LocalAS
 	if !local && (srcOps.Has(OpSPFilter) || dstOps.Has(OpDPFilter)) {
@@ -234,8 +373,11 @@ func (t *Tables) GenOutTuple(src, dst netip.Addr, now time.Time) OutTuple {
 	}
 	dstAS, _ := t.srcAS(dst)
 	tup.DstAS = dstAS
-	if (srcOps.Has(OpCSPStamp) && t.Keys.StampKey(dstAS) != nil) || dstOps.Has(OpCDPStamp) {
-		tup.Stamp = true
+	if srcOps.Has(OpCSPStamp) || dstOps.Has(OpCDPStamp) {
+		key := st.keys.stamp[dstAS]
+		if (srcOps.Has(OpCSPStamp) && key != nil) || dstOps.Has(OpCDPStamp) {
+			tup.Stamp, tup.Key = true, key
+		}
 	}
 	return tup
 }

@@ -272,23 +272,23 @@ func TestKeyTableRekeyWindow(t *testing.T) {
 	kt2.SetStampKey(9, k1)
 	V4{p}.Stamp(kt2.StampKey(9))
 
-	if valid, known := kt.VerifyMark(2, V4{p}); !valid || !known {
+	if valid, known, _ := kt.VerifyMark(2, V4{p}); !valid || !known {
 		t.Fatal("mark with current key rejected")
 	}
 	// Rekey: k2 becomes current, k1 previous.
 	kt.SetVerifyKey(2, k2)
-	if valid, _ := kt.VerifyMark(2, V4{p}); !valid {
+	if valid, _, _ := kt.VerifyMark(2, V4{p}); !valid {
 		t.Fatal("mark with previous key rejected during rekey window")
 	}
 	// End of window.
 	kt.DropPreviousVerifyKey(2)
-	if valid, _ := kt.VerifyMark(2, V4{p}); valid {
+	if valid, _, _ := kt.VerifyMark(2, V4{p}); valid {
 		t.Fatal("mark with dropped key still accepted")
 	}
 	// New-key marks verify.
 	kt2.SetStampKey(9, k2)
 	V4{p}.Stamp(kt2.StampKey(9))
-	if valid, _ := kt.VerifyMark(2, V4{p}); !valid {
+	if valid, _, _ := kt.VerifyMark(2, V4{p}); !valid {
 		t.Fatal("mark with new key rejected")
 	}
 }
@@ -296,7 +296,7 @@ func TestKeyTableRekeyWindow(t *testing.T) {
 func TestKeyTableUnknownPeer(t *testing.T) {
 	kt := NewKeyTable()
 	p := samplePacketV4()
-	if _, known := kt.VerifyMark(7, V4{p}); known {
+	if _, known, _ := kt.VerifyMark(7, V4{p}); known {
 		t.Fatal("unknown peer reported as known")
 	}
 	if kt.StampKey(7) != nil {

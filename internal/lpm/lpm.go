@@ -40,9 +40,12 @@ func New[V any]() *Table[V] {
 // Len returns the number of prefixes in the table.
 func (t *Table[V]) Len() int { return t.n }
 
-// canon normalizes a prefix: unwraps 4-in-6 addresses and masks host
-// bits. It returns an error for invalid prefixes.
-func canon(p netip.Prefix) (netip.Prefix, error) {
+// Canon normalizes a prefix the way this package stores it: unwraps
+// 4-in-6 addresses and masks host bits. It returns an error for invalid
+// prefixes. Callers that keep prefix-keyed side tables next to an lpm
+// Table (e.g. the DISCS function tables) use it so their keys compare
+// equal to the Table's.
+func Canon(p netip.Prefix) (netip.Prefix, error) {
 	if !p.IsValid() {
 		return netip.Prefix{}, fmt.Errorf("lpm: invalid prefix %v", p)
 	}
@@ -72,7 +75,7 @@ func (t *Table[V]) root(a netip.Addr) *node[V] {
 
 // Insert adds or replaces the value for an exact prefix.
 func (t *Table[V]) Insert(p netip.Prefix, v V) error {
-	p, err := canon(p)
+	p, err := Canon(p)
 	if err != nil {
 		return err
 	}
@@ -95,7 +98,7 @@ func (t *Table[V]) Insert(p netip.Prefix, v V) error {
 // present. Trie nodes are left in place (they are tiny and the DISCS
 // tables are rebuilt wholesale by the controller on policy change).
 func (t *Table[V]) Delete(p netip.Prefix) bool {
-	p, err := canon(p)
+	p, err := Canon(p)
 	if err != nil {
 		return false
 	}
@@ -118,7 +121,7 @@ func (t *Table[V]) Delete(p netip.Prefix) bool {
 // Get returns the value stored for the exact prefix.
 func (t *Table[V]) Get(p netip.Prefix) (V, bool) {
 	var zero V
-	p, err := canon(p)
+	p, err := Canon(p)
 	if err != nil {
 		return zero, false
 	}
@@ -136,15 +139,33 @@ func (t *Table[V]) Get(p netip.Prefix) (V, bool) {
 // the matched value, the matched prefix, and whether anything matched.
 func (t *Table[V]) Lookup(a netip.Addr) (V, netip.Prefix, bool) {
 	var zero V
-	if !a.IsValid() {
+	v, bestLen := t.lookupVal(a)
+	if bestLen < 0 {
 		return zero, netip.Prefix{}, false
 	}
-	a = a.Unmap()
-	n := t.root(a)
-	maxBits := 32
-	if a.Is6() {
-		maxBits = 128
+	return v, netip.PrefixFrom(a.Unmap(), bestLen).Masked(), true
+}
+
+// lookupVal is the allocation-free core of Lookup: it returns the
+// longest-match value and prefix length, or length -1 when nothing
+// matched. The address bytes are extracted once up front instead of per
+// trie level — this runs for every packet on the DISCS forwarding path.
+func (t *Table[V]) lookupVal(a netip.Addr) (V, int) {
+	var zero V
+	if !a.IsValid() {
+		return zero, -1
 	}
+	a = a.Unmap()
+	var buf [16]byte
+	maxBits := 128
+	if a.Is4() {
+		b4 := a.As4()
+		copy(buf[:4], b4[:])
+		maxBits = 32
+	} else {
+		buf = a.As16()
+	}
+	n := t.root(a)
 	bestLen := -1
 	var best V
 	for i := 0; ; i++ {
@@ -154,15 +175,19 @@ func (t *Table[V]) Lookup(a netip.Addr) (V, netip.Prefix, bool) {
 		if i == maxBits {
 			break
 		}
-		n = n.child[bit(a, i)]
+		n = n.child[buf[i>>3]>>(7-i&7)&1]
 		if n == nil {
 			break
 		}
 	}
-	if bestLen < 0 {
-		return zero, netip.Prefix{}, false
-	}
-	return best, netip.PrefixFrom(a, bestLen).Masked(), true
+	return best, bestLen
+}
+
+// LookupVal is Lookup without materializing the matched prefix; the
+// fast path for callers that only need the value.
+func (t *Table[V]) LookupVal(a netip.Addr) (V, bool) {
+	v, bestLen := t.lookupVal(a)
+	return v, bestLen >= 0
 }
 
 // Contains reports whether a longest-prefix match exists for a.

@@ -75,6 +75,59 @@ func TestGoldenStampedIPv6(t *testing.T) {
 	}
 }
 
+// TestGoldenScrubbedICMPv4 pins the exact bytes of a TTL-exceeded
+// message after the border router scrubbed the embedded mark (§VI-E2).
+// The scrub is an in-place patch: relative to the unscrubbed message,
+// only the embedded IPID/Fragment-Offset bytes, the embedded header
+// checksum and the outer ICMP checksum may differ — in particular the
+// embedded Total Length still describes the full original datagram
+// (31 bytes here), not the 28-byte snippet the error carries.
+func TestGoldenScrubbedICMPv4(t *testing.T) {
+	orig := &IPv4{
+		TTL: 7, Protocol: ProtoUDP, Flags: FlagDF,
+		Src:     netip.MustParseAddr("10.1.0.10"),
+		Dst:     netip.MustParseAddr("10.3.0.1"),
+		Payload: []byte("discs-mark1"), // 11 bytes: embed truncates to 8
+	}
+	orig.SetMark(0x15555555)
+	icmp, err := ICMPv4TimeExceeded(netip.MustParseAddr("203.0.113.1"), orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := icmp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ScrubICMPv4EmbeddedMark(q, 0x0badcafe) {
+		t.Fatal("scrub reported no-op")
+	}
+	out, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "45000038" + // outer: ver|ihl, tos, total length 56
+		"00000000" + // outer IPID/flags/fragoff (unmarked)
+		"400134b9" + // ttl 64, proto 1 (ICMP), outer header checksum
+		"cb007101" + // outer src 203.0.113.1
+		"0a01000a" + // outer dst: the original sender
+		"0b003ca4" + // ICMP type 11, code 0, checksum after scrub
+		"00000000" + // ICMP unused word
+		// Embedded original header, mark scrubbed in place:
+		"4500001f" + // ver|ihl, tos, Total Length 31 = FULL datagram, preserved
+		"5d6e4afe" + // IPID=0x0badcafe>>13, fragoff=low 13 bits, DF flag kept
+		"0711f753" + // ttl 7, proto UDP, embedded checksum after scrub
+		"0a01000a" + // embedded src
+		"0a030001" + // embedded dst
+		"64697363732d6d61" // first 8 payload bytes: "discs-ma"
+	if got := hex.EncodeToString(out); got != want {
+		t.Fatalf("scrubbed ICMPv4 bytes changed:\n got %s\nwant %s", got, want)
+	}
+}
+
 // TestGoldenDISCSOptionType pins the §V-F option type bits: 00 (skip
 // unknown) + 1 (mutable en route) + 00110.
 func TestGoldenDISCSOptionType(t *testing.T) {

@@ -260,27 +260,36 @@ func parseIPv4Lenient(b []byte) (*IPv4, error) {
 	return p, nil
 }
 
-// ReplaceICMPv4Embedded re-serializes an ICMP error message in p with
-// the given embedded packet, recomputing the ICMP checksum. Used by the
-// DISCS source-AS border router to scrub marks from returning TTL
-// exceeded messages (§VI-E2).
+// ReplaceICMPv4Embedded writes emb's mark fields (IPID and Fragment
+// Offset) back into the ICMP error message in p, patching the embedded
+// bytes in place. Every other embedded field — in particular the
+// original Total Length, which describes the full offending datagram
+// rather than the truncated snippet carried by the error — is preserved
+// exactly, so the receiving host can still match the error to the
+// datagram it sent. The embedded header checksum and the outer ICMP
+// checksum are recomputed. Used by the DISCS source-AS border router to
+// scrub marks from returning TTL-exceeded messages (§VI-E2).
 func ReplaceICMPv4Embedded(p *IPv4, emb *IPv4) error {
-	if p.Protocol != ProtoICMP || len(p.Payload) < 8 {
+	if p.Protocol != ProtoICMP || len(p.Payload) < 8+20 {
 		return errors.New("packet: not an ICMP error message")
 	}
-	eb, err := emb.Marshal()
-	if err != nil {
-		return err
+	inner := p.Payload[8:]
+	if inner[0]>>4 != 4 {
+		return errVersion
 	}
-	keep := len(p.Payload) - 8
-	if keep > len(eb) {
-		keep = len(eb)
+	ihl := int(inner[0]&0x0f) * 4
+	if ihl < 20 || ihl > len(inner) {
+		return errHeaderLen
 	}
-	body := make([]byte, 8+keep)
-	copy(body, p.Payload[:8])
-	body[2], body[3] = 0, 0
-	copy(body[8:], eb[:keep])
-	binary.BigEndian.PutUint16(body[2:4], Checksum(body))
-	p.Payload = body
+	binary.BigEndian.PutUint16(inner[4:6], emb.ID)
+	flags := inner[6] & 0xe0 // the flag bits carry no mark; keep them
+	binary.BigEndian.PutUint16(inner[6:8], emb.FragOff&0x1fff)
+	inner[6] |= flags
+	// Recompute the embedded header checksum over the available header.
+	inner[10], inner[11] = 0, 0
+	binary.BigEndian.PutUint16(inner[10:12], Checksum(inner[:ihl]))
+	// Recompute the outer ICMP checksum.
+	p.Payload[2], p.Payload[3] = 0, 0
+	binary.BigEndian.PutUint16(p.Payload[2:4], Checksum(p.Payload))
 	return nil
 }

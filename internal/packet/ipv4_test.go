@@ -313,6 +313,78 @@ func TestScrubICMPv4EmbeddedMark(t *testing.T) {
 	}
 }
 
+// ReplaceICMPv4Embedded must patch the embedded bytes in place: the
+// embedded Total Length describes the full offending datagram, not the
+// truncated snippet the error carries, and the old implementation
+// re-marshaled the snippet — rewriting Total Length to the snippet size
+// and breaking the receiver's ability to match the error to its
+// original datagram.
+func TestReplaceICMPv4EmbeddedPatchesInPlace(t *testing.T) {
+	orig := samplePacket(t)
+	orig.SetMark(0x1f0f0f0f & (1<<29 - 1))
+	icmp, err := ICMPv4TimeExceeded(v4(t, "203.0.113.1"), orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := icmp.Marshal()
+	q, _ := ParseIPv4(b)
+	before := append([]byte(nil), q.Payload...)
+
+	// The embedded Total Length covers the original datagram and is
+	// strictly larger than the embedded snippet — the case the old
+	// re-marshal destroyed.
+	wantTL := binary.BigEndian.Uint16(before[8+2 : 8+4])
+	if int(wantTL) != orig.TotalLen() {
+		t.Fatalf("embedded Total Length = %d, want %d", wantTL, orig.TotalLen())
+	}
+	if int(wantTL) <= len(before)-8 {
+		t.Fatalf("test needs a truncated embed: TL %d vs snippet %d", wantTL, len(before)-8)
+	}
+
+	emb, ok := ICMPv4Embedded(q)
+	if !ok {
+		t.Fatal("no embedded packet")
+	}
+	emb.SetMark(0) // the scrub the border router applies
+	if err := ReplaceICMPv4Embedded(q, emb); err != nil {
+		t.Fatal(err)
+	}
+
+	after := q.Payload
+	if got := binary.BigEndian.Uint16(after[8+2 : 8+4]); got != wantTL {
+		t.Fatalf("embedded Total Length rewritten: %d, want %d", got, wantTL)
+	}
+	// Only the outer ICMP checksum (bytes 2..4), the embedded IPID and
+	// Fragment Offset (bytes 12..16) and the embedded header checksum
+	// (bytes 18..20) may change; every other byte must survive exactly.
+	for i := range after {
+		if before[i] == after[i] {
+			continue
+		}
+		mutable := (i >= 2 && i < 4) || (i >= 8+4 && i < 8+8) || (i >= 8+10 && i < 8+12)
+		if !mutable {
+			t.Errorf("byte %d changed %02x -> %02x", i, before[i], after[i])
+		}
+	}
+	// The mark is gone and both checksums still validate.
+	if emb2, _ := ICMPv4Embedded(q); emb2.Mark() != 0 {
+		t.Fatalf("mark = %08x after replace", emb2.Mark())
+	}
+	if Checksum(q.Payload) != 0 {
+		t.Fatal("outer ICMP checksum invalid")
+	}
+	if Checksum(q.Payload[8:8+20]) != 0 {
+		t.Fatal("embedded header checksum invalid")
+	}
+}
+
+func TestReplaceICMPv4EmbeddedRejectsNonError(t *testing.T) {
+	p := samplePacket(t)
+	if err := ReplaceICMPv4Embedded(p, samplePacket(t)); err == nil {
+		t.Fatal("accepted a non-ICMP packet")
+	}
+}
+
 func TestScrubICMPv4NoOpOnNonError(t *testing.T) {
 	p := samplePacket(t)
 	if ScrubICMPv4EmbeddedMark(p, 0) {
