@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet check bench bench-dataplane fuzz report figures cost sim examples cover clean
+.PHONY: all build test test-race vet vet-obs check bench bench-dataplane bench-obs fuzz report figures cost sim examples cover clean
 
 all: build check
 
@@ -18,9 +18,20 @@ test-race:
 vet:
 	$(GO) vet ./...
 
+# Every stat counter must live in the obs registry: the old idiom of
+# raw atomic uint64 counters outside internal/obs is a lint error.
+# (atomic.Pointer/Bool and the router's rng/sampling ticks are fine —
+# the rule targets the Add/Load/StoreUint64 counter style.)
+vet-obs:
+	@bad=$$(grep -rn --include='*.go' -E 'atomic\.(Add|Load|Store)Uint64\(' internal cmd examples 2>/dev/null | grep -v '^internal/obs/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "raw counter atomics outside internal/obs (use obs.Counter):"; \
+		echo "$$bad"; exit 1; \
+	fi
+
 # The pre-merge gate: static analysis plus the full suite under the
 # race detector.
-check: vet test-race
+check: vet vet-obs test-race
 
 # Per-figure/table reproduction benches (bench_test.go at the root).
 bench:
@@ -31,6 +42,12 @@ bench:
 # allocations per stamped packet regress above BENCH_baseline.json.
 bench-dataplane:
 	DISCS_DATAPLANE_REPORT=1 $(GO) test -run 'TestDataPlane(Budget|Report)' -count=1 -v .
+
+# Observability overhead report: instrumented vs plain stamp+verify
+# into BENCH_obs.json. Fails if instrumentation allocates or costs more
+# than 5% ns/op.
+bench-obs:
+	DISCS_OBS_REPORT=1 $(GO) test -run 'TestObs(Budget|Report)' -count=1 -v .
 
 # Short fuzz pass over every parser (extend -fuzztime for deeper runs).
 fuzz:
@@ -65,6 +82,7 @@ examples:
 	$(GO) run ./examples/incremental
 	$(GO) run ./examples/priority
 	$(GO) run ./examples/campaign
+	$(GO) run ./examples/observability
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -8,12 +8,12 @@ import (
 	"log"
 	"os"
 
+	"discs/internal/cli"
 	"discs/internal/cost"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("discs-cost: ")
+	cli.Init("discs-cost")
 	p := cost.Defaults()
 	flag.IntVar(&p.NumASes, "ases", p.NumASes, "number of ASes")
 	flag.IntVar(&p.NumPrefixes, "prefixes", p.NumPrefixes, "number of routable prefixes")

@@ -9,6 +9,10 @@
 //	discs-eval -fig 7b    global spoofing reduction, early stage (Fig. 7b)
 //	discs-eval -fig all   everything, with headers
 //
+// With -metrics it instead emits the interval time series of an
+// observability export (written by `discs-sim -metrics`) as TSV, ready
+// for the same plotting pipeline as the figures.
+//
 // The Internet is synthetic (see DESIGN.md substitution #1) but
 // paper-scale by default: 44 036 ASes, ~179k prefixes, piecewise-Pareto address
 // space.
@@ -19,34 +23,47 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
+	"discs/internal/cli"
 	"discs/internal/eval"
+	"discs/internal/obs"
 	"discs/internal/topology"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("discs-eval: ")
+	cli.Init("discs-eval")
+	topoFlags := cli.RegisterTopoFlags(topology.GenConfig{
+		NumASes: 44036, NumPrefixes: 442000, ZipfExponent: 1.1, Seed: 1,
+	})
 	var (
 		fig     = flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, 7a, 7b, all")
-		nASes   = flag.Int("ases", 44036, "number of ASes in the synthetic Internet")
-		nPfx    = flag.Int("prefixes", 442000, "target number of prefixes")
-		zipf    = flag.Float64("zipf", 1.1, "Zipf exponent of the AS size distribution")
-		seed    = flag.Int64("seed", 1, "generator seed")
 		runs    = flag.Int("runs", 50, "random-deployment repetitions for figure 5")
 		samples = flag.Int("samples", 60, "sample points per curve")
 		early   = flag.Int("early", 200, "deployer cutoff for the early-stage figures (6c uses this; 7b uses 1000)")
+		metrics = flag.String("metrics", "", "emit the time series of this observability export instead of a figure")
+		series  = flag.String("series", "netsim.delivered,router.out_stamped,router.in_dropped",
+			"comma-separated metrics for the -metrics series")
 	)
 	flag.Parse()
 
-	topo, err := topology.GenerateInternet(topology.GenConfig{
-		NumASes: *nASes, NumPrefixes: *nPfx, ZipfExponent: *zipf,
-		Seed: *seed, SkipLinks: true,
-	})
+	if *metrics != "" {
+		ex, err := obs.ReadExportFile(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cli.WriteSeriesTSV(os.Stdout, ex.Points, splitList(*series)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	topo, err := topoFlags.Build(topology.GenConfig{SkipLinks: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 	r := eval.FromTopology(topo)
+	seed := topoFlags.Seed
 
 	run := func(name string, fn func() error) {
 		fmt.Printf("# figure %s\n", name)
@@ -58,14 +75,14 @@ func main() {
 
 	figures := map[string]func() error{
 		"5": func() error {
-			pts, err := eval.MeanIncentiveCurve(r, *runs, *samples, *seed)
+			pts, err := eval.MeanIncentiveCurve(r, *runs, *samples, seed)
 			if err != nil {
 				return err
 			}
 			return eval.WriteTSV(os.Stdout, []string{"DP", "CDP", "DP+CDP"}, pts)
 		},
 		"6a": func() error {
-			curves, err := eval.StrategyCurves(r, *samples, *seed,
+			curves, err := eval.StrategyCurves(r, *samples, seed,
 				func(r *eval.Ratios, order []topology.ASN, samples int) ([]eval.Point, error) {
 					return eval.CumulativeRatioCurve(r, order, samples), nil
 				})
@@ -75,28 +92,28 @@ func main() {
 			return writeStrategies(curves, "cumulated")
 		},
 		"6b": func() error {
-			curves, err := eval.StrategyCurves(r, *samples, *seed, incentiveBoth)
+			curves, err := eval.StrategyCurves(r, *samples, seed, incentiveBoth)
 			if err != nil {
 				return err
 			}
 			return writeStrategies(curves, "DP+CDP")
 		},
 		"6c": func() error {
-			curves, err := earlyStrategyCurves(r, *early, *samples, *seed, incentiveBoth)
+			curves, err := earlyStrategyCurves(r, *early, *samples, seed, incentiveBoth)
 			if err != nil {
 				return err
 			}
 			return writeStrategies(curves, "DP+CDP")
 		},
 		"7a": func() error {
-			curves, err := eval.StrategyCurves(r, *samples, *seed, eval.EffectivenessCurve)
+			curves, err := eval.StrategyCurves(r, *samples, seed, eval.EffectivenessCurve)
 			if err != nil {
 				return err
 			}
 			return writeStrategies(curves, "effectiveness")
 		},
 		"7b": func() error {
-			curves, err := earlyStrategyCurves(r, 1000, *samples, *seed, eval.EffectivenessCurve)
+			curves, err := earlyStrategyCurves(r, 1000, *samples, seed, eval.EffectivenessCurve)
 			if err != nil {
 				return err
 			}
@@ -115,6 +132,17 @@ func main() {
 		log.Fatalf("unknown figure %q (want 5, 6a, 6b, 6c, 7a, 7b, all)", *fig)
 	}
 	run(*fig, fn)
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // incentiveBoth adapts IncentiveCurve to the single DP+CDP series used

@@ -1,50 +1,139 @@
-// Command discs-report regenerates every headline number of the
-// paper's evaluation and prints a paper-vs-measured markdown table —
-// the automated backing for EXPERIMENTS.md.
+// Command discs-report renders markdown reports.
+//
+// Without flags it regenerates every headline number of the paper's
+// evaluation as a paper-vs-measured table — the automated backing for
+// EXPERIMENTS.md.
+//
+// With -metrics it instead renders the observability export written by
+// `discs-sim -metrics`: fleet-wide final counters, the interval time
+// series and an event-log summary, all in simulated time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"sort"
+	"strings"
 
 	"discs/internal/attack"
+	"discs/internal/cli"
 	"discs/internal/cost"
 	"discs/internal/eval"
+	"discs/internal/obs"
 	"discs/internal/topology"
 )
 
-type row struct {
-	name     string
-	paper    string
-	measured string
-}
-
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("discs-report: ")
+	cli.Init("discs-report")
+	topoFlags := cli.RegisterTopoFlags(topology.DefaultGenConfig())
 	var (
-		seed    = flag.Int64("seed", 1, "synthetic Internet seed")
 		runs    = flag.Int("runs", 10, "random-deployment repetitions")
 		mcFlows = flag.Int("mc-flows", 50000, "Monte-Carlo flow samples")
+		metrics = flag.String("metrics", "", "render the observability export at this path instead of the paper table")
+		series  = flag.String("series", "netsim.delivered,router.out_stamped,router.in_dropped,ctrl.msgs_sent",
+			"comma-separated metrics for the -metrics time-series section")
 	)
 	flag.Parse()
 
-	cfg := topology.DefaultGenConfig()
-	cfg.Seed = *seed
-	cfg.SkipLinks = true
-	topo, err := topology.GenerateInternet(cfg)
+	if *metrics != "" {
+		ex, err := obs.ReadExportFile(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := renderExport(ex, splitList(*series)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	paperTable(topoFlags, *runs, *mcFlows)
+}
+
+// renderExport prints the markdown view of one observability export.
+func renderExport(ex *obs.Export, series []string) error {
+	fmt.Printf("# DISCS observability report (%s)\n\n", ex.GeneratedBy)
+	fmt.Printf("final snapshot at t=%.3fs simulated; %d interval points every %.3fs; %d events (%d dropped)\n\n",
+		cli.Seconds(ex.Final.AtNanos), len(ex.Points),
+		cli.Seconds(ex.IntervalNanos), len(ex.Events), ex.EventsDropped)
+
+	fmt.Println("## fleet totals")
+	fmt.Println()
+	agg := cli.AggregateScopes(ex.Final)
+	t := cli.NewTable("Metric", "Total")
+	for _, name := range agg.Names() {
+		t.Row(name, fmt.Sprintf("%d", agg.Get(name)))
+	}
+	for _, name := range gaugeNames(agg) {
+		t.Row(name+" (gauge)", fmt.Sprintf("%d", agg.GetGauge(name)))
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	if len(ex.Points) > 0 {
+		fmt.Println()
+		fmt.Println("## time series (per-interval deltas, fleet-wide)")
+		fmt.Println()
+		fmt.Println("```tsv")
+		if err := cli.WriteSeriesTSV(os.Stdout, ex.Points, series); err != nil {
+			return err
+		}
+		fmt.Println("```")
+	}
+
+	if len(ex.Events) > 0 {
+		fmt.Println()
+		fmt.Println("## events by kind")
+		fmt.Println()
+		et := cli.NewTable("Kind", "Count")
+		for _, kc := range cli.EventCounts(ex.Events) {
+			et.Row(kc.Kind, fmt.Sprintf("%d", kc.N))
+		}
+		if err := et.Write(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gaugeNames returns the snapshot's gauge names in sorted order.
+func gaugeNames(s obs.Snapshot) []string {
+	names := make([]string, 0, len(s.Gauges))
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// paperTable is the legacy mode: regenerate the paper's evaluation
+// checkpoints and print paper-vs-measured.
+func paperTable(topoFlags *cli.TopoFlags, runs, mcFlows int) {
+	base := topology.DefaultGenConfig()
+	base.SkipLinks = true
+	topo, err := topoFlags.Build(base)
 	if err != nil {
 		log.Fatal(err)
 	}
 	r := eval.FromTopology(topo)
-	var rows []row
+	t := cli.NewTable("Quantity", "Paper", "Measured")
 	add := func(name, paper, format string, v float64) {
-		rows = append(rows, row{name, paper, fmt.Sprintf(format, v)})
+		t.Row(name, paper, fmt.Sprintf(format, v))
 	}
 
 	// --- Figure 5: random deployment incentives -------------------------
-	pts, err := eval.MeanIncentiveCurve(r, *runs, 21, *seed)
+	pts, err := eval.MeanIncentiveCurve(r, runs, 21, topoFlags.Seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,7 +172,7 @@ func main() {
 	for _, asn := range deployed {
 		closed.Deploy(asn)
 	}
-	mc := eval.MonteCarloEffectiveness(topo, deployed, attack.DDDoS, *mcFlows, *seed)
+	mc := eval.MonteCarloEffectiveness(topo, deployed, attack.DDDoS, mcFlows, topoFlags.Seed)
 	add("X1: flow-level MC effectiveness @50 largest", "matches closed form", "%.3f", mc)
 
 	// --- §VI-C cost model -------------------------------------------------
@@ -103,10 +192,8 @@ func main() {
 	add("§VI-C: IPv6 goodput loss (%)", "≈1.6", "%.2f", rt.V6GoodputLoss*100)
 
 	fmt.Printf("# DISCS reproduction report (seed %d, %d ASes, %d prefixes)\n\n",
-		*seed, topo.NumASes(), topo.Pfx2AS().Len())
-	fmt.Println("| Quantity | Paper | Measured |")
-	fmt.Println("|---|---|---|")
-	for _, rw := range rows {
-		fmt.Printf("| %s | %s | %s |\n", rw.name, rw.paper, rw.measured)
+		topoFlags.Seed, topo.NumASes(), topo.Pfx2AS().Len())
+	if err := t.Write(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

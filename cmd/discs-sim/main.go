@@ -3,6 +3,11 @@
 // negotiation, a d-DDoS plus reflection attack, on-demand invocation
 // of the four defense functions, and a report of where the spoofed
 // traffic died.
+//
+// With -metrics it also writes the unified observability export
+// (internal/obs): the final registry snapshot, an interval time series
+// recorded on the simulated clock, and the control/data-plane event
+// trace. discs-report -metrics renders that file.
 package main
 
 import (
@@ -16,27 +21,32 @@ import (
 
 	"discs/internal/attack"
 	"discs/internal/bgp"
+	"discs/internal/cli"
 	"discs/internal/core"
+	"discs/internal/obs"
 	"discs/internal/topology"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("discs-sim: ")
+	cli.Init("discs-sim")
+	topoFlags := cli.RegisterTopoFlags(topology.GenConfig{
+		NumASes: 200, NumPrefixes: 600, ZipfExponent: 1.0, Seed: 1,
+	})
 	var (
-		nASes   = flag.Int("ases", 200, "number of ASes")
 		nDAS    = flag.Int("das", 10, "number of DISCS deployers (largest-first)")
 		flows   = flag.Int("flows", 200, "number of attack flows")
 		perFlow = flag.Int("per-flow", 10, "packets per flow")
-		seed    = flag.Int64("seed", 1, "simulation seed")
 		invoke  = flag.String("invoke", "", `invocation triples to use instead of all four functions, e.g. "all:DP:24h,all:CDP:24h" ("all" expands to the victim's prefixes)`)
+
+		metrics  = flag.String("metrics", "", "write the observability export (JSON) to this path")
+		interval = flag.Duration("interval", time.Second, "simulated-time spacing of interval snapshots and attack waves")
+		waves    = flag.Int("waves", 8, "attack waves per run (clock advances by -interval between waves)")
+		sample   = flag.Int("trace-sample", 64, "with -metrics, trace every Nth data-plane packet decision")
 	)
 	flag.Parse()
+	seed := topoFlags.Seed
 
-	topo, err := topology.GenerateInternet(topology.GenConfig{
-		NumASes: *nASes, NumPrefixes: *nASes * 3, ZipfExponent: 1.0,
-		TierOneCount: 5, Seed: *seed,
-	})
+	topo, err := topoFlags.Build(topology.GenConfig{TierOneCount: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +60,24 @@ func main() {
 	}
 	fmt.Printf("internet: %d ASes, %d prefixes, BGP converged\n", topo.NumASes(), topo.Pfx2AS().Len())
 
-	sys := core.NewSystem(net, core.DefaultConfig())
+	cfg := core.DefaultConfig()
+	if *metrics != "" {
+		cfg.TraceSampleEvery = *sample
+	}
+	sys := core.NewSystem(net, cfg)
+
+	// The interval recorder ticks on the simulated clock, so points
+	// appear whenever the scenario advances time (settling, grace
+	// windows, attack waves) — armed before deployment so the control
+	// plane's ramp-up is part of the series.
+	var rec *obs.Recorder
+	if *metrics != "" {
+		rec = obs.NewRecorder()
+		net.Sim.EveryBackground(*interval, func() {
+			rec.Record(sys.Registry().Snapshot())
+		})
+	}
+
 	deployers := topo.BySizeDesc()[:*nDAS]
 	for i, asn := range deployers {
 		if _, err := sys.Deploy(asn, int64(i+1)); err != nil {
@@ -67,7 +94,7 @@ func main() {
 
 	// Attack before invocation: everything gets through.
 	sampler := attack.NewSampler(topo)
-	rng := rand.New(rand.NewSource(*seed))
+	rng := rand.New(rand.NewSource(seed))
 	mkFlows := func(kind attack.Kind) []attack.Flow {
 		out := make([]attack.Flow, *flows)
 		for i := range out {
@@ -77,7 +104,7 @@ func main() {
 	}
 	dFlows, sFlows := mkFlows(attack.DDDoS), mkFlows(attack.SDDoS)
 
-	before, err := attack.Run(sys, dFlows, *perFlow, *seed)
+	before, err := attack.RunPaced(sys, dFlows, *perFlow, seed, *waves, *interval)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -147,13 +174,13 @@ func main() {
 		}
 	}
 
-	after, err := attack.Run(sys, dFlows, *perFlow, *seed+1)
+	after, err := attack.RunPaced(sys, dFlows, *perFlow, seed+1, *waves, *interval)
 	if err != nil {
 		log.Fatal(err)
 	}
 	report("d-DDoS", after)
 
-	afterS, err := attack.Run(sys, sFlows, *perFlow, *seed+2)
+	afterS, err := attack.RunPaced(sys, sFlows, *perFlow, seed+2, *waves, *interval)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -177,14 +204,31 @@ func main() {
 	fmt.Printf("\nlegitimate traffic from peers: %d/%d delivered (false positives: %d)\n",
 		ok, total, total-ok)
 
-	// Fleet-wide data-plane resource accounting (§VI-C2): how much work
-	// the scenario cost across every deployed border router.
-	dp := sys.DataPlaneStats()
+	// Fleet-wide resource accounting (§VI-C2): one registry spans the
+	// whole system, so totals are suffix sums over the snapshot.
+	snap := sys.Stats()
 	fmt.Printf("\ndata plane totals across %d routers:\n", len(sys.Routers))
 	fmt.Printf("  outbound: %d processed, %d stamped, %d dropped\n",
-		dp.OutProcessed, dp.OutStamped, dp.OutDropped)
+		snap.Sum(core.MetricRouterOutProcessed), snap.Sum(core.MetricRouterOutStamped),
+		snap.Sum(core.MetricRouterOutDropped))
 	fmt.Printf("  inbound:  %d processed, %d verified, %d verify-failed, %d dropped, %d erased-only\n",
-		dp.InProcessed, dp.InVerified, dp.InVerifyFail, dp.InDropped, dp.InErasedOnly)
+		snap.Sum(core.MetricRouterInProcessed), snap.Sum(core.MetricRouterInVerified),
+		snap.Sum(core.MetricRouterInVerifyFail), snap.Sum(core.MetricRouterInDropped),
+		snap.Sum(core.MetricRouterInErasedOnly))
 	fmt.Printf("  crypto:   %d CMACs computed, %d ICMP errors scrubbed\n",
-		dp.MACsComputed, dp.ICMPScrubbed)
+		snap.Sum(core.MetricRouterMACsComputed), snap.Sum(core.MetricRouterICMPScrubbed))
+	fmt.Printf("control plane totals across %d controllers:\n", len(sys.Controllers))
+	fmt.Printf("  %d msgs sent, %d received, %d retries; %d B sealed, %d B opened\n",
+		snap.Sum(core.MetricCtrlMsgsSent), snap.Sum(core.MetricCtrlMsgsRecv),
+		snap.Sum(core.MetricCtrlRetries), snap.Sum(core.MetricCtrlBytesSealed),
+		snap.Sum(core.MetricCtrlBytesOpened))
+
+	if *metrics != "" {
+		ex := obs.NewExport("discs-sim", sys.Registry(), rec, int64(*interval))
+		if err := ex.WriteFile(*metrics); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote observability export: %s (%d interval points, %d events, %d dropped)\n",
+			*metrics, len(ex.Points), len(ex.Events), ex.EventsDropped)
+	}
 }

@@ -2,8 +2,10 @@ package attack
 
 import (
 	"math/rand"
+	"time"
 
 	"discs/internal/core"
+	"discs/internal/packet"
 	"discs/internal/topology"
 )
 
@@ -22,33 +24,66 @@ type Result struct {
 	AmplifiedDelivered float64
 }
 
+// tally records the fate of one packet of flow f.
+func (r *Result) tally(f Flow, d core.DeliveryResult) {
+	r.Sent++
+	if d.Delivered {
+		r.Delivered++
+		if f.Kind == SDDoS {
+			r.AmplifiedDelivered += AmplificationFactor
+		} else {
+			r.AmplifiedDelivered++
+		}
+	} else {
+		r.Dropped++
+		r.DroppedAt[d.DroppedAt]++
+	}
+}
+
 // Run injects `perFlow` packets for each flow into the system at the
 // flow's agent AS and tallies the outcome. For s-DDoS, a delivered
 // request reaches the reflector and its (amplified) reply floods the
 // victim; the reply path is not simulated because reflector replies
 // are legitimate traffic no defense filters.
+//
+// Run injects everything at a single simulated instant. Use RunPaced
+// when interval observers (discs-sim -metrics) should see the attack
+// unfold over simulated time.
 func Run(sys *core.System, flows []Flow, perFlow int, seed int64) (Result, error) {
+	return RunPaced(sys, flows, perFlow, seed, 1, 0)
+}
+
+// RunPaced injects the same traffic as Run but spread over simulated
+// time: the packets of every flow are split into `waves` contiguous
+// batches, and the simulated clock advances by `gap` between waves
+// (firing any timers due in that window — heartbeats, interval
+// recorders). With waves <= 1 or gap <= 0 it degenerates to Run.
+func RunPaced(sys *core.System, flows []Flow, perFlow int, seed int64, waves int, gap time.Duration) (Result, error) {
+	if waves < 1 {
+		waves = 1
+	}
 	rng := rand.New(rand.NewSource(seed))
 	res := Result{DroppedAt: make(map[topology.ASN]int)}
-	for _, f := range flows {
-		pkts, err := f.Packets(sys.Net.Topo, perFlow, rng)
+	// Draw every packet up front so the rng consumption — and with it
+	// the generated traffic — is identical for any wave count.
+	pkts := make([][]*packet.IPv4, len(flows))
+	for i, f := range flows {
+		ps, err := f.Packets(sys.Net.Topo, perFlow, rng)
 		if err != nil {
 			return res, err
 		}
-		for _, p := range pkts {
-			res.Sent++
-			d := sys.SendV4(f.Agent, p)
-			if d.Delivered {
-				res.Delivered++
-				if f.Kind == SDDoS {
-					res.AmplifiedDelivered += AmplificationFactor
-				} else {
-					res.AmplifiedDelivered++
-				}
-			} else {
-				res.Dropped++
-				res.DroppedAt[d.DroppedAt]++
+		pkts[i] = ps
+	}
+	for w := 0; w < waves; w++ {
+		lo, hi := w*perFlow/waves, (w+1)*perFlow/waves
+		for i, f := range flows {
+			for _, p := range pkts[i][lo:hi] {
+				res.tally(f, sys.SendV4(f.Agent, p))
 			}
+		}
+		if gap > 0 && w < waves-1 {
+			sim := sys.Net.Sim
+			sim.Run(sim.Now() + gap)
 		}
 	}
 	return res, nil

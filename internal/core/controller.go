@@ -10,6 +10,7 @@ import (
 
 	"discs/internal/bgp"
 	"discs/internal/netsim"
+	"discs/internal/obs"
 	"discs/internal/securechan"
 	"discs/internal/topology"
 )
@@ -174,6 +175,19 @@ type Config struct {
 	// PurgeInterval paces the periodic PurgeExpired sweep; zero falls
 	// back to the old behaviour of purging only on invocations.
 	PurgeInterval time.Duration
+
+	// Observability. Registry receives every subsystem's metrics and
+	// trace events; nil means each layer creates (or shares the
+	// simulator's) registry. TraceCapacity sizes the event ring (0 uses
+	// obs.DefaultTraceCapacity); TraceSampleEvery enables sampled
+	// data-plane packet tracing on routers built by System.Deploy (0
+	// disables it, keeping the forwarding hot path untouched). Seed is
+	// mixed into every per-deploy seed so whole-system runs can be
+	// re-randomized from one knob without changing call sites.
+	Registry         *obs.Registry
+	TraceCapacity    int
+	TraceSampleEvery int
+	Seed             int64
 }
 
 // DefaultConfig returns sensible simulation defaults.
@@ -246,25 +260,99 @@ type Controller struct {
 	// everyone to quit alarm mode.
 	AutoDefend *AutoDefendPolicy
 
-	// Stats.
-	MsgsSent, MsgsRecv   uint64
-	Retries              uint64
-	InvokesSent          uint64
-	InvokesAccepted      uint64
-	InvokesRejected      uint64
-	HandshakesInitiated  uint64
-	HandshakesResponded  uint64
-	AdsSeen              uint64
-	PeeringRequestsSent  uint64
-	PeeringRequestsRecvd uint64
-	HeartbeatsSent       uint64
-	PeersDeclaredDead    uint64
-	ResumesInitiated     uint64
-	ResumesResponded     uint64
-	ResumeFallbacks      uint64
-	CampaignResyncs      uint64
-	Purged               uint64 // prefixes reclaimed by periodic purge
-	Crashes              uint64
+	// Observability: every tally lives in reg under scope+"ctrl.*"; m
+	// caches the handles and trace records control-plane events.
+	reg   *obs.Registry
+	scope string
+	m     ctrlMetrics
+	trace *obs.Tracer
+}
+
+// Metric names (relative to the controller's scope) for the
+// control-plane tallies; a controller scoped "as7." publishes e.g.
+// "as7.ctrl.msgs_sent". Exported so consumers of registry snapshots do
+// not hard-code strings.
+const (
+	MetricCtrlMsgsSent             = "ctrl.msgs_sent"
+	MetricCtrlMsgsRecv             = "ctrl.msgs_recv"
+	MetricCtrlRetries              = "ctrl.retries"
+	MetricCtrlInvokesSent          = "ctrl.invokes_sent"
+	MetricCtrlInvokesAccepted      = "ctrl.invokes_accepted"
+	MetricCtrlInvokesRejected      = "ctrl.invokes_rejected"
+	MetricCtrlHandshakesInitiated  = "ctrl.handshakes_initiated"
+	MetricCtrlHandshakesResponded  = "ctrl.handshakes_responded"
+	MetricCtrlAdsSeen              = "ctrl.ads_seen"
+	MetricCtrlPeeringRequestsSent  = "ctrl.peering_requests_sent"
+	MetricCtrlPeeringRequestsRecvd = "ctrl.peering_requests_recvd"
+	MetricCtrlHeartbeatsSent       = "ctrl.heartbeats_sent"
+	MetricCtrlHeartbeatMisses      = "ctrl.heartbeat_misses"
+	MetricCtrlPeersDeclaredDead    = "ctrl.peers_declared_dead"
+	MetricCtrlResumesInitiated     = "ctrl.resumes_initiated"
+	MetricCtrlResumesResponded     = "ctrl.resumes_responded"
+	MetricCtrlResumeFallbacks      = "ctrl.resume_fallbacks"
+	MetricCtrlCampaignResyncs      = "ctrl.campaign_resyncs"
+	MetricCtrlPurged               = "ctrl.purged"
+	MetricCtrlCrashes              = "ctrl.crashes"
+	MetricCtrlAttacksDetected      = "ctrl.attacks_detected"
+	MetricCtrlBytesSealed          = "ctrl.bytes_sealed"
+	MetricCtrlBytesOpened          = "ctrl.bytes_opened"
+	MetricCtrlPeersEstablished     = "ctrl.peers_established" // gauge
+)
+
+// ctrlMetrics holds the controller's pre-resolved registry handles.
+type ctrlMetrics struct {
+	msgsSent, msgsRecv   *obs.Counter
+	retries              *obs.Counter
+	invokesSent          *obs.Counter
+	invokesAccepted      *obs.Counter
+	invokesRejected      *obs.Counter
+	handshakesInitiated  *obs.Counter
+	handshakesResponded  *obs.Counter
+	adsSeen              *obs.Counter
+	peeringRequestsSent  *obs.Counter
+	peeringRequestsRecvd *obs.Counter
+	heartbeatsSent       *obs.Counter
+	heartbeatMisses      *obs.Counter
+	peersDeclaredDead    *obs.Counter
+	resumesInitiated     *obs.Counter
+	resumesResponded     *obs.Counter
+	resumeFallbacks      *obs.Counter
+	campaignResyncs      *obs.Counter
+	purged               *obs.Counter
+	crashes              *obs.Counter
+	attacksDetected      *obs.Counter
+	bytesSealed          *obs.Counter
+	bytesOpened          *obs.Counter
+	peersEstablished     *obs.Gauge
+}
+
+func newCtrlMetrics(sc obs.Scope) ctrlMetrics {
+	return ctrlMetrics{
+		msgsSent:             sc.Counter(MetricCtrlMsgsSent),
+		msgsRecv:             sc.Counter(MetricCtrlMsgsRecv),
+		retries:              sc.Counter(MetricCtrlRetries),
+		invokesSent:          sc.Counter(MetricCtrlInvokesSent),
+		invokesAccepted:      sc.Counter(MetricCtrlInvokesAccepted),
+		invokesRejected:      sc.Counter(MetricCtrlInvokesRejected),
+		handshakesInitiated:  sc.Counter(MetricCtrlHandshakesInitiated),
+		handshakesResponded:  sc.Counter(MetricCtrlHandshakesResponded),
+		adsSeen:              sc.Counter(MetricCtrlAdsSeen),
+		peeringRequestsSent:  sc.Counter(MetricCtrlPeeringRequestsSent),
+		peeringRequestsRecvd: sc.Counter(MetricCtrlPeeringRequestsRecvd),
+		heartbeatsSent:       sc.Counter(MetricCtrlHeartbeatsSent),
+		heartbeatMisses:      sc.Counter(MetricCtrlHeartbeatMisses),
+		peersDeclaredDead:    sc.Counter(MetricCtrlPeersDeclaredDead),
+		resumesInitiated:     sc.Counter(MetricCtrlResumesInitiated),
+		resumesResponded:     sc.Counter(MetricCtrlResumesResponded),
+		resumeFallbacks:      sc.Counter(MetricCtrlResumeFallbacks),
+		campaignResyncs:      sc.Counter(MetricCtrlCampaignResyncs),
+		purged:               sc.Counter(MetricCtrlPurged),
+		crashes:              sc.Counter(MetricCtrlCrashes),
+		attacksDetected:      sc.Counter(MetricCtrlAttacksDetected),
+		bytesSealed:          sc.Counter(MetricCtrlBytesSealed),
+		bytesOpened:          sc.Counter(MetricCtrlBytesOpened),
+		peersEstablished:     sc.Gauge(MetricCtrlPeersEstablished),
+	}
 }
 
 // campaign is one journaled Invoke call: the invocations plus the
@@ -276,29 +364,129 @@ type campaign struct {
 	end    time.Time
 }
 
-// NewController creates a controller. node must be a dedicated netsim
-// node; its handler is taken over. seed drives all randomized delays
-// and key generation deterministically.
-func NewController(as topology.ASN, name string, sim *netsim.Simulator, node *netsim.Node,
-	dir *Directory, topo *topology.Topology, cfg Config, seed int64) (*Controller, error) {
-	rng := rand.New(rand.NewSource(seed))
-	id, err := securechan.NewIdentity(name, rng)
+// ControllerOptions configures a Controller. AS, Name, Sim, Node, Dir
+// and Topo are required; everything else has a usable zero value.
+type ControllerOptions struct {
+	AS   topology.ASN
+	Name string
+	// Sim is the simulator the controller schedules on; Node must be a
+	// dedicated netsim node — its handler is taken over.
+	Sim  *netsim.Simulator
+	Node *netsim.Node
+	Dir  *Directory
+	// Topo is the RPKI ownership oracle.
+	Topo *topology.Topology
+	// Config tunes protocol behaviour (DefaultConfig when zero values
+	// are not intended, pass explicitly).
+	Config Config
+	// Seed drives all randomized delays and key generation
+	// deterministically.
+	Seed int64
+	// Registry receives the controller's metrics and trace events; nil
+	// falls back to Config.Registry, then to the simulator's registry.
+	Registry *obs.Registry
+	// Scope prefixes the controller's metric names (e.g. "as7."
+	// publishes "as7.ctrl.msgs_sent"). Empty derives "as<N>." from AS.
+	Scope string
+}
+
+// NewControllerWithOptions creates a controller from an options struct.
+func NewControllerWithOptions(o ControllerOptions) (*Controller, error) {
+	rng := rand.New(rand.NewSource(o.Seed))
+	id, err := securechan.NewIdentity(o.Name, rng)
 	if err != nil {
 		return nil, err
 	}
+	reg := o.Registry
+	if reg == nil {
+		reg = o.Config.Registry
+	}
+	if reg == nil {
+		reg = o.Sim.Registry()
+	}
+	scope := o.Scope
+	if scope == "" {
+		scope = fmt.Sprintf("as%d.", o.AS)
+	}
+	if o.Config.TraceCapacity > 0 {
+		reg.SetTraceCapacity(o.Config.TraceCapacity)
+	}
 	c := &Controller{
-		AS: as, Name: name,
-		sim: sim, node: node, id: id, dir: dir, topo: topo,
-		rng: rng, cfg: cfg,
+		AS: o.AS, Name: o.Name,
+		sim: o.Sim, node: o.Node, id: id, dir: o.Dir, topo: o.Topo,
+		rng: rng, cfg: o.Config,
 		Blacklist:   make(map[topology.ASN]bool),
 		peers:       make(map[topology.ASN]*peerState),
 		resumeCache: make(map[topology.ASN][16]byte),
+		reg:         reg,
+		scope:       scope,
+		m:           newCtrlMetrics(reg.Scope(scope)),
+		trace:       reg.Tracer(),
 	}
-	node.SetHandler(netsim.HandlerFunc(c.receive))
-	if err := dir.Register(&DirEntry{Name: name, ASN: as, Pub: id.Public(), Node: node}); err != nil {
+	o.Node.SetHandler(netsim.HandlerFunc(c.receive))
+	if err := o.Dir.Register(&DirEntry{Name: o.Name, ASN: o.AS, Pub: id.Public(), Node: o.Node}); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// NewController creates a controller publishing metrics into the
+// simulator's registry under scope "as<N>.".
+//
+// Deprecated: use NewControllerWithOptions.
+func NewController(as topology.ASN, name string, sim *netsim.Simulator, node *netsim.Node,
+	dir *Directory, topo *topology.Topology, cfg Config, seed int64) (*Controller, error) {
+	return NewControllerWithOptions(ControllerOptions{
+		AS: as, Name: name, Sim: sim, Node: node, Dir: dir, Topo: topo,
+		Config: cfg, Seed: seed,
+	})
+}
+
+// Stats returns the controller's unified metrics snapshot, with the
+// scope prefix trimmed so keys read "ctrl.msgs_sent" regardless of
+// which AS the controller serves. It replaces the removed public
+// counter fields.
+func (c *Controller) Stats() obs.Snapshot {
+	return c.reg.SnapshotPrefix(c.scope+"ctrl.", c.scope)
+}
+
+// Registry returns the registry the controller publishes into.
+func (c *Controller) Registry() *obs.Registry { return c.reg }
+
+// setStatus centralizes peer-status transitions: it maintains the
+// peers_established gauge and emits the matching trace event, so every
+// lifecycle change is observable from one place.
+func (c *Controller) setStatus(p *peerState, s PeerStatus) {
+	if p.status == s {
+		return
+	}
+	if p.status == PeerEstablished {
+		c.m.peersEstablished.Add(-1)
+	}
+	p.status = s
+	kind := ""
+	switch s {
+	case PeerDiscovered:
+		kind = obs.EvPeerDiscovered
+	case PeerRequested:
+		kind = obs.EvPeerRequested
+	case PeerEstablished:
+		kind = obs.EvPeerEstablished
+		c.m.peersEstablished.Add(1)
+	case PeerRejected:
+		kind = obs.EvPeerRejected
+	case PeerDead:
+		kind = obs.EvPeerDead
+	}
+	c.trace.Emit(obs.Event{Kind: kind, AS: uint32(c.AS), Peer: uint32(p.asn)})
+}
+
+// newPeer creates and registers peer state in Discovered status.
+func (c *Controller) newPeer(asn topology.ASN, ctrlName string) *peerState {
+	p := &peerState{asn: asn, ctrlName: ctrlName, status: PeerDiscovered}
+	c.peers[asn] = p
+	c.trace.Emit(obs.Event{Kind: obs.EvPeerDiscovered, AS: uint32(c.AS), Peer: uint32(asn)})
+	return p
 }
 
 // AttachRouter registers a local border router with the controller.
@@ -352,7 +540,9 @@ func (c *Controller) after(d time.Duration, fn func()) { c.node.After(d, fn) }
 // their key and function tables keep enforcing installed windows.
 func (c *Controller) Crash() {
 	c.node.Crash()
-	c.Crashes++
+	c.m.crashes.Inc()
+	c.m.peersEstablished.Set(0)
+	c.trace.Emit(obs.Event{Kind: obs.EvCtrlCrash, AS: uint32(c.AS)})
 	c.peers = make(map[topology.ASN]*peerState)
 	c.alarmTimes = nil
 	c.purgeArmed = false
@@ -365,6 +555,7 @@ func (c *Controller) Crash() {
 // re-driven from the journal.
 func (c *Controller) Restart() {
 	c.node.Restart()
+	c.trace.Emit(obs.Event{Kind: obs.EvCtrlRestart, AS: uint32(c.AS)})
 	if c.anyTableEntries() {
 		c.armPurge()
 	}
@@ -387,7 +578,7 @@ func (c *Controller) HandleAd(ad bgp.DISCSAd) {
 	if ad.Origin == c.AS {
 		return
 	}
-	c.AdsSeen++
+	c.m.adsSeen.Inc()
 	if c.Blacklist[ad.Origin] {
 		return
 	}
@@ -401,7 +592,7 @@ func (c *Controller) HandleAd(ad bgp.DISCSAd) {
 		p.retries = 0
 		if p.status == PeerDead {
 			// The peer is back from the dead: re-run discovery.
-			p.status = PeerDiscovered
+			c.setStatus(p, PeerDiscovered)
 			c.after(c.peeringDelay(), func() { c.sendPeeringRequest(p) })
 			return
 		}
@@ -410,8 +601,7 @@ func (c *Controller) HandleAd(ad bgp.DISCSAd) {
 		}
 		return
 	}
-	p = &peerState{asn: ad.Origin, ctrlName: ad.Controller, status: PeerDiscovered}
-	c.peers[ad.Origin] = p
+	p = c.newPeer(ad.Origin, ad.Controller)
 	c.after(c.peeringDelay(), func() { c.sendPeeringRequest(p) })
 }
 
@@ -425,8 +615,8 @@ func (c *Controller) sendPeeringRequest(p *peerState) {
 	if p.status != PeerDiscovered {
 		return
 	}
-	p.status = PeerRequested
-	c.PeeringRequestsSent++
+	c.setStatus(p, PeerRequested)
+	c.m.peeringRequestsSent.Inc()
 	c.sendMsg(p, &ControlMsg{Type: MsgPeeringRequest, From: c.AS})
 }
 
@@ -482,7 +672,8 @@ func (c *Controller) startHandshake(p *peerState, full bool) {
 			res, err := securechan.NewResumer(secret, c.rng)
 			if err == nil {
 				p.resumer = res
-				c.ResumesInitiated++
+				c.m.resumesInitiated.Inc()
+				c.trace.Emit(obs.Event{Kind: obs.EvHandshakeResume, AS: uint32(c.AS), Peer: uint32(p.asn)})
 				c.sendFrame(p, &ctrlFrame{Kind: frameResumeHello, From: c.Name, Data: res.Hello()})
 				return
 			}
@@ -497,7 +688,8 @@ func (c *Controller) startHandshake(p *peerState, full bool) {
 		return
 	}
 	p.initiator = ini
-	c.HandshakesInitiated++
+	c.m.handshakesInitiated.Inc()
+	c.trace.Emit(obs.Event{Kind: obs.EvHandshakeFull, AS: uint32(c.AS), Peer: uint32(p.asn)})
 	c.sendFrame(p, &ctrlFrame{Kind: frameHello, From: c.Name, Data: ini.Hello()})
 }
 
@@ -568,7 +760,7 @@ func (c *Controller) retry(p *peerState) {
 		return
 	}
 	p.retries++
-	c.Retries++
+	c.m.retries.Inc()
 	// Restart transport: a fresh handshake replaces any wedged session.
 	p.initiator = nil
 	p.resumer = nil
@@ -610,7 +802,7 @@ func (c *Controller) sendFrame(p *peerState, f *ctrlFrame) {
 	}
 	if l := c.linkTo(ent.Node); l != nil {
 		if l.Send(c.node, f) {
-			c.MsgsSent++
+			c.m.msgsSent.Inc()
 		}
 	}
 }
@@ -625,7 +817,7 @@ func (c *Controller) receive(_ *netsim.Node, _ *netsim.Link, msg netsim.Message)
 	if !ok {
 		return
 	}
-	c.MsgsRecv++
+	c.m.msgsRecv.Inc()
 	ent := c.dir.Lookup(f.From)
 	if ent == nil {
 		return
@@ -636,14 +828,14 @@ func (c *Controller) receive(_ *netsim.Node, _ *netsim.Link, msg netsim.Message)
 		// Respond even if we have not yet decided to peer: transport
 		// security is independent of the peering policy decision.
 		if p == nil {
-			p = &peerState{asn: ent.ASN, ctrlName: f.From, status: PeerDiscovered}
-			c.peers[ent.ASN] = p
+			p = c.newPeer(ent.ASN, f.From)
 		}
 		reply, sess, err := securechan.Respond(c.id, ent.Pub, f.Data, c.rng)
 		if err != nil {
 			return
 		}
-		c.HandshakesResponded++
+		c.m.handshakesResponded.Inc()
+		sess.SetMeter(c.m.bytesSealed, c.m.bytesOpened)
 		p.in = sess
 		// Cache the resumption secret from full handshakes only: both
 		// ends of one handshake cache the same value, so later
@@ -661,6 +853,7 @@ func (c *Controller) receive(_ *netsim.Node, _ *netsim.Link, msg netsim.Message)
 			return
 		}
 		p.initiator = nil
+		sess.SetMeter(c.m.bytesSealed, c.m.bytesOpened)
 		p.out = sess
 		c.resumeCache[p.asn] = sess.ResumptionSecret()
 		for _, data := range p.pendingOut {
@@ -669,8 +862,7 @@ func (c *Controller) receive(_ *netsim.Node, _ *netsim.Link, msg netsim.Message)
 		p.pendingOut = nil
 	case frameResumeHello:
 		if p == nil {
-			p = &peerState{asn: ent.ASN, ctrlName: f.From, status: PeerDiscovered}
-			c.peers[ent.ASN] = p
+			p = c.newPeer(ent.ASN, f.From)
 		}
 		secret, ok := c.resumeCache[ent.ASN]
 		if !ok {
@@ -684,7 +876,8 @@ func (c *Controller) receive(_ *netsim.Node, _ *netsim.Link, msg netsim.Message)
 			c.sendFrame(p, &ctrlFrame{Kind: frameResumeReject, From: c.Name})
 			return
 		}
-		c.ResumesResponded++
+		c.m.resumesResponded.Inc()
+		sess.SetMeter(c.m.bytesSealed, c.m.bytesOpened)
 		p.in = sess
 		c.sendFrame(p, &ctrlFrame{Kind: frameResumeReply, From: c.Name, Data: reply})
 	case frameResumeReply:
@@ -696,6 +889,7 @@ func (c *Controller) receive(_ *netsim.Node, _ *netsim.Link, msg netsim.Message)
 			return // corrupted or forged; retry machinery re-drives
 		}
 		p.resumer = nil
+		sess.SetMeter(c.m.bytesSealed, c.m.bytesOpened)
 		p.out = sess
 		for _, data := range p.pendingOut {
 			c.sendRecord(p, p.out.Seal(data))
@@ -709,7 +903,8 @@ func (c *Controller) receive(_ *netsim.Node, _ *netsim.Link, msg netsim.Message)
 		// full handshake, which refreshes the cache on both ends.
 		p.resumer = nil
 		delete(c.resumeCache, p.asn)
-		c.ResumeFallbacks++
+		c.m.resumeFallbacks.Inc()
+		c.trace.Emit(obs.Event{Kind: obs.EvResumeFallback, AS: uint32(c.AS), Peer: uint32(p.asn)})
 		if len(p.pendingOut) > 0 {
 			c.startHandshake(p, true)
 		}
@@ -739,9 +934,9 @@ func (c *Controller) handleMsg(p *peerState, m *ControlMsg) {
 	c.markAlive(p)
 	switch m.Type {
 	case MsgPeeringRequest:
-		c.PeeringRequestsRecvd++
+		c.m.peeringRequestsRecvd.Inc()
 		if c.Blacklist[p.asn] {
-			p.status = PeerRejected
+			c.setStatus(p, PeerRejected)
 			c.sendMsg(p, &ControlMsg{Type: MsgPeeringReject, From: c.AS, Reason: "blacklisted"})
 			return
 		}
@@ -758,18 +953,18 @@ func (c *Controller) handleMsg(p *peerState, m *ControlMsg) {
 			p.stampActive = false
 			p.campaignSeen, p.campaignAcked = 0, 0
 		}
-		p.status = PeerEstablished
+		c.setStatus(p, PeerEstablished)
 		c.sendMsg(p, &ControlMsg{Type: MsgPeeringAccept, From: c.AS})
 		c.armHeartbeat(p)
 		c.negotiateKey(p)
 	case MsgPeeringAccept:
 		if p.status == PeerRequested {
-			p.status = PeerEstablished
+			c.setStatus(p, PeerEstablished)
 			c.armHeartbeat(p)
 			c.negotiateKey(p)
 		}
 	case MsgPeeringReject:
-		p.status = PeerRejected
+		c.setStatus(p, PeerRejected)
 	case MsgKeyDeploy:
 		c.handleKeyDeploy(p, m)
 	case MsgKeyAck:
@@ -777,12 +972,13 @@ func (c *Controller) handleMsg(p *peerState, m *ControlMsg) {
 	case MsgInvoke:
 		c.handleInvoke(p, m)
 	case MsgInvokeAck:
-		c.InvokesAccepted++
+		c.m.invokesAccepted.Inc()
+		c.trace.Emit(obs.Event{Kind: obs.EvCampaignAck, AS: uint32(c.AS), Peer: uint32(p.asn), Serial: m.Serial})
 		if m.Serial > p.campaignAcked {
 			p.campaignAcked = m.Serial
 		}
 	case MsgInvokeReject:
-		c.InvokesRejected++
+		c.m.invokesRejected.Inc()
 		// A rejection settles the exchange too: retrying a request the
 		// peer refuses would loop forever.
 		if m.Serial > p.campaignAcked {
@@ -831,13 +1027,15 @@ func (c *Controller) heartbeatTick(p *peerState) {
 	}
 	if c.sim.Now()-p.lastSeen >= c.cfg.HeartbeatInterval {
 		p.missed++
+		c.m.heartbeatMisses.Inc()
+		c.trace.Emit(obs.Event{Kind: obs.EvHeartbeatMiss, AS: uint32(c.AS), Peer: uint32(p.asn)})
 		if c.cfg.DeadAfterMisses > 0 && p.missed >= c.cfg.DeadAfterMisses {
 			p.hbArmed = false
 			c.declarePeerDead(p)
 			return
 		}
 	}
-	c.HeartbeatsSent++
+	c.m.heartbeatsSent.Inc()
 	c.sendEncoded(p, mustEncode(&ControlMsg{Type: MsgHeartbeat, From: c.AS}))
 	if p.out == nil {
 		// The keepalive queued behind a handshake. If that handshake's
@@ -856,8 +1054,8 @@ func (c *Controller) heartbeatTick(p *peerState) {
 // free table slots, and the secure sessions are torn down. A
 // reconnection prober then takes over from the heartbeat loop.
 func (c *Controller) declarePeerDead(p *peerState) {
-	p.status = PeerDead
-	c.PeersDeclaredDead++
+	c.setStatus(p, PeerDead)
+	c.m.peersDeclaredDead.Inc()
 	for _, r := range c.routers {
 		r.Tables.Keys.RemovePeer(p.asn)
 	}
@@ -902,7 +1100,7 @@ func (c *Controller) reconnectTick(p *peerState) {
 	case PeerEstablished, PeerRejected:
 		return // recovered (or a policy decision ended the peering)
 	case PeerDead:
-		p.status = PeerDiscovered
+		c.setStatus(p, PeerDiscovered)
 		p.retries = 0
 		c.sendPeeringRequest(p)
 	case PeerDiscovered:
@@ -975,6 +1173,7 @@ func (c *Controller) handleKeyDeploy(p *peerState, m *ControlMsg) {
 	// con-con channel is replay-protected, so a regressed serial cannot
 	// be a replayed old deploy.
 	p.verifySeen = m.Serial
+	c.trace.Emit(obs.Event{Kind: obs.EvKeyDeploy, AS: uint32(c.AS), Peer: uint32(p.asn), Serial: m.Serial})
 	// Deploy to all local border routers as the verification key for
 	// packets from this peer. The previous key stays valid for the
 	// rekey overlap window.
@@ -1002,6 +1201,7 @@ func (c *Controller) handleKeyAck(p *peerState, m *ControlMsg) {
 	}
 	p.stampActive = true
 	p.retries = 0
+	c.trace.Emit(obs.Event{Kind: obs.EvKeyActive, AS: uint32(c.AS), Peer: uint32(p.asn), Serial: m.Serial})
 	// Keys active means the peer can enforce: re-drive any campaign it
 	// has not seen (it just restarted, or we did).
 	c.resyncCampaigns(p)
@@ -1020,7 +1220,8 @@ func (c *Controller) resyncCampaigns(p *peerState) {
 		}
 		c.sendMsg(p, &ControlMsg{Type: MsgInvoke, From: c.AS, Invocations: cp.invs, Serial: cp.serial})
 		p.campaignSeen = cp.serial
-		c.CampaignResyncs++
+		c.m.campaignResyncs.Inc()
+		c.trace.Emit(obs.Event{Kind: obs.EvCampaignResync, AS: uint32(c.AS), Peer: uint32(p.asn), Serial: cp.serial})
 	}
 }
 
@@ -1063,7 +1264,7 @@ func (c *Controller) armPurge() {
 
 func (c *Controller) purgeTick() {
 	c.purgeArmed = false
-	c.Purged += uint64(c.PurgeExpired())
+	c.m.purged.Add(uint64(c.PurgeExpired()))
 	if c.anyTableEntries() {
 		c.armPurge()
 	}
@@ -1123,7 +1324,8 @@ func (c *Controller) Invoke(invs ...Invocation) (int, error) {
 		p.campaignSeen = c.campaignSerial
 		n++
 	}
-	c.InvokesSent++
+	c.m.invokesSent.Inc()
+	c.trace.Emit(obs.Event{Kind: obs.EvCampaignInvoke, AS: uint32(c.AS), Serial: c.campaignSerial})
 	c.armPurge()
 	return n, nil
 }
@@ -1187,6 +1389,7 @@ func (c *Controller) handleInvoke(p *peerState, m *ControlMsg) {
 		}
 	}
 	c.armPurge()
+	c.trace.Emit(obs.Event{Kind: obs.EvCampaignAccept, AS: uint32(c.AS), Peer: uint32(p.asn), Serial: m.Serial})
 	c.sendMsg(p, &ControlMsg{Type: MsgInvokeAck, From: c.AS, Serial: m.Serial})
 }
 
@@ -1246,6 +1449,8 @@ func (c *Controller) handleAlarmSample(s AlarmSample) {
 		return
 	}
 	c.alarmTimes = nil
+	c.m.attacksDetected.Inc()
+	c.trace.Emit(obs.Event{Kind: obs.EvAttackDetected, AS: uint32(c.AS), Peer: uint32(s.SrcAS), Src: s.Src, Dst: s.Dst})
 	c.SetAlarmMode(false)
 	for _, p := range c.establishedPeers() {
 		c.sendMsg(p, &ControlMsg{Type: MsgQuitAlarm, From: c.AS})

@@ -160,8 +160,8 @@ func TestInvokeDPCDP(t *testing.T) {
 	if err := s.Settle(); err != nil {
 		t.Fatal(err)
 	}
-	if victim.InvokesAccepted != 1 {
-		t.Fatalf("acks = %d", victim.InvokesAccepted)
+	if victim.Stats().Get(MetricCtrlInvokesAccepted) != 1 {
+		t.Fatalf("acks = %d", victim.Stats().Get(MetricCtrlInvokesAccepted))
 	}
 	now := s.Now().Add(time.Second)
 	// Peer's Out-Dst table has DP-filter and CDP-stamp for the victim.
@@ -202,7 +202,7 @@ func TestInvokeRejectedForForeignPrefix(t *testing.T) {
 	if err := s.Settle(); err != nil {
 		t.Fatal(err)
 	}
-	if victim.InvokesRejected == 0 {
+	if victim.Stats().Get(MetricCtrlInvokesRejected) == 0 {
 		t.Fatal("peer accepted an invocation for a prefix the victim does not own")
 	}
 	now := s.Now().Add(time.Second)

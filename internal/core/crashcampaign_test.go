@@ -68,14 +68,14 @@ func crashCampaignScenario(t *testing.T) string {
 
 	// Mid-campaign crash of the victim's controller. Its border routers
 	// stay up and keep enforcing; its control plane goes silent.
-	fullHandshakes := victim.HandshakesInitiated + peer.HandshakesInitiated
+	fullHandshakes := victim.Stats().Get(MetricCtrlHandshakesInitiated) + peer.Stats().Get(MetricCtrlHandshakesInitiated)
 	if err := s.Crash(1004); err != nil {
 		t.Fatal(err)
 	}
 	sim.Run(sim.Now() + 30*time.Second)
 
-	if peer.PeersDeclaredDead != 1 {
-		t.Fatalf("peer never declared the victim dead (stat %d)", peer.PeersDeclaredDead)
+	if peer.Stats().Get(MetricCtrlPeersDeclaredDead) != 1 {
+		t.Fatalf("peer never declared the victim dead (stat %d)", peer.Stats().Get(MetricCtrlPeersDeclaredDead))
 	}
 	if s.Routers[1001].Tables.Keys.StampKey(1004) != nil {
 		t.Fatal("peer still stamping toward the dead victim")
@@ -120,13 +120,13 @@ func crashCampaignScenario(t *testing.T) string {
 	if !victim.KeysReadyWith(1001) || !peer.KeysReadyWith(1004) {
 		t.Fatal("recovery: keys not re-deployed")
 	}
-	if victim.CampaignResyncs == 0 {
+	if victim.Stats().Get(MetricCtrlCampaignResyncs) == 0 {
 		t.Fatal("recovery: campaign never re-driven from the journal")
 	}
-	if victim.ResumesInitiated+peer.ResumesInitiated == 0 {
+	if victim.Stats().Get(MetricCtrlResumesInitiated)+peer.Stats().Get(MetricCtrlResumesInitiated) == 0 {
 		t.Fatal("recovery: no abbreviated handshake was attempted")
 	}
-	if got := victim.HandshakesInitiated + peer.HandshakesInitiated; got != fullHandshakes {
+	if got := victim.Stats().Get(MetricCtrlHandshakesInitiated) + peer.Stats().Get(MetricCtrlHandshakesInitiated); got != fullHandshakes {
 		t.Fatalf("recovery ran %d full handshakes; resumption should need none", got-fullHandshakes)
 	}
 	if !legit() {
@@ -136,15 +136,15 @@ func crashCampaignScenario(t *testing.T) string {
 		t.Fatal("recovery: campaign not enforcing after resync")
 	}
 
-	fs := sim.FaultStats()
+	fs := sim.Stats()
 	return fmt.Sprintf(
 		"now=%v lost=%d crashdropped=%d peerRetries=%d victimRetries=%d dead=%d resyncs=%d resumesI=%d resumesR=%d fallbacks=%d hb=%d msgs=%d/%d",
-		sim.Now(), fs.Lost, fs.CrashDropped, peer.Retries, victim.Retries,
-		peer.PeersDeclaredDead, victim.CampaignResyncs,
-		victim.ResumesInitiated+peer.ResumesInitiated,
-		victim.ResumesResponded+peer.ResumesResponded,
-		victim.ResumeFallbacks+peer.ResumeFallbacks,
-		victim.HeartbeatsSent+peer.HeartbeatsSent,
-		victim.MsgsSent+peer.MsgsSent, victim.MsgsRecv+peer.MsgsRecv,
+		sim.Now(), fs.Get(netsim.MetricLost), fs.Get(netsim.MetricCrashDropped), peer.Stats().Get(MetricCtrlRetries), victim.Stats().Get(MetricCtrlRetries),
+		peer.Stats().Get(MetricCtrlPeersDeclaredDead), victim.Stats().Get(MetricCtrlCampaignResyncs),
+		victim.Stats().Get(MetricCtrlResumesInitiated)+peer.Stats().Get(MetricCtrlResumesInitiated),
+		victim.Stats().Get(MetricCtrlResumesResponded)+peer.Stats().Get(MetricCtrlResumesResponded),
+		victim.Stats().Get(MetricCtrlResumeFallbacks)+peer.Stats().Get(MetricCtrlResumeFallbacks),
+		victim.Stats().Get(MetricCtrlHeartbeatsSent)+peer.Stats().Get(MetricCtrlHeartbeatsSent),
+		victim.Stats().Get(MetricCtrlMsgsSent)+peer.Stats().Get(MetricCtrlMsgsSent), victim.Stats().Get(MetricCtrlMsgsRecv)+peer.Stats().Get(MetricCtrlMsgsRecv),
 	)
 }

@@ -141,8 +141,8 @@ func TestPurgeExpired(t *testing.T) {
 	if s.Routers[1004].Tables.In[TableInDst].Len() != 0 {
 		t.Fatal("expired window still present after periodic purge")
 	}
-	if victim.Purged != 1 {
-		t.Fatalf("Purged stat = %d, want 1", victim.Purged)
+	if victim.Stats().Get(MetricCtrlPurged) != 1 {
+		t.Fatalf("Purged stat = %d, want 1", victim.Stats().Get(MetricCtrlPurged))
 	}
 	if n := victim.PurgeExpired(); n != 0 {
 		t.Fatalf("manual purge after the sweep removed %d", n)

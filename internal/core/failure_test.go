@@ -52,9 +52,9 @@ func TestLossyHandshakeRecovers(t *testing.T) {
 		t.Fatalf("AS1004→AS1001 status %v after recovery", st)
 	}
 	if !c1.KeysReadyWith(1004) || !c4.KeysReadyWith(1001) {
-		t.Fatalf("keys not active after recovery (retries: %d/%d)", c1.Retries, c4.Retries)
+		t.Fatalf("keys not active after recovery (retries: %d/%d)", c1.Stats().Get(MetricCtrlRetries), c4.Stats().Get(MetricCtrlRetries))
 	}
-	if c1.Retries+c4.Retries == 0 {
+	if c1.Stats().Get(MetricCtrlRetries)+c4.Stats().Get(MetricCtrlRetries) == 0 {
 		t.Fatal("recovery happened without any retry — outage did not bite")
 	}
 	// And the keys actually work.
@@ -80,11 +80,11 @@ func TestPermanentOutageGivesUp(t *testing.T) {
 		t.Fatal(err)
 	}
 	c1, c4 := s.Controllers[1001], s.Controllers[1004]
-	if c1.Retries == 0 {
+	if c1.Stats().Get(MetricCtrlRetries) == 0 {
 		t.Fatal("no retries recorded")
 	}
-	if int(c1.Retries) > c1.cfg.MaxRetries {
-		t.Fatalf("retries %d exceed cap %d", c1.Retries, c1.cfg.MaxRetries)
+	if int(c1.Stats().Get(MetricCtrlRetries)) > c1.cfg.MaxRetries {
+		t.Fatalf("retries %d exceed cap %d", c1.Stats().Get(MetricCtrlRetries), c1.cfg.MaxRetries)
 	}
 
 	// The comeback: the link heals and each side sees the other's Ad
@@ -140,19 +140,19 @@ func TestLossSweepConverges(t *testing.T) {
 			c1, c4 := s.Controllers[1001], s.Controllers[1004]
 			if st, _ := c1.PeerStatusOf(1004); st != PeerEstablished {
 				t.Fatalf("AS1001→AS1004 status %v under %.0f%% loss (lost %d frames, %d retries)",
-					st, loss*100, sim.FaultStats().Lost, c1.Retries)
+					st, loss*100, sim.Stats().Get(netsim.MetricLost), c1.Stats().Get(MetricCtrlRetries))
 			}
 			if st, _ := c4.PeerStatusOf(1001); st != PeerEstablished {
 				t.Fatalf("AS1004→AS1001 status %v under %.0f%% loss", st, loss*100)
 			}
 			if !c1.KeysReadyWith(1004) || !c4.KeysReadyWith(1001) {
 				t.Fatalf("keys not active under %.0f%% loss (retries %d+%d)",
-					loss*100, c1.Retries, c4.Retries)
+					loss*100, c1.Stats().Get(MetricCtrlRetries), c4.Stats().Get(MetricCtrlRetries))
 			}
-			if int(c1.Retries) > cfg.MaxRetries || int(c4.Retries) > cfg.MaxRetries {
-				t.Fatalf("retry budget blown: %d and %d > %d", c1.Retries, c4.Retries, cfg.MaxRetries)
+			if int(c1.Stats().Get(MetricCtrlRetries)) > cfg.MaxRetries || int(c4.Stats().Get(MetricCtrlRetries)) > cfg.MaxRetries {
+				t.Fatalf("retry budget blown: %d and %d > %d", c1.Stats().Get(MetricCtrlRetries), c4.Stats().Get(MetricCtrlRetries), cfg.MaxRetries)
 			}
-			if sim.FaultStats().Lost == 0 {
+			if sim.Stats().Get(netsim.MetricLost) == 0 {
 				t.Fatal("no frames lost — the sweep did not exercise the injector")
 			}
 			// The keys that survived the lossy exchange must be

@@ -41,8 +41,8 @@ func TestDeadPeerDetectionAndPurge(t *testing.T) {
 	if st, _ := c1.PeerStatusOf(1004); st != PeerDead {
 		t.Fatalf("AS1001→AS1004 status %v, want dead", st)
 	}
-	if c1.PeersDeclaredDead != 1 {
-		t.Fatalf("PeersDeclaredDead = %d, want 1", c1.PeersDeclaredDead)
+	if c1.Stats().Get(MetricCtrlPeersDeclaredDead) != 1 {
+		t.Fatalf("PeersDeclaredDead = %d, want 1", c1.Stats().Get(MetricCtrlPeersDeclaredDead))
 	}
 	// Probing may later move the FSM to requested, but the peer stays
 	// un-established and the purge sticks while it is down.
@@ -69,14 +69,14 @@ func TestRestartResumesSession(t *testing.T) {
 	fastLiveness(&s.cfg)
 	deploy(t, s, 1001, 1004)
 	c1, c4 := s.Controllers[1001], s.Controllers[1004]
-	fullBefore := c1.HandshakesInitiated + c4.HandshakesInitiated
+	fullBefore := c1.Stats().Get(MetricCtrlHandshakesInitiated) + c4.Stats().Get(MetricCtrlHandshakesInitiated)
 
 	if err := s.Crash(1004); err != nil {
 		t.Fatal(err)
 	}
 	s.Net.Sim.Run(s.Net.Sim.Now() + 30*time.Second)
-	if c1.PeersDeclaredDead != 1 {
-		t.Fatalf("survivor never declared the crashed peer dead (stat %d)", c1.PeersDeclaredDead)
+	if c1.Stats().Get(MetricCtrlPeersDeclaredDead) != 1 {
+		t.Fatalf("survivor never declared the crashed peer dead (stat %d)", c1.Stats().Get(MetricCtrlPeersDeclaredDead))
 	}
 
 	if err := s.Restart(1004); err != nil {
@@ -98,13 +98,13 @@ func TestRestartResumesSession(t *testing.T) {
 	if !c1.KeysReadyWith(1004) || !c4.KeysReadyWith(1001) {
 		t.Fatal("keys not re-deployed after restart")
 	}
-	if got := c1.HandshakesInitiated + c4.HandshakesInitiated; got != fullBefore {
+	if got := c1.Stats().Get(MetricCtrlHandshakesInitiated) + c4.Stats().Get(MetricCtrlHandshakesInitiated); got != fullBefore {
 		t.Fatalf("full handshakes went %d→%d; recovery must use resumption", fullBefore, got)
 	}
-	if c1.ResumesInitiated+c4.ResumesInitiated == 0 {
+	if c1.Stats().Get(MetricCtrlResumesInitiated)+c4.Stats().Get(MetricCtrlResumesInitiated) == 0 {
 		t.Fatal("no abbreviated handshakes initiated during recovery")
 	}
-	if c1.ResumesResponded+c4.ResumesResponded == 0 {
+	if c1.Stats().Get(MetricCtrlResumesResponded)+c4.Stats().Get(MetricCtrlResumesResponded) == 0 {
 		t.Fatal("no abbreviated handshakes responded during recovery")
 	}
 }
@@ -124,7 +124,7 @@ func TestResumeFallbackToFullHandshake(t *testing.T) {
 	delete(c4.resumeCache, topology.ASN(1001))
 	p := c1.peers[1004]
 	p.out = nil
-	fullBefore := c1.HandshakesInitiated + c4.HandshakesInitiated
+	fullBefore := c1.Stats().Get(MetricCtrlHandshakesInitiated) + c4.Stats().Get(MetricCtrlHandshakesInitiated)
 
 	if err := c1.Rekey(1004); err != nil {
 		t.Fatal(err)
@@ -133,10 +133,10 @@ func TestResumeFallbackToFullHandshake(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if c1.ResumeFallbacks != 1 {
-		t.Fatalf("ResumeFallbacks = %d, want 1", c1.ResumeFallbacks)
+	if c1.Stats().Get(MetricCtrlResumeFallbacks) != 1 {
+		t.Fatalf("ResumeFallbacks = %d, want 1", c1.Stats().Get(MetricCtrlResumeFallbacks))
 	}
-	if got := c1.HandshakesInitiated + c4.HandshakesInitiated; got != fullBefore+1 {
+	if got := c1.Stats().Get(MetricCtrlHandshakesInitiated) + c4.Stats().Get(MetricCtrlHandshakesInitiated); got != fullBefore+1 {
 		t.Fatalf("full handshakes went %d→%d, want exactly one fallback handshake", fullBefore, got)
 	}
 	if !c1.KeysReadyWith(1004) {
@@ -196,7 +196,7 @@ func TestHeartbeatsDoNotPreventSettle(t *testing.T) {
 	// Heartbeats do run when something else drives the clock forward.
 	c1 := s.Controllers[1001]
 	s.Net.Sim.Run(s.Net.Sim.Now() + 2*c1.cfg.HeartbeatInterval)
-	if c1.HeartbeatsSent == 0 {
+	if c1.Stats().Get(MetricCtrlHeartbeatsSent) == 0 {
 		t.Fatal("no heartbeats sent while the clock advanced")
 	}
 	if st, _ := c1.PeerStatusOf(1004); st != PeerEstablished {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"discs/internal/cmac"
+	"discs/internal/obs"
 	"discs/internal/packet"
 	"discs/internal/topology"
 )
@@ -48,12 +49,32 @@ func (v Verdict) String() string {
 // Dropped reports whether the verdict removes the packet.
 func (v Verdict) Dropped() bool { return v == VerdictDrop }
 
-// RouterStats counts data-plane events; the fields mirror the resource
-// discussion of §VI-C2. The counters are updated atomically, so the
-// router's processing methods may run concurrently from many
-// forwarding goroutines (a line card per goroutine); read a consistent
-// snapshot with BorderRouter.Stats. MACsComputed counts actual CMAC
-// computations: a rekey-window verification that tries both keys
+// Metric names (relative to the router's scope) under which the
+// data-plane counters are registered; a router scoped "as7." publishes
+// e.g. "as7.router.out_processed". Exported so consumers of registry
+// snapshots do not hard-code strings.
+const (
+	MetricRouterOutProcessed = "router.out_processed"
+	MetricRouterOutDropped   = "router.out_dropped"
+	MetricRouterOutStamped   = "router.out_stamped"
+	MetricRouterInProcessed  = "router.in_processed"
+	MetricRouterInVerified   = "router.in_verified"
+	MetricRouterInVerifyFail = "router.in_verify_fail"
+	MetricRouterInDropped    = "router.in_dropped"
+	MetricRouterInErasedOnly = "router.in_erased_only"
+	MetricRouterInAlarmed    = "router.in_alarmed"
+	MetricRouterOutTooBig    = "router.out_too_big"
+	MetricRouterMACsComputed = "router.macs_computed"
+	MetricRouterICMPScrubbed = "router.icmp_scrubbed"
+)
+
+// RouterStats is the typed view of one router's data-plane counters;
+// the fields mirror the resource discussion of §VI-C2. The backing
+// counters live in an obs.Registry and are updated via sharded
+// atomics, so the router's processing methods may run concurrently
+// from many forwarding goroutines (a line card per goroutine); read a
+// consistent view with BorderRouter.Stats. MACsComputed counts actual
+// CMAC computations: a rekey-window verification that tries both keys
 // counts 2, a failed IPv6 stamp still counts its computed MAC.
 type RouterStats struct {
 	OutProcessed uint64
@@ -88,36 +109,55 @@ func (s RouterStats) Add(o RouterStats) RouterStats {
 	}
 }
 
-// routerCounters is the internal atomic mirror of RouterStats.
-type routerCounters struct {
-	outProcessed atomic.Uint64
-	outDropped   atomic.Uint64
-	outStamped   atomic.Uint64
-	inProcessed  atomic.Uint64
-	inVerified   atomic.Uint64
-	inVerifyFail atomic.Uint64
-	inDropped    atomic.Uint64
-	inErasedOnly atomic.Uint64
-	inAlarmed    atomic.Uint64
-	outTooBig    atomic.Uint64
-	macsComputed atomic.Uint64
-	icmpScrubbed atomic.Uint64
+// routerMetrics holds the router's pre-resolved registry handles; they
+// are resolved once at construction so the forwarding path never walks
+// the registry maps.
+type routerMetrics struct {
+	outProcessed *obs.Counter
+	outDropped   *obs.Counter
+	outStamped   *obs.Counter
+	inProcessed  *obs.Counter
+	inVerified   *obs.Counter
+	inVerifyFail *obs.Counter
+	inDropped    *obs.Counter
+	inErasedOnly *obs.Counter
+	inAlarmed    *obs.Counter
+	outTooBig    *obs.Counter
+	macsComputed *obs.Counter
+	icmpScrubbed *obs.Counter
 }
 
-func (c *routerCounters) snapshot() RouterStats {
+func newRouterMetrics(sc obs.Scope) routerMetrics {
+	return routerMetrics{
+		outProcessed: sc.Counter(MetricRouterOutProcessed),
+		outDropped:   sc.Counter(MetricRouterOutDropped),
+		outStamped:   sc.Counter(MetricRouterOutStamped),
+		inProcessed:  sc.Counter(MetricRouterInProcessed),
+		inVerified:   sc.Counter(MetricRouterInVerified),
+		inVerifyFail: sc.Counter(MetricRouterInVerifyFail),
+		inDropped:    sc.Counter(MetricRouterInDropped),
+		inErasedOnly: sc.Counter(MetricRouterInErasedOnly),
+		inAlarmed:    sc.Counter(MetricRouterInAlarmed),
+		outTooBig:    sc.Counter(MetricRouterOutTooBig),
+		macsComputed: sc.Counter(MetricRouterMACsComputed),
+		icmpScrubbed: sc.Counter(MetricRouterICMPScrubbed),
+	}
+}
+
+func (m *routerMetrics) view() RouterStats {
 	return RouterStats{
-		OutProcessed: c.outProcessed.Load(),
-		OutDropped:   c.outDropped.Load(),
-		OutStamped:   c.outStamped.Load(),
-		InProcessed:  c.inProcessed.Load(),
-		InVerified:   c.inVerified.Load(),
-		InVerifyFail: c.inVerifyFail.Load(),
-		InDropped:    c.inDropped.Load(),
-		InErasedOnly: c.inErasedOnly.Load(),
-		InAlarmed:    c.inAlarmed.Load(),
-		OutTooBig:    c.outTooBig.Load(),
-		MACsComputed: c.macsComputed.Load(),
-		ICMPScrubbed: c.icmpScrubbed.Load(),
+		OutProcessed: m.outProcessed.Value(),
+		OutDropped:   m.outDropped.Value(),
+		OutStamped:   m.outStamped.Value(),
+		InProcessed:  m.inProcessed.Value(),
+		InVerified:   m.inVerified.Value(),
+		InVerifyFail: m.inVerifyFail.Value(),
+		InDropped:    m.inDropped.Value(),
+		InErasedOnly: m.inErasedOnly.Value(),
+		InAlarmed:    m.inAlarmed.Value(),
+		OutTooBig:    m.outTooBig.Value(),
+		MACsComputed: m.macsComputed.Value(),
+		ICMPScrubbed: m.icmpScrubbed.Value(),
 	}
 }
 
@@ -139,39 +179,39 @@ type routerDeltas struct {
 	macsComputed uint64
 }
 
-func (d *routerDeltas) flush(c *routerCounters) {
+func (d *routerDeltas) flush(m *routerMetrics) {
 	if d.outProcessed != 0 {
-		c.outProcessed.Add(d.outProcessed)
+		m.outProcessed.Add(d.outProcessed)
 	}
 	if d.outDropped != 0 {
-		c.outDropped.Add(d.outDropped)
+		m.outDropped.Add(d.outDropped)
 	}
 	if d.outStamped != 0 {
-		c.outStamped.Add(d.outStamped)
+		m.outStamped.Add(d.outStamped)
 	}
 	if d.inProcessed != 0 {
-		c.inProcessed.Add(d.inProcessed)
+		m.inProcessed.Add(d.inProcessed)
 	}
 	if d.inVerified != 0 {
-		c.inVerified.Add(d.inVerified)
+		m.inVerified.Add(d.inVerified)
 	}
 	if d.inVerifyFail != 0 {
-		c.inVerifyFail.Add(d.inVerifyFail)
+		m.inVerifyFail.Add(d.inVerifyFail)
 	}
 	if d.inDropped != 0 {
-		c.inDropped.Add(d.inDropped)
+		m.inDropped.Add(d.inDropped)
 	}
 	if d.inErasedOnly != 0 {
-		c.inErasedOnly.Add(d.inErasedOnly)
+		m.inErasedOnly.Add(d.inErasedOnly)
 	}
 	if d.inAlarmed != 0 {
-		c.inAlarmed.Add(d.inAlarmed)
+		m.inAlarmed.Add(d.inAlarmed)
 	}
 	if d.outTooBig != 0 {
-		c.outTooBig.Add(d.outTooBig)
+		m.outTooBig.Add(d.outTooBig)
 	}
 	if d.macsComputed != 0 {
-		c.macsComputed.Add(d.macsComputed)
+		m.macsComputed.Add(d.macsComputed)
 	}
 }
 
@@ -200,9 +240,19 @@ type BorderRouter struct {
 	// OnPacketTooBig receives the generated ICMPv6 error (nil-safe).
 	OnPacketTooBig func(*packet.IPv6)
 
-	ctr       routerCounters
+	m         routerMetrics
 	rngState  atomic.Uint64
 	alarmMode atomic.Bool
+
+	// Sampled data-plane tracing (nil/0 when tracing is off): every
+	// (sampleMask+1)-th processed packet emits an obs.EvPacketSample
+	// event with its verdict. One atomic tick per packet when enabled
+	// (the period is a power of two so the decision is a mask, not a
+	// division), zero cost when trace is nil.
+	trace      *obs.Tracer
+	sampleMask uint64
+	sampleTick atomic.Uint64
+	traceAS    uint32
 }
 
 // SetAlarmMode toggles alarm mode (§IV-F): verification failures pass
@@ -213,8 +263,10 @@ func (r *BorderRouter) SetAlarmMode(on bool) { r.alarmMode.Store(on) }
 // AlarmModeOn reports whether alarm mode is active.
 func (r *BorderRouter) AlarmModeOn() bool { return r.alarmMode.Load() }
 
-// Stats returns a snapshot of the processing counters.
-func (r *BorderRouter) Stats() RouterStats { return r.ctr.snapshot() }
+// Stats returns the typed view of the processing counters. The same
+// numbers are visible under the router's scope ("<scope>router.*") in
+// any snapshot of the registry it was constructed with.
+func (r *BorderRouter) Stats() RouterStats { return r.m.view() }
 
 // randomBits returns scrub bits from a lock-free splitmix64 stream, so
 // concurrent forwarding goroutines never contend on a shared RNG.
@@ -228,12 +280,92 @@ func (r *BorderRouter) randomBits() uint32 {
 	return uint32(x)
 }
 
-// NewBorderRouter creates a router around the given tables. seed feeds
-// the random bits used to scrub IPv4 marks after verification.
-func NewBorderRouter(tables *Tables, seed int64) *BorderRouter {
-	r := &BorderRouter{Tables: tables}
-	r.rngState.Store(uint64(seed))
+// RouterOptions configures a BorderRouter. The zero value of every
+// field is usable; only Tables is required.
+type RouterOptions struct {
+	// Tables is the CDP/DP/SP table set the router consults (required).
+	Tables *Tables
+	// Seed feeds the random bits used to scrub IPv4 marks after
+	// verification.
+	Seed int64
+	// Registry receives the router's data-plane counters; nil creates a
+	// private registry.
+	Registry *obs.Registry
+	// Scope prefixes the router's metric names (e.g. "as7." publishes
+	// "as7.router.out_processed"). Empty publishes bare "router.*".
+	Scope string
+	// AS tags sampled packet events with the router's AS number.
+	AS topology.ASN
+	// ExternalMTU and RouterAddr mirror the public fields of the same
+	// names (see BorderRouter).
+	ExternalMTU int
+	RouterAddr  netip.Addr
+	// TraceSampleEvery enables sampled data-plane tracing: every N-th
+	// processed packet emits an obs.EvPacketSample event with its
+	// verdict into the registry's tracer. The period is rounded up to a
+	// power of two so the per-packet decision is a mask instead of a
+	// division. 0 disables tracing (the default), keeping the hot path
+	// free of even the sampling tick.
+	TraceSampleEvery int
+}
+
+// nextPow2 rounds n up to the next power of two (minimum 1).
+func nextPow2(n uint64) uint64 {
+	p := uint64(1)
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NewBorderRouterWithOptions creates a router from an options struct.
+func NewBorderRouterWithOptions(o RouterOptions) *BorderRouter {
+	reg := o.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	r := &BorderRouter{
+		Tables:      o.Tables,
+		ExternalMTU: o.ExternalMTU,
+		RouterAddr:  o.RouterAddr,
+		m:           newRouterMetrics(reg.Scope(o.Scope)),
+		traceAS:     uint32(o.AS),
+	}
+	r.rngState.Store(uint64(o.Seed))
+	if o.TraceSampleEvery > 0 {
+		r.trace = reg.Tracer()
+		r.sampleMask = nextPow2(uint64(o.TraceSampleEvery)) - 1
+	}
 	return r
+}
+
+// NewBorderRouter creates a router around the given tables with a
+// private metrics registry. seed feeds the random bits used to scrub
+// IPv4 marks after verification.
+//
+// Deprecated: use NewBorderRouterWithOptions to share a registry and
+// enable tracing.
+func NewBorderRouter(tables *Tables, seed int64) *BorderRouter {
+	return NewBorderRouterWithOptions(RouterOptions{Tables: tables, Seed: seed})
+}
+
+// maybeSample emits a sampled packet-decision trace event. The nil
+// check is the only cost when tracing is off; when on, one atomic tick
+// per packet plus an allocation-free Emit on the sampled ones.
+func (r *BorderRouter) maybeSample(p MarkCarrier, v Verdict) {
+	if r.trace == nil {
+		return
+	}
+	if r.sampleTick.Add(1)&r.sampleMask != 0 {
+		return
+	}
+	r.trace.Emit(obs.Event{
+		Kind:    obs.EvPacketSample,
+		AS:      r.traceAS,
+		Verdict: v.String(),
+		Src:     p.SrcAddr(),
+		Dst:     p.DstAddr(),
+	})
 }
 
 // ProcessOutbound runs the outbound half of the Figure-3 flow on a
@@ -242,7 +374,8 @@ func (r *BorderRouter) ProcessOutbound(p MarkCarrier, now time.Time) Verdict {
 	st := r.Tables.loadOut()
 	var d routerDeltas
 	v := r.processOutbound(&st, p, now.UnixNano(), &d, nil)
-	d.flush(&r.ctr)
+	d.flush(&r.m)
+	r.maybeSample(p, v)
 	return v
 }
 
@@ -259,9 +392,11 @@ func (r *BorderRouter) ProcessOutboundBatch(pkts []MarkCarrier, now time.Time, d
 	var d routerDeltas
 	var s cmac.Scratch
 	for _, p := range pkts {
-		dst = append(dst, r.processOutbound(&st, p, nowN, &d, &s))
+		v := r.processOutbound(&st, p, nowN, &d, &s)
+		r.maybeSample(p, v)
+		dst = append(dst, v)
 	}
-	d.flush(&r.ctr)
+	d.flush(&r.m)
 	return dst
 }
 
@@ -326,7 +461,8 @@ func (r *BorderRouter) ProcessInbound(p MarkCarrier, now time.Time) Verdict {
 	st := r.Tables.loadIn()
 	var d routerDeltas
 	v := r.processInbound(&st, p, now.UnixNano(), &d, nil)
-	d.flush(&r.ctr)
+	d.flush(&r.m)
+	r.maybeSample(p, v)
 	return v
 }
 
@@ -338,9 +474,11 @@ func (r *BorderRouter) ProcessInboundBatch(pkts []MarkCarrier, now time.Time, ds
 	var d routerDeltas
 	var s cmac.Scratch
 	for _, p := range pkts {
-		dst = append(dst, r.processInbound(&st, p, nowN, &d, &s))
+		v := r.processInbound(&st, p, nowN, &d, &s)
+		r.maybeSample(p, v)
+		dst = append(dst, v)
 	}
-	d.flush(&r.ctr)
+	d.flush(&r.m)
 	return dst
 }
 
@@ -399,7 +537,7 @@ func (r *BorderRouter) processInbound(st *inState, p MarkCarrier, nowN int64, d 
 // scrub happened.
 func (r *BorderRouter) ScrubInboundICMP(p *packet.IPv4) bool {
 	if packet.ScrubICMPv4EmbeddedMark(p, r.randomBits()) {
-		r.ctr.icmpScrubbed.Add(1)
+		r.m.icmpScrubbed.Inc()
 		return true
 	}
 	return false
@@ -408,7 +546,7 @@ func (r *BorderRouter) ScrubInboundICMP(p *packet.IPv4) bool {
 // ScrubInboundICMPv6 is the IPv6 counterpart of ScrubInboundICMP.
 func (r *BorderRouter) ScrubInboundICMPv6(p *packet.IPv6) bool {
 	if packet.ScrubICMPv6EmbeddedMark(p, r.randomBits()) {
-		r.ctr.icmpScrubbed.Add(1)
+		r.m.icmpScrubbed.Inc()
 		return true
 	}
 	return false

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"discs/internal/bgp"
+	"discs/internal/obs"
 	"discs/internal/packet"
 	"discs/internal/topology"
 )
@@ -20,19 +21,45 @@ type System struct {
 	Routers     map[topology.ASN]*BorderRouter
 
 	cfg Config
+	reg *obs.Registry
 }
 
 // NewSystem creates a system around a converged (or to-be-converged)
-// BGP network.
+// BGP network. All subsystems publish into one registry: cfg.Registry
+// when set, otherwise the network simulator's. The simulator's
+// counters (including everything BGP convergence already accumulated)
+// are re-homed into it, so one snapshot covers the whole system.
 func NewSystem(net *bgp.Network, cfg Config) *System {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = net.Sim.Registry()
+	} else {
+		net.Sim.MoveToRegistry(reg)
+	}
+	if cfg.TraceCapacity > 0 {
+		reg.SetTraceCapacity(cfg.TraceCapacity)
+	}
 	return &System{
 		Net:         net,
 		Dir:         NewDirectory(),
 		Controllers: make(map[topology.ASN]*Controller),
 		Routers:     make(map[topology.ASN]*BorderRouter),
 		cfg:         cfg,
+		reg:         reg,
 	}
 }
+
+// Registry returns the unified registry every subsystem publishes
+// into.
+func (s *System) Registry() *obs.Registry { return s.reg }
+
+// Stats returns the system-wide metrics snapshot: netsim delivery and
+// fault counters, per-AS controller tallies ("asN.ctrl.*") and per-AS
+// data-plane counters ("asN.router.*"), stamped with the simulated
+// time. Fleet-wide aggregates fall out of Snapshot.Sum, e.g.
+// Stats().Sum(MetricRouterInDropped) for total inbound drops. It
+// replaces the removed DataPlaneStats aggregation.
+func (s *System) Stats() obs.Snapshot { return s.reg.Snapshot() }
 
 // Deploy turns an AS into a DAS: it creates the controller (with its
 // own netsim node), a border-router data plane, hooks DISCS-Ad
@@ -53,12 +80,22 @@ func (s *System) Deploy(asn topology.ASN, seed int64) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctrl, err := NewController(asn, name, s.Net.Sim, node, s.Dir, s.Net.Topo, s.cfg, seed)
+	scope := fmt.Sprintf("as%d.", asn)
+	effSeed := seed ^ s.cfg.Seed
+	ctrl, err := NewControllerWithOptions(ControllerOptions{
+		AS: asn, Name: name, Sim: s.Net.Sim, Node: node, Dir: s.Dir,
+		Topo: s.Net.Topo, Config: s.cfg, Seed: effSeed,
+		Registry: s.reg, Scope: scope,
+	})
 	if err != nil {
 		return nil, err
 	}
 	tables := NewTables(asn, s.Net.Topo.Pfx2AS())
-	router := NewBorderRouter(tables, seed^0x5eed)
+	router := NewBorderRouterWithOptions(RouterOptions{
+		Tables: tables, Seed: effSeed ^ 0x5eed,
+		Registry: s.reg, Scope: scope, AS: asn,
+		TraceSampleEvery: s.cfg.TraceSampleEvery,
+	})
 	ctrl.AttachRouter(router)
 	s.Controllers[asn] = ctrl
 	s.Routers[asn] = router
@@ -119,17 +156,6 @@ func (s *System) Restart(asn topology.ASN) error {
 // Now returns the data-plane clock (simulated time mapped to wall
 // clock).
 func (s *System) Now() time.Time { return time.Unix(0, 0).UTC().Add(s.Net.Sim.Now()) }
-
-// DataPlaneStats aggregates the processing counters of every deployed
-// border router into one fleet-wide view — the system-level counterpart
-// of the per-router resource accounting in §VI-C2.
-func (s *System) DataPlaneStats() RouterStats {
-	var total RouterStats
-	for _, r := range s.Routers {
-		total = total.Add(r.Stats())
-	}
-	return total
-}
 
 // HopResult records what happened to a packet at one AS.
 type HopResult struct {

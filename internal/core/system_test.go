@@ -135,7 +135,7 @@ func TestControlPlaneScale(t *testing.T) {
 	if err := s.Settle(); err != nil {
 		t.Fatal(err)
 	}
-	if victim.InvokesAccepted != uint64(nDAS-1) {
-		t.Fatalf("accepted %d/%d invocations", victim.InvokesAccepted, nDAS-1)
+	if victim.Stats().Get(MetricCtrlInvokesAccepted) != uint64(nDAS-1) {
+		t.Fatalf("accepted %d/%d invocations", victim.Stats().Get(MetricCtrlInvokesAccepted), nDAS-1)
 	}
 }

@@ -89,19 +89,6 @@ func (s *Simulator) faultRNG() *rand.Rand {
 	return s.frng
 }
 
-// FaultStats counts injected failures.
-type FaultStats struct {
-	Lost       uint64 // frames lost to probabilistic loss
-	Duplicated uint64 // frames delivered twice
-	Corrupted  uint64 // frames hit by the corruption injector
-	// CrashDropped counts frames discarded on arrival because the
-	// destination node was down.
-	CrashDropped uint64
-}
-
-// FaultStats returns a snapshot of the fault counters.
-func (s *Simulator) FaultStats() FaultStats { return s.faults }
-
 // Corruptible is implemented by messages that can model in-flight bit
 // errors. Corrupt must return a mutated copy and leave the receiver
 // intact (the sender may hold a reference for retransmission); r is a

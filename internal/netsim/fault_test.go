@@ -86,8 +86,8 @@ func TestFaultDuplication(t *testing.T) {
 	if len(*got) != 2 {
 		t.Fatalf("Dup=1 delivered %d copies, want 2", len(*got))
 	}
-	if s.FaultStats().Duplicated != 1 {
-		t.Fatalf("Duplicated stat = %d, want 1", s.FaultStats().Duplicated)
+	if s.Stats().Get(MetricDuplicated) != 1 {
+		t.Fatalf("Duplicated stat = %d, want 1", s.Stats().Get(MetricDuplicated))
 	}
 }
 
@@ -109,8 +109,8 @@ func TestFaultCorruption(t *testing.T) {
 	if !bytes.Equal([]byte(sent), []byte(orig)) {
 		t.Fatal("corruption mutated the sender's copy")
 	}
-	if s.FaultStats().Corrupted != 1 {
-		t.Fatalf("Corrupted stat = %d, want 1", s.FaultStats().Corrupted)
+	if s.Stats().Get(MetricCorrupted) != 1 {
+		t.Fatalf("Corrupted stat = %d, want 1", s.Stats().Get(MetricCorrupted))
 	}
 
 	// A non-Corruptible message is dropped instead.
@@ -176,8 +176,8 @@ func TestCrashDropsDeliveriesAndTimers(t *testing.T) {
 	if len(*got) != 0 {
 		t.Fatal("frame in flight toward a crashed node must be discarded on arrival")
 	}
-	if s.FaultStats().CrashDropped != 1 {
-		t.Fatalf("CrashDropped = %d, want 1", s.FaultStats().CrashDropped)
+	if s.Stats().Get(MetricCrashDropped) != 1 {
+		t.Fatalf("CrashDropped = %d, want 1", s.Stats().Get(MetricCrashDropped))
 	}
 	if fired {
 		t.Fatal("node-scoped timer survived the crash")

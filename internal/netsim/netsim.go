@@ -20,6 +20,8 @@ import (
 	"math"
 	"math/rand"
 	"time"
+
+	"discs/internal/obs"
 )
 
 // Time is a simulated timestamp measured as a duration since the start
@@ -61,6 +63,41 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// Metric names the simulator registers (see Stats). Exported so
+// consumers of the snapshot do not hard-code strings.
+const (
+	MetricDelivered    = "netsim.delivered"
+	MetricDropped      = "netsim.dropped"
+	MetricEvents       = "netsim.events"
+	MetricQueueDepth   = "netsim.queue_depth"
+	MetricLost         = "netsim.faults.lost"
+	MetricDuplicated   = "netsim.faults.duplicated"
+	MetricCorrupted    = "netsim.faults.corrupted"
+	MetricCrashDropped = "netsim.faults.crash_dropped"
+)
+
+// simMetrics holds the simulator's pre-resolved metric handles; all
+// increments on the event path go through these, never through raw
+// fields, so any registry sharing the simulator sees them.
+type simMetrics struct {
+	delivered, dropped, events             *obs.Counter
+	lost, duplicated, corrupted, crashDrop *obs.Counter
+	queueDepth                             *obs.Gauge
+}
+
+func newSimMetrics(reg *obs.Registry) simMetrics {
+	return simMetrics{
+		delivered:  reg.Counter(MetricDelivered),
+		dropped:    reg.Counter(MetricDropped),
+		events:     reg.Counter(MetricEvents),
+		lost:       reg.Counter(MetricLost),
+		duplicated: reg.Counter(MetricDuplicated),
+		corrupted:  reg.Counter(MetricCorrupted),
+		crashDrop:  reg.Counter(MetricCrashDropped),
+		queueDepth: reg.Gauge(MetricQueueDepth),
+	}
+}
+
 // Simulator owns the simulated clock and the event queue.
 type Simulator struct {
 	now   Time
@@ -76,26 +113,63 @@ type Simulator struct {
 	// Fault injection (fault.go).
 	frng      *rand.Rand
 	defFaults *LinkFaults
-	faults    FaultStats
-	// Stats.
-	delivered uint64
-	dropped   uint64
+	// Observability: all counters live in reg; m caches the handles.
+	reg *obs.Registry
+	m   simMetrics
 }
 
-// New creates an empty simulator at time zero.
-func New() *Simulator {
-	return &Simulator{nodes: make(map[string]*Node)}
+// New creates an empty simulator at time zero with a private metrics
+// registry; use NewWithRegistry (or MoveToRegistry) to share one.
+func New() *Simulator { return NewWithRegistry(nil) }
+
+// NewWithRegistry creates an empty simulator publishing its metrics
+// into reg (nil creates a private registry). The registry clock is
+// pointed at the simulated clock, so snapshots and trace events are
+// stamped in simulated time.
+func NewWithRegistry(reg *obs.Registry) *Simulator {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Simulator{nodes: make(map[string]*Node), reg: reg, m: newSimMetrics(reg)}
+	reg.SetClock(func() int64 { return int64(s.now) })
+	return s
+}
+
+// Registry returns the registry the simulator publishes into.
+func (s *Simulator) Registry() *obs.Registry { return s.reg }
+
+// MoveToRegistry re-homes the simulator's metrics into reg, carrying
+// the counts accumulated so far. Layers that build a simulator first
+// and an observability plan later (core.NewSystem adopting a BGP
+// network's simulator) use this to unify on one registry.
+func (s *Simulator) MoveToRegistry(reg *obs.Registry) {
+	if reg == nil || reg == s.reg {
+		return
+	}
+	old := s.m
+	s.reg = reg
+	s.m = newSimMetrics(reg)
+	s.m.delivered.Add(old.delivered.Value())
+	s.m.dropped.Add(old.dropped.Value())
+	s.m.events.Add(old.events.Value())
+	s.m.lost.Add(old.lost.Value())
+	s.m.duplicated.Add(old.duplicated.Value())
+	s.m.corrupted.Add(old.corrupted.Value())
+	s.m.crashDrop.Add(old.crashDrop.Value())
+	s.m.queueDepth.Set(old.queueDepth.Value())
+	reg.SetClock(func() int64 { return int64(s.now) })
+}
+
+// Stats returns the simulator's unified metrics snapshot: message
+// delivery, drop and injected-fault counters plus the live queue
+// depth, stamped with the simulated time. It replaces the old
+// Delivered/Dropped/FaultStats getters.
+func (s *Simulator) Stats() obs.Snapshot {
+	return s.reg.SnapshotPrefix("netsim.", "")
 }
 
 // Now returns the current simulated time.
 func (s *Simulator) Now() Time { return s.now }
-
-// Delivered reports the total number of messages delivered so far.
-func (s *Simulator) Delivered() uint64 { return s.delivered }
-
-// Dropped reports the total number of messages dropped (down links or
-// bandwidth overflow with a drop policy).
-func (s *Simulator) Dropped() uint64 { return s.dropped }
 
 // Schedule runs fn at the given absolute simulated time. Scheduling in
 // the past is an error. Events scheduled while a background event
@@ -123,6 +197,7 @@ func (s *Simulator) schedule(at Time, fn func(), background bool) (*Timer, error
 	if !background {
 		s.fgPending++
 	}
+	s.m.queueDepth.Set(int64(s.queue.Len()))
 	return &Timer{ev: e, sim: s}, nil
 }
 
@@ -144,6 +219,46 @@ func (s *Simulator) AfterBackground(d Time, fn func()) *Timer {
 	}
 	t, _ := s.ScheduleBackground(s.now+d, fn)
 	return t
+}
+
+// EveryBackground arms a repeating background event: fn runs every d of
+// simulated time starting at now+d, until the returned Ticker is
+// stopped. Like all background events it never keeps RunAll alive, so
+// it is the natural driver for interval metric sampling (an
+// obs.Recorder fed from it produces a simulated-time series).
+func (s *Simulator) EveryBackground(d Time, fn func()) *Ticker {
+	if d <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive tick interval %v", d))
+	}
+	t := &Ticker{}
+	var arm func()
+	arm = func() {
+		t.timer = s.AfterBackground(d, func() {
+			if t.stopped {
+				return
+			}
+			fn()
+			arm()
+		})
+	}
+	arm()
+	return t
+}
+
+// Ticker is a handle to a repeating background event armed with
+// EveryBackground.
+type Ticker struct {
+	timer   *Timer
+	stopped bool
+}
+
+// Stop cancels the ticker; no further ticks fire.
+func (t *Ticker) Stop() {
+	if t == nil || t.stopped {
+		return
+	}
+	t.stopped = true
+	t.timer.Stop()
 }
 
 // Timer is a handle to a scheduled event that can be cancelled.
@@ -182,6 +297,8 @@ func (s *Simulator) Step() bool {
 		s.inBG = e.background
 		e.fn()
 		s.inBG = false
+		s.m.events.Inc()
+		s.m.queueDepth.Set(int64(s.queue.Len()))
 		return true
 	}
 	return false
@@ -421,7 +538,7 @@ func (l *Link) Send(from *Node, msg Message) bool {
 		return false
 	}
 	if !l.up || from.crashed {
-		l.sim.dropped++
+		l.sim.m.dropped.Inc()
 		return false
 	}
 	now := l.sim.now
@@ -431,7 +548,7 @@ func (l *Link) Send(from *Node, msg Message) bool {
 	}
 	if l.MaxBacklog > 0 && start-now > l.MaxBacklog {
 		// Finite buffer: the transmit queue is too deep; tail-drop.
-		l.sim.dropped++
+		l.sim.m.dropped.Inc()
 		return false
 	}
 	var ser Time
@@ -452,24 +569,24 @@ func (l *Link) Send(from *Node, msg Message) bool {
 	if f := l.faults; f != nil {
 		rng := l.sim.faultRNG()
 		if f.Loss > 0 && rng.Float64() < f.Loss {
-			l.sim.dropped++
-			l.sim.faults.Lost++
+			l.sim.m.dropped.Inc()
+			l.sim.m.lost.Inc()
 			return true
 		}
 		if f.Corrupt > 0 && rng.Float64() < f.Corrupt {
-			l.sim.faults.Corrupted++
+			l.sim.m.corrupted.Inc()
 			if cm, ok := msg.(Corruptible); ok {
 				msg = cm.Corrupt(rng.Uint64())
 			} else {
 				// A message that cannot model bit errors is dropped,
 				// as a corrupted frame would fail its checksum anyway.
-				l.sim.dropped++
+				l.sim.m.dropped.Inc()
 				return true
 			}
 		}
 		if f.Dup > 0 && rng.Float64() < f.Dup {
 			copies = 2
-			l.sim.faults.Duplicated++
+			l.sim.m.duplicated.Inc()
 		}
 		if f.JitterMax > 0 {
 			arrive += Time(rng.Int63n(int64(f.JitterMax) + 1))
@@ -485,11 +602,11 @@ func (l *Link) Send(from *Node, msg Message) bool {
 		}
 		l.sim.Schedule(at, func() {
 			if to.crashed {
-				l.sim.dropped++
-				l.sim.faults.CrashDropped++
+				l.sim.m.dropped.Inc()
+				l.sim.m.crashDrop.Inc()
 				return
 			}
-			l.sim.delivered++
+			l.sim.m.delivered.Inc()
 			if to.handler != nil {
 				to.handler.Receive(from, l, msg)
 			}

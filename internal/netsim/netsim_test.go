@@ -3,6 +3,8 @@ package netsim
 import (
 	"testing"
 	"time"
+
+	"discs/internal/obs"
 )
 
 func mustNode(t *testing.T, s *Simulator, name string) *Node {
@@ -165,8 +167,8 @@ func TestLinkDelivery(t *testing.T) {
 	if gotAt != 10*time.Millisecond {
 		t.Fatalf("arrival at %v, want 10ms", gotAt)
 	}
-	if s.Delivered() != 1 {
-		t.Fatalf("Delivered = %d", s.Delivered())
+	if s.Stats().Get(MetricDelivered) != 1 {
+		t.Fatalf("Delivered = %d", s.Stats().Get(MetricDelivered))
 	}
 }
 
@@ -195,8 +197,8 @@ func TestLinkDown(t *testing.T) {
 	if l.Send(a, Bytes("x")) {
 		t.Fatal("send over down link should be rejected")
 	}
-	if s.Dropped() != 1 {
-		t.Fatalf("Dropped = %d, want 1", s.Dropped())
+	if s.Stats().Get(MetricDropped) != 1 {
+		t.Fatalf("Dropped = %d, want 1", s.Stats().Get(MetricDropped))
 	}
 	l.SetUp(true)
 	if !l.Send(a, Bytes("x")) {
@@ -358,8 +360,8 @@ func TestMaxBacklogTailDrop(t *testing.T) {
 	if accepted != 3 {
 		t.Fatalf("accepted %d sends, want 3", accepted)
 	}
-	if s.Dropped() != 7 {
-		t.Fatalf("dropped %d, want 7", s.Dropped())
+	if s.Stats().Get(MetricDropped) != 7 {
+		t.Fatalf("dropped %d, want 7", s.Stats().Get(MetricDropped))
 	}
 	// Draining restores acceptance.
 	s.RunAll()
@@ -378,5 +380,60 @@ func TestMaxBacklogZeroUnbounded(t *testing.T) {
 		if !l.Send(a, Bytes(make([]byte, 100))) {
 			t.Fatal("unbounded link dropped a send")
 		}
+	}
+}
+
+func TestEveryBackgroundTicker(t *testing.T) {
+	s := New()
+	var ticks []Time
+	tk := s.EveryBackground(10*time.Millisecond, func() {
+		ticks = append(ticks, s.Now())
+	})
+	s.Run(35 * time.Millisecond)
+	if len(ticks) != 3 || ticks[0] != 10*time.Millisecond || ticks[2] != 30*time.Millisecond {
+		t.Fatalf("ticks = %v, want 10/20/30ms", ticks)
+	}
+	// A ticker alone must not keep RunAll alive.
+	if n, err := s.RunAll(); err != nil || n != 0 {
+		t.Fatalf("RunAll with only a ticker ran %d events (err %v)", n, err)
+	}
+	tk.Stop()
+	s.Run(100 * time.Millisecond)
+	if len(ticks) != 3 {
+		t.Fatalf("ticks after Stop = %d, want 3", len(ticks))
+	}
+}
+
+func TestMoveToRegistryCarriesCounts(t *testing.T) {
+	s := New()
+	a := mustNode(t, s, "a")
+	b := mustNode(t, s, "b")
+	l := mustLink(t, s, a, b, time.Millisecond)
+	l.Send(a, Bytes("x"))
+	s.RunAll()
+	before := s.Stats()
+	if before.Get(MetricDelivered) != 1 {
+		t.Fatalf("delivered = %d, want 1", before.Get(MetricDelivered))
+	}
+
+	reg := obs.NewRegistry()
+	s.MoveToRegistry(reg)
+	if s.Registry() != reg {
+		t.Fatal("MoveToRegistry did not adopt the new registry")
+	}
+	after := s.Stats()
+	if after.Get(MetricDelivered) != 1 || after.Get(MetricEvents) != before.Get(MetricEvents) {
+		t.Fatalf("counts not carried: %v", after.Counters)
+	}
+	// New increments land in the adopted registry, and snapshots are
+	// stamped with the simulated clock.
+	l.Send(a, Bytes("y"))
+	s.RunAll()
+	st := reg.Snapshot()
+	if st.Get(MetricDelivered) != 2 {
+		t.Fatalf("delivered after move = %d, want 2", st.Get(MetricDelivered))
+	}
+	if st.AtNanos != int64(s.Now()) {
+		t.Fatalf("snapshot stamped %d, sim now %d", st.AtNanos, int64(s.Now()))
 	}
 }

@@ -1,0 +1,49 @@
+package obs
+
+import "testing"
+
+// BenchmarkCounterAdd measures the uncontended hot-path cost a
+// registry-backed counter adds over a raw atomic — the number the
+// data-plane budget (TestObsBudget at the repo root) leans on.
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkCounterAddParallel measures contended cost: sharding should
+// keep this near the serial number instead of collapsing on one cache
+// line.
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+// BenchmarkTracerEmit measures the sampled-event recording cost.
+func BenchmarkTracerEmit(b *testing.B) {
+	tr := NewRegistry().Tracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Kind: EvPacketSample, Verdict: "pass"})
+	}
+}
+
+// BenchmarkSnapshot measures snapshot cost at a realistic metric count
+// (10 DAS × ~30 metrics).
+func BenchmarkSnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 300; i++ {
+		r.Counter(string(rune('a'+i%26)) + "x.metric" + string(rune('0'+i%10))).Add(uint64(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

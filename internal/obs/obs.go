@@ -1,0 +1,357 @@
+// Package obs is the unified observability layer of the DISCS
+// reproduction: a metrics registry (counters, gauges, histograms)
+// cheap enough for the lock-free data-plane hot path, plus a
+// simulated-clock-aware event tracer (trace.go) and JSON exporters
+// (export.go).
+//
+// Design constraints, in order:
+//
+//  1. Hot-path updates must be wait-free and allocation-free. Counters
+//     are sharded across cache-line-padded atomic cells so concurrent
+//     forwarding goroutines do not bounce one cache line; handles are
+//     resolved once at construction, never per update.
+//  2. Snapshots may be taken while updates are in flight. A snapshot
+//     is a point-in-time sum, not a consistent cut — exactly the
+//     semantics of reading per-CPU counters on real hardware.
+//  3. The package depends on nothing else in this repository, so every
+//     layer (netsim, securechan, core, cmd) can use it without import
+//     cycles. Time is injected as a clock function; in simulations it
+//     is the netsim clock, so exported series are in simulated time.
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// numShards is the per-counter shard count: enough to spread
+// GOMAXPROCS writers, capped so thousands of registered counters stay
+// cheap. Power of two for mask indexing.
+var numShards = func() int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 16 {
+		n <<= 1
+	}
+	return n
+}()
+
+// shard is one padded counter cell. The padding keeps two shards from
+// sharing a cache line, which is the entire point of sharding.
+type shard struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// shardIndex distributes concurrent writers across shards. Goroutine
+// stacks live in different allocations, so the address of a local is
+// a cheap, stable-per-goroutine discriminator — no runtime hooks, no
+// thread IDs, no allocation.
+func shardIndex() uint32 {
+	var b byte
+	p := uintptr(unsafe.Pointer(&b))
+	return uint32(p>>9) ^ uint32(p>>17)
+}
+
+// Counter is a monotonically increasing metric. The zero value is not
+// usable; obtain counters from a Registry (or Scope) so snapshots see
+// them.
+type Counter struct {
+	name   string
+	shards []shard
+	mask   uint32
+}
+
+// Name returns the registered metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by n. Wait-free, allocation-free, safe
+// from any number of goroutines.
+func (c *Counter) Add(n uint64) {
+	c.shards[shardIndex()&c.mask].v.Add(n)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the shards. Concurrent with updates; the result is a
+// point-in-time lower bound, exact once writers quiesce.
+func (c *Counter) Value() uint64 {
+	var t uint64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}
+
+// Gauge is a last-value-wins metric (queue depths, peer counts).
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the registered metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the current value by d (negative to decrement).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value loads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets with inclusive
+// upper bounds; the last bucket is +Inf. Buckets are atomic, so
+// Observe is safe from any goroutine.
+type Histogram struct {
+	name   string
+	bounds []int64 // sorted upper bounds; len(counts) == len(bounds)+1
+	counts []shard
+	sum    atomic.Int64
+	n      atomic.Uint64
+}
+
+// Name returns the registered metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].v.Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// HistSnapshot is the exported state of one histogram.
+type HistSnapshot struct {
+	Bounds []int64  `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Sum    int64    `json:"sum"`
+	Count  uint64   `json:"count"`
+}
+
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.n.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].v.Load()
+	}
+	return s
+}
+
+// Registry owns a namespace of metrics and the trace ring. Metric
+// registration is idempotent by name: two components asking for the
+// same name share the metric, which is how per-subsystem views stay
+// cheap aggregations instead of copies.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	clock atomic.Value // func() int64, simulated nanoseconds
+
+	traceOnce sync.Once
+	traceCap  int
+	tracer    *Tracer
+}
+
+// NewRegistry creates an empty registry with a zero clock (snapshots
+// and events stamp t=0 until SetClock installs a real one).
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// SetClock installs the time source for snapshots and trace events —
+// in simulations, the netsim clock in nanoseconds. Safe to call while
+// metrics are updated.
+func (r *Registry) SetClock(fn func() int64) { r.clock.Store(fn) }
+
+func (r *Registry) nowNanos() int64 {
+	if fn, ok := r.clock.Load().(func() int64); ok && fn != nil {
+		return fn()
+	}
+	return 0
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. The returned handle is what hot paths must cache.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c != nil {
+		return c
+	}
+	c = &Counter{name: name, shards: make([]shard, numShards), mask: uint32(numShards - 1)}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g != nil {
+		return g
+	}
+	g = &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given inclusive upper bounds on first use (later calls
+// ignore bounds and share the first registration).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h != nil {
+		return h
+	}
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	h = &Histogram{name: name, bounds: b, counts: make([]shard, len(b)+1)}
+	r.hists[name] = h
+	return h
+}
+
+// SetTraceCapacity sizes the trace ring before first use (default
+// DefaultTraceCapacity). No effect once the tracer exists.
+func (r *Registry) SetTraceCapacity(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tracer == nil {
+		r.traceCap = n
+	}
+}
+
+// Tracer returns the registry's event tracer, creating it on first
+// use. All subsystems sharing the registry share the ring, so the
+// exported event log interleaves control-plane and data-plane events
+// in simulated-time order.
+func (r *Registry) Tracer() *Tracer {
+	r.traceOnce.Do(func() {
+		r.mu.Lock()
+		n := r.traceCap
+		r.mu.Unlock()
+		if n <= 0 {
+			n = DefaultTraceCapacity
+		}
+		r.tracer = newTracer(n, r)
+	})
+	return r.tracer
+}
+
+// Snapshot captures every registered metric at the registry clock's
+// current time. Counters sum their shards while writers may still be
+// adding; see Counter.Value for the semantics.
+func (r *Registry) Snapshot() Snapshot {
+	return r.SnapshotPrefix("", "")
+}
+
+// SnapshotPrefix captures only metrics whose name starts with prefix,
+// removing trim from the front of each kept name. It is how a scoped
+// component (one controller, one router) exposes a Stats() view over
+// the shared registry.
+func (r *Registry) SnapshotPrefix(prefix, trim string) Snapshot {
+	s := Snapshot{
+		AtNanos:  r.nowNanos(),
+		Counters: make(map[string]uint64),
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		if keep, ok := cutPrefix(name, prefix, trim); ok {
+			s.Counters[keep] = c.Value()
+		}
+	}
+	for name, g := range r.gauges {
+		if keep, ok := cutPrefix(name, prefix, trim); ok {
+			if s.Gauges == nil {
+				s.Gauges = make(map[string]int64)
+			}
+			s.Gauges[keep] = g.Value()
+		}
+	}
+	for name, h := range r.hists {
+		if keep, ok := cutPrefix(name, prefix, trim); ok {
+			if s.Histograms == nil {
+				s.Histograms = make(map[string]HistSnapshot)
+			}
+			s.Histograms[keep] = h.snapshot()
+		}
+	}
+	return s
+}
+
+func cutPrefix(name, prefix, trim string) (string, bool) {
+	if len(name) < len(prefix) || name[:len(prefix)] != prefix {
+		return "", false
+	}
+	if len(trim) > 0 && len(name) >= len(trim) && name[:len(trim)] == trim {
+		return name[len(trim):], true
+	}
+	return name, true
+}
+
+// Scope prefixes metric names, giving each component (one AS's
+// controller, one border router) its own namespace inside a shared
+// registry.
+type Scope struct {
+	r      *Registry
+	prefix string
+}
+
+// Scope returns a scoped view creating metrics named prefix+name.
+func (r *Registry) Scope(prefix string) Scope { return Scope{r: r, prefix: prefix} }
+
+// Registry returns the underlying registry.
+func (s Scope) Registry() *Registry { return s.r }
+
+// Prefix returns the scope's name prefix.
+func (s Scope) Prefix() string { return s.prefix }
+
+// Counter returns the scoped counter prefix+name.
+func (s Scope) Counter(name string) *Counter { return s.r.Counter(s.prefix + name) }
+
+// Gauge returns the scoped gauge prefix+name.
+func (s Scope) Gauge(name string) *Gauge { return s.r.Gauge(s.prefix + name) }
+
+// Histogram returns the scoped histogram prefix+name.
+func (s Scope) Histogram(name string, bounds []int64) *Histogram {
+	return s.r.Histogram(s.prefix+name, bounds)
+}
+
+// Snapshot captures the scope's metrics with the prefix trimmed.
+func (s Scope) Snapshot() Snapshot { return s.r.SnapshotPrefix(s.prefix, s.prefix) }

@@ -28,6 +28,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"discs/internal/obs"
 	"io"
 
 	"discs/internal/cmac"
@@ -274,6 +276,22 @@ type Session struct {
 	resume               [16]byte
 	// Overhead counters for the §VI-C cost model.
 	BytesSealed, BytesOpened uint64
+	// Optional registry mirrors of the byte counters (see SetMeter).
+	sealedMeter, openedMeter *obs.Counter
+}
+
+// SetMeter mirrors the session's byte counters into registry counters
+// (both nil-safe), so a controller can aggregate con-con channel
+// overhead across sessions. Bytes already accumulated are carried into
+// the counters at attach time.
+func (s *Session) SetMeter(sealed, opened *obs.Counter) {
+	s.sealedMeter, s.openedMeter = sealed, opened
+	if sealed != nil {
+		sealed.Add(s.BytesSealed)
+	}
+	if opened != nil {
+		opened.Add(s.BytesOpened)
+	}
 }
 
 func newSession(keys sessionKeys, initiator bool) (*Session, error) {
@@ -311,6 +329,9 @@ func (s *Session) Seal(plaintext []byte) []byte {
 	copy(out[8+len(plaintext):], tag[:])
 	s.sendSeq++
 	s.BytesSealed += uint64(len(out))
+	if s.sealedMeter != nil {
+		s.sealedMeter.Add(uint64(len(out)))
+	}
 	return out
 }
 
@@ -339,5 +360,8 @@ func (s *Session) Open(record []byte) ([]byte, error) {
 	cipher.NewCTR(s.recvBlock, iv[:]).XORKeyStream(plaintext, body[8:])
 	s.recvSeq = seq + 1
 	s.BytesOpened += uint64(len(record))
+	if s.openedMeter != nil {
+		s.openedMeter.Add(uint64(len(record)))
+	}
 	return plaintext, nil
 }

@@ -1,0 +1,219 @@
+// Observability budget gate: the instrumented data plane — registry
+// counters live, sampled tracing enabled — must cost nothing in
+// allocations and at most 5% in latency over the committed
+// BENCH_dataplane.json baseline. TestObsBudget runs on every `go
+// test`; TestObsReport (make bench-obs) measures the actual ratio and
+// writes BENCH_obs.json, failing on regression.
+package discs_test
+
+import (
+	"encoding/json"
+	"net/netip"
+	"os"
+	"testing"
+	"time"
+
+	"discs/internal/core"
+	"discs/internal/obs"
+	"discs/internal/packet"
+	"discs/internal/topology"
+)
+
+// instrumentedPair is dataPlanePair built through the options API: one
+// shared registry, per-AS scopes and sampled packet tracing — the
+// fully instrumented configuration a deployed System uses.
+func instrumentedPair(tb testing.TB, sampleEvery int) (reg *obs.Registry, peer, victim *core.BorderRouter, now time.Time) {
+	tb.Helper()
+	tp := topology.New()
+	for asn, p := range map[topology.ASN]string{1: "10.1.0.0/16", 3: "10.3.0.0/16"} {
+		if _, err := tp.AddAS(asn); err != nil {
+			tb.Fatal(err)
+		}
+		if err := tp.AddPrefix(asn, netip.MustParsePrefix(p)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	key := make([]byte, 16)
+	t0 := time.Unix(0, 0).UTC()
+	v := netip.MustParsePrefix("10.3.0.0/16")
+	reg = obs.NewRegistry()
+
+	pt := core.NewTables(1, tp.Pfx2AS())
+	pt.In[core.TableOutDst].Install(v, core.OpDPFilter, t0, time.Hour, 0)
+	pt.In[core.TableOutDst].Install(v, core.OpCDPStamp, t0, time.Hour, 0)
+	pt.Keys.SetStampKey(3, key)
+	peer = core.NewBorderRouterWithOptions(core.RouterOptions{
+		Tables: pt, Seed: 1, Registry: reg, Scope: "as1.", AS: 1,
+		TraceSampleEvery: sampleEvery,
+	})
+
+	vt := core.NewTables(3, tp.Pfx2AS())
+	vt.In[core.TableInDst].Install(v, core.OpCDPVerify, t0, time.Hour, 0)
+	vt.Keys.SetVerifyKey(1, key)
+	victim = core.NewBorderRouterWithOptions(core.RouterOptions{
+		Tables: vt, Seed: 2, Registry: reg, Scope: "as3.", AS: 3,
+		TraceSampleEvery: sampleEvery,
+	})
+	return reg, peer, victim, t0.Add(time.Minute)
+}
+
+// TestObsBudget enforces, on every test run, that instrumentation is
+// free of allocations: the stamp+verify round trip with live registry
+// counters and per-packet trace sampling allocates nothing, and the
+// counters and events actually land in the registry.
+func TestObsBudget(t *testing.T) {
+	// sampleEvery=1 is the worst case: every packet emits a trace event.
+	reg, peer, victim, now := instrumentedPair(t, 1)
+	p := &packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP,
+		Src: netip.MustParseAddr("10.1.0.10"), Dst: netip.MustParseAddr("10.3.0.1"),
+		Payload: []byte("benchmark payload!")}
+	const runs = 2000
+	allocs := testing.AllocsPerRun(runs, func() {
+		if v := peer.ProcessOutbound(core.V4{P: p}, now); v != core.VerdictPassStamped {
+			t.Fatalf("outbound %v", v)
+		}
+		if v := victim.ProcessInbound(core.V4{P: p}, now); v != core.VerdictPassVerified {
+			t.Fatalf("inbound %v", v)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("instrumented stamp+verify allocates %.1f/packet, want 0", allocs)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Get("as1." + core.MetricRouterOutStamped); got == 0 {
+		t.Fatal("outbound counters not registered under the peer scope")
+	}
+	if got := snap.Get("as3." + core.MetricRouterInVerified); got == 0 {
+		t.Fatal("inbound counters not registered under the victim scope")
+	}
+	if snap.Sum(core.MetricRouterMACsComputed) == 0 {
+		t.Fatal("crypto counter missing")
+	}
+	tr := reg.Tracer()
+	if tr.Total() == 0 {
+		t.Fatal("per-packet sampling emitted no events")
+	}
+	var sampled bool
+	for _, e := range tr.Events() {
+		if e.Kind == obs.EvPacketSample && e.Verdict != "" {
+			sampled = true
+			break
+		}
+	}
+	if !sampled {
+		t.Fatal("no packet.sample event with a verdict in the ring")
+	}
+}
+
+// obsStampVerifySerial is stampVerifySerial against the instrumented
+// pair (realistic 64-packet sampling period), for the latency gate.
+func obsStampVerifySerial(b *testing.B) {
+	_, peer, victim, now := instrumentedPair(b, 64)
+	p := &packet.IPv4{
+		TTL: 64, Protocol: packet.ProtoUDP,
+		Src: netip.MustParseAddr("10.1.0.10"), Dst: netip.MustParseAddr("10.3.0.1"),
+		Payload: []byte("benchmark payload!"),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := peer.ProcessOutbound(core.V4{P: p}, now); v != core.VerdictPassStamped {
+			b.Fatalf("outbound %v", v)
+		}
+		if v := victim.ProcessInbound(core.V4{P: p}, now); v != core.VerdictPassVerified {
+			b.Fatalf("inbound %v", v)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
+}
+
+// BenchmarkStampVerifyV4Instrumented is the manual-run version of the
+// gate bench: compare against BenchmarkStampVerifyV4 to see the cost
+// of observability.
+func BenchmarkStampVerifyV4Instrumented(b *testing.B) { obsStampVerifySerial(b) }
+
+// TestObsReport regenerates BENCH_obs.json and fails if the
+// instrumented path runs more than 5% slower than the uninstrumented
+// one or allocates. Both paths are measured back-to-back in the same
+// process (best of three interleaved rounds) so the gate compares
+// observability cost, not machine drift against the committed
+// BENCH_dataplane.json absolute — that number is recorded in the
+// report for context. Gated behind an environment variable because it
+// runs real benchmarks; `make bench-obs` sets it.
+func TestObsReport(t *testing.T) {
+	if os.Getenv("DISCS_OBS_REPORT") == "" {
+		t.Skip("set DISCS_OBS_REPORT=1 (make bench-obs) to regenerate BENCH_obs.json")
+	}
+	raw, err := os.ReadFile("BENCH_dataplane.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	var base struct {
+		Serial struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"serial"`
+	}
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("BENCH_dataplane.json: %v", err)
+	}
+	if base.Serial.NsPerOp <= 0 {
+		t.Fatal("BENCH_dataplane.json has no serial ns/op")
+	}
+
+	nsOf := func(r testing.BenchmarkResult) float64 {
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	const rounds = 3
+	plainNs, instrNs := 0.0, 0.0
+	var instrAllocs int64
+	for i := 0; i < rounds; i++ {
+		plain := testing.Benchmark(stampVerifySerial)
+		instr := testing.Benchmark(obsStampVerifySerial)
+		if n := nsOf(plain); plainNs == 0 || n < plainNs {
+			plainNs = n
+		}
+		if n := nsOf(instr); instrNs == 0 || n < instrNs {
+			instrNs = n
+		}
+		instrAllocs = instr.AllocsPerOp()
+		if instrAllocs > 0 {
+			t.Fatalf("instrumented path allocates %d/op, want 0", instrAllocs)
+		}
+	}
+	ratio := instrNs / plainNs
+	const budget = 1.05
+
+	report := struct {
+		GeneratedBy     string  `json:"generated_by"`
+		CommittedNsOp   float64 `json:"committed_baseline_ns_per_op"`
+		PlainNsOp       float64 `json:"plain_ns_per_op"`
+		InstrumentedNs  float64 `json:"instrumented_ns_per_op"`
+		Ratio           float64 `json:"ratio"`
+		Budget          float64 `json:"budget"`
+		AllocsPerOp     int64   `json:"allocs_per_op"`
+		TraceSampleEach int     `json:"trace_sample_every"`
+	}{
+		GeneratedBy:     "make bench-obs",
+		CommittedNsOp:   base.Serial.NsPerOp,
+		PlainNsOp:       plainNs,
+		InstrumentedNs:  instrNs,
+		Ratio:           ratio,
+		Budget:          budget,
+		AllocsPerOp:     instrAllocs,
+		TraceSampleEach: 64,
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_obs.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("instrumented %.2f ns/op vs plain %.2f ns/op (ratio %.3f, budget %.2f; committed baseline %.2f)",
+		instrNs, plainNs, ratio, budget, base.Serial.NsPerOp)
+	if ratio > budget {
+		t.Fatalf("observability overhead %.1f%% exceeds the %.0f%% budget",
+			100*(ratio-1), 100*(budget-1))
+	}
+}
