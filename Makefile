@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet vet-obs check bench bench-dataplane bench-obs fuzz report figures cost sim examples cover clean
+.PHONY: all build test test-race vet vet-obs check bench bench-dataplane bench-obs bench-topo bench-topo-report fuzz report figures cost sim examples cover clean
 
 all: build check
 
@@ -29,9 +29,9 @@ vet-obs:
 		echo "$$bad"; exit 1; \
 	fi
 
-# The pre-merge gate: static analysis plus the full suite under the
-# race detector.
-check: vet vet-obs test-race
+# The pre-merge gate: static analysis, the full suite under the race
+# detector, and the paper-scale topology budget.
+check: vet vet-obs test-race bench-topo
 
 # Per-figure/table reproduction benches (bench_test.go at the root).
 bench:
@@ -48,6 +48,16 @@ bench-dataplane:
 # than 5% ns/op.
 bench-obs:
 	DISCS_OBS_REPORT=1 $(GO) test -run 'TestObs(Budget|Report)' -count=1 -v .
+
+# Paper-scale topology gate: generate + BGP network build + routing
+# tree warm at 44,036 ASes must stay within 10% of the committed
+# BENCH_topo.json, and a warm NextHop must stay allocation-free.
+bench-topo:
+	DISCS_TOPO_BENCH=1 $(GO) test -run 'TestTopoBudget' -count=1 -v .
+
+# Regenerate BENCH_topo.json (best of two full runs).
+bench-topo-report:
+	DISCS_TOPO_REPORT=1 $(GO) test -run 'TestTopoReport' -count=1 -v .
 
 # Short fuzz pass over every parser (extend -fuzztime for deeper runs).
 fuzz:

@@ -33,9 +33,13 @@ import (
 
 func main() {
 	cli.Init("discs-eval")
-	topoFlags := cli.RegisterTopoFlags(topology.GenConfig{
-		NumASes: 44036, NumPrefixes: 442000, ZipfExponent: 1.1, Seed: 1,
-	})
+	// The figure math needs only the per-AS address-space ratios, so
+	// links are skipped; everything else comes from the calibrated
+	// paper-scale defaults (piecewise-Pareto head + Zipf tail), not an
+	// ad-hoc flat-Zipf config.
+	baseCfg := topology.DefaultGenConfig()
+	baseCfg.SkipLinks = true
+	topoFlags := cli.RegisterTopoFlags(baseCfg)
 	var (
 		fig     = flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, 7a, 7b, all")
 		runs    = flag.Int("runs", 50, "random-deployment repetitions for figure 5")
@@ -58,7 +62,7 @@ func main() {
 		return
 	}
 
-	topo, err := topoFlags.Build(topology.GenConfig{SkipLinks: true})
+	topo, err := topoFlags.Build(baseCfg)
 	if err != nil {
 		log.Fatal(err)
 	}

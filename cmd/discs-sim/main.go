@@ -33,6 +33,7 @@ func main() {
 		NumASes: 200, NumPrefixes: 600, ZipfExponent: 1.0, Seed: 1,
 	})
 	var (
+		paper   = flag.Bool("paper", false, "run at paper scale: topology.DefaultGenConfig (44 036 ASes, ~442k prefixes) with one originated prefix per DAS; explicit -ases/-prefixes/-zipf/-seed still override")
 		nDAS    = flag.Int("das", 10, "number of DISCS deployers (largest-first)")
 		flows   = flag.Int("flows", 200, "number of attack flows")
 		perFlow = flag.Int("per-flow", 10, "packets per flow")
@@ -46,19 +47,49 @@ func main() {
 	flag.Parse()
 	seed := topoFlags.Seed
 
-	topo, err := topoFlags.Build(topology.GenConfig{TierOneCount: 5})
+	// Paper mode swaps in the full evaluation scale of §VI: the
+	// DefaultGenConfig synthetic Internet (2012 CAIDA snapshot scale)
+	// with links, linear-time network build, warmed routing trees, and
+	// one originated prefix per DAS — BGP's only required role in
+	// DISCS is disseminating the Ads, and a full 442k-prefix table
+	// would push convergence to ~200M events for no additional signal.
+	var genCfg topology.GenConfig
+	if *paper {
+		genCfg = topoFlags.ConfigSet(topology.DefaultGenConfig())
+		seed = genCfg.Seed
+	} else {
+		genCfg = topoFlags.Config(topology.GenConfig{TierOneCount: 5})
+	}
+	start := time.Now()
+	topo, err := topology.GenerateInternet(genCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	genDur := time.Since(start)
+	start = time.Now()
 	net, err := bgp.BuildNetwork(topo, time.Millisecond)
 	if err != nil {
 		log.Fatal(err)
 	}
-	net.OriginateAll()
+	buildDur := time.Since(start)
+
+	deployers := topo.BySizeDesc()[:*nDAS]
+	start = time.Now()
+	if *paper {
+		net.OriginateFirst(deployers...)
+	} else {
+		net.OriginateAll()
+	}
 	if err := net.Converge(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("internet: %d ASes, %d prefixes, BGP converged\n", topo.NumASes(), topo.Pfx2AS().Len())
+	convDur := time.Since(start)
+	fmt.Printf("internet: %d ASes, %d links, %d prefixes, BGP converged\n",
+		topo.NumASes(), topo.NumLinks(), topo.Pfx2AS().Len())
+	if *paper {
+		fmt.Printf("paper-scale timings: generate %.2fs, build %.2fs, originate+converge %.2fs\n",
+			genDur.Seconds(), buildDur.Seconds(), convDur.Seconds())
+	}
 
 	cfg := core.DefaultConfig()
 	if *metrics != "" {
@@ -78,7 +109,6 @@ func main() {
 		})
 	}
 
-	deployers := topo.BySizeDesc()[:*nDAS]
 	for i, asn := range deployers {
 		if _, err := sys.Deploy(asn, int64(i+1)); err != nil {
 			log.Fatal(err)
@@ -88,6 +118,15 @@ func main() {
 		log.Fatal(err)
 	}
 	victim := deployers[len(deployers)-1]
+	if *paper {
+		// Precompute routing trees for every destination the scenario
+		// forwards toward (the victim and the DAS peers), so the
+		// attack waves run on O(1) warm NextHop lookups.
+		start = time.Now()
+		warmed := topo.WarmRoutes(deployers, 0)
+		fmt.Printf("paper-scale timings: warmed %d routing trees in %.2fs\n",
+			warmed, time.Since(start).Seconds())
+	}
 	vc := sys.Controllers[victim]
 	fmt.Printf("deployed DISCS on %d largest ASes; victim AS%d has %d peers\n",
 		*nDAS, victim, len(vc.Peers()))

@@ -139,6 +139,7 @@ type Speaker struct {
 	topo *topology.Topology
 
 	neighbors map[topology.ASN]*netsim.Node
+	byNode    map[*netsim.Node]topology.ASN           // reverse index for receive()
 	rels      map[topology.ASN]topology.Relationship // our perspective of hop to neighbor
 
 	adjIn  map[netip.Prefix]map[topology.ASN]*Route
@@ -159,6 +160,7 @@ func NewSpeaker(asn topology.ASN, node *netsim.Node, topo *topology.Topology) *S
 		node:      node,
 		topo:      topo,
 		neighbors: make(map[topology.ASN]*netsim.Node),
+		byNode:    make(map[*netsim.Node]topology.ASN),
 		rels:      make(map[topology.ASN]topology.Relationship),
 		adjIn:     make(map[netip.Prefix]map[topology.ASN]*Route),
 		locRib:    make(map[netip.Prefix]*Route),
@@ -176,6 +178,7 @@ func (s *Speaker) Node() *netsim.Node { return s.node }
 // rel is the relationship of the hop from this AS to the neighbor.
 func (s *Speaker) AddNeighbor(asn topology.ASN, node *netsim.Node, rel topology.Relationship) {
 	s.neighbors[asn] = node
+	s.byNode[node] = asn
 	s.rels[asn] = rel
 }
 
@@ -311,15 +314,9 @@ func (s *Speaker) receive(from *netsim.Node, _ *netsim.Link, msg netsim.Message)
 		return
 	}
 	s.UpdatesRecv++
-	// Identify which neighbor sent it.
-	var fromASN topology.ASN
-	found := false
-	for asn, node := range s.neighbors {
-		if node == from {
-			fromASN, found = asn, true
-			break
-		}
-	}
+	// Identify which neighbor sent it (O(1); a tier-1 speaker has
+	// thousands of sessions, so scanning per update does not scale).
+	fromASN, found := s.byNode[from]
 	if !found {
 		return // not a configured session
 	}

@@ -18,10 +18,17 @@ type Network struct {
 }
 
 // BuildNetwork creates a netsim node ("borderN") and speaker for every
-// AS and connects neighbors with the given link delay.
+// AS and connects neighbors with the given link delay. The build is
+// O(V+E): node and link tables are preallocated via Reserve, and each
+// physical link is created exactly once — transit from the customer
+// side (each relationship appears in exactly one Providers list),
+// peering from the lower-ASN side — which topology.Link's duplicate
+// guard makes safe without any linked() re-scan.
 func BuildNetwork(topo *topology.Topology, linkDelay time.Duration) (*Network, error) {
 	sim := netsim.New()
-	net := &Network{Sim: sim, Topo: topo, Speakers: make(map[topology.ASN]*Speaker)}
+	nAS := topo.NumASes()
+	sim.Reserve(nAS, topo.NumLinks())
+	net := &Network{Sim: sim, Topo: topo, Speakers: make(map[topology.ASN]*Speaker, nAS)}
 	for _, asn := range topo.ASNs() {
 		node, err := sim.AddNode(fmt.Sprintf("border%d", asn))
 		if err != nil {
@@ -29,19 +36,13 @@ func BuildNetwork(topo *topology.Topology, linkDelay time.Duration) (*Network, e
 		}
 		net.Speakers[asn] = NewSpeaker(asn, node, topo)
 	}
-	// Wire links and sessions. Providers/Peers/Customers lists give each
-	// relationship from both sides; create each physical link once.
 	for _, asn := range topo.ASNs() {
 		a := topo.AS(asn)
 		sp := net.Speakers[asn]
-		// Transit links are created from the customer side only (each
-		// relationship appears in exactly one Providers list).
 		for _, prov := range a.Providers {
 			other := net.Speakers[prov]
-			if !linked(sp.node, other.node) {
-				if _, err := sim.Connect(sp.node, other.node, linkDelay); err != nil {
-					return nil, err
-				}
+			if _, err := sim.Connect(sp.node, other.node, linkDelay); err != nil {
+				return nil, err
 			}
 			sp.AddNeighbor(prov, other.node, topology.CustomerToProvider)
 			other.AddNeighbor(asn, sp.node, topology.ProviderToCustomer)
@@ -51,10 +52,8 @@ func BuildNetwork(topo *topology.Topology, linkDelay time.Duration) (*Network, e
 				continue // the lower side created it
 			}
 			other := net.Speakers[peer]
-			if !linked(sp.node, other.node) {
-				if _, err := sim.Connect(sp.node, other.node, linkDelay); err != nil {
-					return nil, err
-				}
+			if _, err := sim.Connect(sp.node, other.node, linkDelay); err != nil {
+				return nil, err
 			}
 			sp.AddNeighbor(peer, other.node, topology.PeerToPeer)
 			other.AddNeighbor(asn, sp.node, topology.PeerToPeer)
@@ -63,21 +62,29 @@ func BuildNetwork(topo *topology.Topology, linkDelay time.Duration) (*Network, e
 	return net, nil
 }
 
-func linked(a, b *netsim.Node) bool {
-	for _, l := range a.Links() {
-		if l.Neighbor(a) == b {
-			return true
-		}
-	}
-	return false
-}
-
 // OriginateAll makes every AS originate all of its prefixes.
 func (n *Network) OriginateAll() {
 	for _, asn := range n.Topo.ASNs() {
 		sp := n.Speakers[asn]
 		for _, p := range n.Topo.AS(asn).Prefixes {
 			sp.Originate(p)
+		}
+	}
+}
+
+// OriginateFirst makes each given AS originate its first prefix only.
+// Paper-scale runs use this: DISCS needs BGP solely as the Ad
+// dissemination substrate, and one prefix per deploying AS keeps
+// convergence event counts linear in the topology instead of linear
+// in the 442k-prefix table.
+func (n *Network) OriginateFirst(asns ...topology.ASN) {
+	for _, asn := range asns {
+		sp := n.Speakers[asn]
+		if sp == nil {
+			continue
+		}
+		if pfx := n.Topo.AS(asn).Prefixes; len(pfx) > 0 {
+			sp.Originate(pfx[0])
 		}
 	}
 }

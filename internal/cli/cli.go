@@ -60,6 +60,27 @@ func (tf *TopoFlags) Build(base topology.GenConfig) (*topology.Topology, error) 
 	return topology.GenerateInternet(tf.Config(base))
 }
 
+// ConfigSet overlays only the topology flags the user explicitly set
+// on the command line onto base, leaving everything else — including
+// the four flagged knobs at their base values — untouched. Mode flags
+// like discs-sim -paper use this: the mode picks its own defaults
+// (DefaultGenConfig) and an explicit -ases/-seed still wins.
+func (tf *TopoFlags) ConfigSet(base topology.GenConfig) topology.GenConfig {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "ases":
+			base.NumASes = tf.ASes
+		case "prefixes":
+			base.NumPrefixes = tf.Prefixes
+		case "zipf":
+			base.ZipfExponent = tf.Zipf
+		case "seed":
+			base.Seed = tf.Seed
+		}
+	})
+	return base
+}
+
 // Table accumulates rows and renders a GitHub-markdown table — the
 // output format of discs-report.
 type Table struct {

@@ -39,6 +39,9 @@ func NewSystem(net *bgp.Network, cfg Config) *System {
 	if cfg.TraceCapacity > 0 {
 		reg.SetTraceCapacity(cfg.TraceCapacity)
 	}
+	// Topology routing-cache gauges (tree count, hit rate) join the
+	// same registry.
+	net.Topo.PublishMetrics(reg)
 	return &System{
 		Net:         net,
 		Dir:         NewDirectory(),
@@ -107,12 +110,23 @@ func (s *System) Deploy(asn topology.ASN, seed int64) (*Controller, error) {
 	}
 	sp.OnAd(ctrl.HandleAd)
 
-	// Announce ourselves Internet-wide.
+	// Announce ourselves Internet-wide. Only prefixes the speaker
+	// actually originates are re-announced: paper-scale runs originate
+	// one prefix per DAS (Network.OriginateFirst) rather than the full
+	// 442k-prefix table, and the Ad rides on whatever is in BGP.
 	ad := bgp.NewDISCSAdAttr(ctrl.Ad())
+	announced := 0
 	for _, p := range s.Net.Topo.AS(asn).Prefixes {
+		if r := sp.LocRib(p); r == nil || !r.Local {
+			continue
+		}
 		if err := sp.ReOriginate(p, ad); err != nil {
 			return nil, err
 		}
+		announced++
+	}
+	if announced == 0 && len(s.Net.Topo.AS(asn).Prefixes) > 0 {
+		return nil, fmt.Errorf("core: AS%d originates none of its prefixes; run OriginateAll or OriginateFirst before Deploy", asn)
 	}
 	return ctrl, nil
 }

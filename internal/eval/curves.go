@@ -20,6 +20,15 @@ type Point struct {
 // samplePoints returns ~count indices in [1, n], always including 1
 // and n, spaced evenly.
 func samplePoints(n, count int) []int {
+	if n <= 1 {
+		// A 1-AS topology has exactly one sample; without this the
+		// clamp below forces count to 1 and the spacing divides by
+		// zero.
+		if n == 1 {
+			return []int{1}
+		}
+		return nil
+	}
 	if count < 2 {
 		count = 2
 	}

@@ -1,0 +1,64 @@
+package eval
+
+import (
+	"net/netip"
+	"testing"
+
+	"discs/internal/topology"
+)
+
+// TestSamplePointsSingleton: samplePoints(1, k) used to clamp count to
+// 1 and then divide by count-1 — a panic on every 1-AS topology. It
+// must return the single valid sample instead.
+func TestSamplePointsSingleton(t *testing.T) {
+	for _, count := range []int{0, 1, 2, 10, 60} {
+		pts := samplePoints(1, count)
+		if len(pts) != 1 || pts[0] != 1 {
+			t.Fatalf("samplePoints(1, %d) = %v, want [1]", count, pts)
+		}
+	}
+	if pts := samplePoints(0, 10); pts != nil {
+		t.Fatalf("samplePoints(0, 10) = %v, want nil", pts)
+	}
+	if pts := samplePoints(-3, 5); pts != nil {
+		t.Fatalf("samplePoints(-3, 5) = %v, want nil", pts)
+	}
+}
+
+// TestCurvesOnSingleAS: every curve function survives a 1-AS topology
+// end to end (they all funnel through samplePoints).
+func TestCurvesOnSingleAS(t *testing.T) {
+	tp := topology.New()
+	if _, err := tp.AddAS(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddPrefix(1, netip.MustParsePrefix("10.0.0.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	r := FromTopology(tp)
+	order := []topology.ASN{1}
+
+	if pts, err := IncentiveCurve(r, order, 60); err != nil || len(pts) != 1 {
+		t.Fatalf("IncentiveCurve = %v, %v", pts, err)
+	}
+	if pts, err := EffectivenessCurve(r, order, 60); err != nil || len(pts) != 1 {
+		t.Fatalf("EffectivenessCurve = %v, %v", pts, err)
+	}
+	if pts := CumulativeRatioCurve(r, order, 60); len(pts) != 1 {
+		t.Fatalf("CumulativeRatioCurve = %v", pts)
+	}
+	if pts, err := MeanIncentiveCurve(r, 3, 60, 7); err != nil || len(pts) != 1 {
+		t.Fatalf("MeanIncentiveCurve = %v, %v", pts, err)
+	}
+	curves, err := StrategyCurves(r, 60, 7, func(rr *Ratios, o []topology.ASN, s int) ([]Point, error) {
+		return IncentiveCurve(rr, o, s)
+	})
+	if err != nil {
+		t.Fatalf("StrategyCurves: %v", err)
+	}
+	for name, pts := range curves {
+		if len(pts) != 1 {
+			t.Fatalf("strategy %s: %v", name, pts)
+		}
+	}
+}

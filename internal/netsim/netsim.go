@@ -378,6 +378,10 @@ type Node struct {
 	Name    string
 	sim     *Simulator
 	links   []*Link
+	// nbr indexes the first link per neighbor so SendTo is O(1) on the
+	// common single-link case instead of scanning links (which is
+	// O(degree) — ruinous for tier-1 nodes with thousands of links).
+	nbr     map[*Node]*Link
 	handler Handler
 	crashed bool
 	// epoch increments on every crash; node-scoped timers capture it so
@@ -505,8 +509,40 @@ func (s *Simulator) Connect(a, b *Node, delay Time) (*Link, error) {
 	}
 	a.links = append(a.links, l)
 	b.links = append(b.links, l)
+	a.addNbr(b, l)
+	b.addNbr(a, l)
 	s.links = append(s.links, l)
 	return l, nil
+}
+
+// addNbr records the first link toward a neighbor (parallel links keep
+// SendTo's "first up link" semantics via the slow-path scan).
+func (n *Node) addNbr(peer *Node, l *Link) {
+	if n.nbr == nil {
+		n.nbr = make(map[*Node]*Link, 4)
+	}
+	if _, dup := n.nbr[peer]; !dup {
+		n.nbr[peer] = l
+	}
+}
+
+// Reserve sizes the node and link tables for a known topology so a
+// paper-scale build (44k nodes, ~70k links) does not rehash and
+// re-grow its way up. Safe to call on a fresh or partially built
+// simulator; existing nodes and links are preserved.
+func (s *Simulator) Reserve(nodes, links int) {
+	if nodes > len(s.nodes) {
+		m := make(map[string]*Node, nodes)
+		for k, v := range s.nodes {
+			m[k] = v
+		}
+		s.nodes = m
+	}
+	if links > cap(s.links) {
+		grown := make([]*Link, len(s.links), links)
+		copy(grown, s.links)
+		s.links = grown
+	}
 }
 
 // SetUp marks the link up or down. Messages in flight when a link goes
@@ -617,8 +653,17 @@ func (l *Link) Send(from *Node, msg Message) bool {
 
 // SendTo is a convenience that finds the first up link from n to the
 // named neighbor and sends msg over it. It reports whether a link was
-// found and the send accepted.
+// found and the send accepted. The common case — one link to the
+// neighbor, link up — is an O(1) map lookup; only parallel links with
+// the first one down fall back to scanning.
 func (n *Node) SendTo(neighbor *Node, msg Message) bool {
+	l, ok := n.nbr[neighbor]
+	if !ok {
+		return false
+	}
+	if l.up {
+		return l.Send(n, msg)
+	}
 	for _, l := range n.links {
 		if l.Neighbor(n) == neighbor && l.up {
 			return l.Send(n, msg)

@@ -4,9 +4,9 @@ import (
 	"testing"
 )
 
-// TestPathCacheCorrectness: cached results equal fresh computations,
-// and graph changes invalidate the cache.
-func TestPathCacheCorrectness(t *testing.T) {
+// TestRouteCacheCorrectness: repeated lookups are consistent, graph
+// changes invalidate cached trees, and Path hands out fresh slices.
+func TestRouteCacheCorrectness(t *testing.T) {
 	tp := New()
 	for i := ASN(1); i <= 4; i++ {
 		mustAS(t, tp, i)
@@ -18,28 +18,96 @@ func TestPathCacheCorrectness(t *testing.T) {
 	if !ok || len(p1) != 3 {
 		t.Fatalf("path = %v", p1)
 	}
-	// Second call: cached, identical.
+	// Second call hits the cached tree but returns a fresh slice the
+	// caller owns.
 	p2, ok := tp.Path(1, 3)
-	if !ok || &p1[0] != &p2[0] {
-		t.Fatal("second call should return the memoized slice")
+	if !ok || len(p2) != 3 {
+		t.Fatalf("second path = %v", p2)
 	}
-	// Negative results are cached too.
+	if &p1[0] == &p2[0] {
+		t.Fatal("Path must return a freshly allocated slice per call")
+	}
+	if tp.CachedRouteTrees() != 1 {
+		t.Fatalf("cached trees = %d, want 1", tp.CachedRouteTrees())
+	}
+	// Negative results come from the same cached tree.
 	if _, ok := tp.Path(1, 4); ok {
 		t.Fatal("no path to isolated AS4 expected")
 	}
 	if _, ok := tp.Path(1, 4); ok {
-		t.Fatal("cached negative result changed")
+		t.Fatal("repeated negative lookup changed")
 	}
 	// Adding a link invalidates: AS4 becomes reachable.
 	mustLink(t, tp, 4, 2, CustomerToProvider)
+	if tp.CachedRouteTrees() != 0 {
+		t.Fatalf("cache not invalidated: %d trees", tp.CachedRouteTrees())
+	}
 	p3, ok := tp.Path(1, 4)
 	if !ok || len(p3) != 3 {
 		t.Fatalf("post-invalidation path = %v %v", p3, ok)
 	}
-	// And the old cached path is recomputed consistently.
+	// And the old path is recomputed consistently.
 	p4, ok := tp.Path(1, 3)
 	if !ok || len(p4) != len(p1) {
 		t.Fatalf("recomputed path = %v", p4)
+	}
+}
+
+// TestRouteCacheEviction: the FIFO cache never exceeds its capacity
+// and evicts oldest-first.
+func TestRouteCacheEviction(t *testing.T) {
+	tp := New()
+	// Star: hub AS1 provides transit to stubs 2..8.
+	for i := ASN(1); i <= 8; i++ {
+		mustAS(t, tp, i)
+	}
+	for i := ASN(2); i <= 8; i++ {
+		mustLink(t, tp, i, 1, CustomerToProvider)
+	}
+	tp.SetRouteCacheCapacity(3)
+	for dst := ASN(2); dst <= 8; dst++ {
+		if _, ok := tp.Path(2%dst+1, dst); !ok && dst != 2 {
+			t.Fatalf("no path to %d", dst)
+		}
+		if n := tp.CachedRouteTrees(); n > 3 {
+			t.Fatalf("cache grew to %d trees, cap 3", n)
+		}
+	}
+	if n := tp.CachedRouteTrees(); n != 3 {
+		t.Fatalf("cached trees = %d, want 3", n)
+	}
+	// The oldest roots were evicted; looking one up again must still
+	// give a correct path (rebuilt on miss).
+	p, ok := tp.Path(3, 2)
+	if !ok || len(p) != 3 {
+		t.Fatalf("path after eviction = %v %v", p, ok)
+	}
+}
+
+// TestWarmRoutes: the worker pool precomputes trees for the requested
+// destinations and warm NextHop lookups agree with Path.
+func TestWarmRoutes(t *testing.T) {
+	tp, err := GenerateInternet(GenConfig{
+		NumASes: 150, NumPrefixes: 300, ZipfExponent: 1.0, TierOneCount: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsts := []ASN{10, 20, 30, 40, 10, 9999} // dup and unknown are skipped
+	if got := tp.WarmRoutes(dsts, 4); got != 4 {
+		t.Fatalf("WarmRoutes cached %d trees, want 4", got)
+	}
+	for _, dst := range dsts[:4] {
+		for src := ASN(1); src <= 150; src++ {
+			p, ok := tp.Path(src, dst)
+			hop, hok := tp.NextHop(src, dst)
+			if ok != hok && src != dst {
+				t.Fatalf("Path/NextHop disagree for %d→%d", src, dst)
+			}
+			if ok && src != dst && hop != p[1] {
+				t.Fatalf("NextHop(%d,%d) = %d, path %v", src, dst, hop, p)
+			}
+		}
 	}
 }
 
@@ -69,6 +137,37 @@ func TestPathCacheConcurrentReaders(t *testing.T) {
 	}
 }
 
+// TestWarmRoutesConcurrentWithReaders: warming and reading race-free.
+func TestWarmRoutesConcurrentWithReaders(t *testing.T) {
+	tp, err := GenerateInternet(GenConfig{
+		NumASes: 150, NumPrefixes: 300, ZipfExponent: 1.0, TierOneCount: 5, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool)
+	go func() {
+		dsts := make([]ASN, 0, 50)
+		for d := ASN(1); d <= 50; d++ {
+			dsts = append(dsts, d)
+		}
+		tp.WarmRoutes(dsts, 4)
+		done <- true
+	}()
+	for w := 0; w < 4; w++ {
+		w := w
+		go func() {
+			for i := 0; i < 200; i++ {
+				tp.NextHop(ASN(1+(i*7+w)%150), ASN(1+(i*13+w*3)%150))
+			}
+			done <- true
+		}()
+	}
+	for w := 0; w < 5; w++ {
+		<-done
+	}
+}
+
 func BenchmarkPathCold(b *testing.B) {
 	tp, err := GenerateInternet(GenConfig{
 		NumASes: 500, NumPrefixes: 1000, ZipfExponent: 1.0, TierOneCount: 5, Seed: 1,
@@ -78,13 +177,11 @@ func BenchmarkPathCold(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		// Different pair every time defeats the cache.
+		// Different destination every time defeats the tree cache.
 		src := ASN(1 + i%500)
 		dst := ASN(1 + (i*271+13)%500)
 		b.StopTimer()
-		tp.pathMu.Lock()
-		tp.pathCache = nil
-		tp.pathMu.Unlock()
+		tp.invalidateRoutes()
 		b.StartTimer()
 		tp.Path(src, dst)
 	}
@@ -101,5 +198,20 @@ func BenchmarkPathCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tp.Path(100, 400)
+	}
+}
+
+func BenchmarkNextHopWarm(b *testing.B) {
+	tp, err := GenerateInternet(GenConfig{
+		NumASes: 500, NumPrefixes: 1000, ZipfExponent: 1.0, TierOneCount: 5, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tp.NextHop(100, 400) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp.NextHop(ASN(1+i%500), 400)
 	}
 }

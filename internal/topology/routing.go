@@ -1,27 +1,460 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
 
-// This file implements valley-free (Gao-Rexford) inter-AS routing:
-// a legal AS path is a sequence of customer→provider hops, followed by
+	"discs/internal/obs"
+)
+
+// This file implements valley-free (Gao-Rexford) inter-AS routing: a
+// legal AS path is a sequence of customer→provider hops, followed by
 // at most one peer hop, followed by provider→customer hops. Path
 // computes the shortest such path; it is used by the packet-level
-// end-to-end simulations, by the uRPF/DPF baselines (which reason about
-// forwarding paths) and by examples.
+// end-to-end simulations, by the uRPF/DPF baselines (which reason
+// about forwarding paths) and by examples.
+//
+// Representation. Routing no longer runs a per-(src,dst) BFS with an
+// unbounded pair cache. Instead the graph is frozen into a dense
+// index (ASN → contiguous int32, adjacency in CSR form) and routes
+// are materialized as shortest-path trees rooted at the DESTINATION:
+// one backward BFS over the two-phase state graph
+//
+//	(AS, up)   — the forward path may still climb (c2p hops legal)
+//	(AS, down) — the forward path is descending (only p2c remains)
+//
+// labels every AS with its next hop toward the root, which makes a
+// warm NextHop lookup O(1) and Path an O(len) pointer walk. A tree is
+// the per-source SPF of the reversed graph — valley-free paths are
+// reversal-symmetric — and rooting at the destination means one tree
+// answers NextHop(at, dst) for EVERY at, which is exactly the access
+// pattern of hop-by-hop forwarding. Trees are computed lazily per
+// destination (or eagerly via WarmRoutes' worker pool), cached in a
+// bounded FIFO, and dropped whenever the graph changes.
 
-// pathState encodes the BFS phase: still climbing (may use c2p),
-// or descending (only p2c allowed after a peer or downhill hop).
-type pathState int
-
+// Phases of a valley-free path, used as the second dimension of the
+// routing-tree arrays.
 const (
-	stateUp pathState = iota
-	stateDown
+	stUp   = 0 // still climbing: customer→provider hops are legal
+	stDown = 1 // descending: only provider→customer hops remain
 )
+
+// Metric names the routing cache publishes once PublishMetrics is
+// called. Exported so consumers of snapshots do not hard-code strings.
+const (
+	MetricRouteTrees     = "topology.route_trees"
+	MetricRouteCapacity  = "topology.route_tree_capacity"
+	MetricRouteHits      = "topology.route_tree_hits"
+	MetricRouteMisses    = "topology.route_tree_misses"
+	MetricRouteEvictions = "topology.route_tree_evictions"
+)
+
+// defaultRouteEntryBudget bounds the default tree-cache size in state
+// entries (two per AS per tree, 4 bytes each): ~33 MB at full budget,
+// which at paper scale (44 036 ASes) holds ~47 trees.
+const defaultRouteEntryBudget = 4 << 20
+
+// routingIndex is an immutable dense view of the relationship graph:
+// ASNs mapped to contiguous indices and adjacency lists in CSR form,
+// so tree construction is an O(V+E) scan over flat arrays instead of
+// map walks. It is rebuilt whenever the graph changes.
+type routingIndex struct {
+	asns []ASN           // dense index → ASN (t.order at freeze time)
+	pos  map[ASN]int32   // ASN → dense index
+
+	provOff, custOff, peerOff []int32 // CSR offsets, len n+1
+	prov, cust, peer          []int32 // CSR neighbor indices
+}
+
+func (t *Topology) buildIndex() *routingIndex {
+	n := len(t.order)
+	ix := &routingIndex{
+		asns:    append([]ASN(nil), t.order...),
+		pos:     make(map[ASN]int32, n),
+		provOff: make([]int32, n+1),
+		custOff: make([]int32, n+1),
+		peerOff: make([]int32, n+1),
+	}
+	for i, a := range ix.asns {
+		ix.pos[a] = int32(i)
+	}
+	var nProv, nCust, nPeer int32
+	for i, a := range ix.asns {
+		as := t.ases[a]
+		nProv += int32(len(as.Providers))
+		nCust += int32(len(as.Customers))
+		nPeer += int32(len(as.Peers))
+		ix.provOff[i+1] = nProv
+		ix.custOff[i+1] = nCust
+		ix.peerOff[i+1] = nPeer
+	}
+	ix.prov = make([]int32, nProv)
+	ix.cust = make([]int32, nCust)
+	ix.peer = make([]int32, nPeer)
+	for i, a := range ix.asns {
+		as := t.ases[a]
+		fill(ix.prov[ix.provOff[i]:], as.Providers, ix.pos)
+		fill(ix.cust[ix.custOff[i]:], as.Customers, ix.pos)
+		fill(ix.peer[ix.peerOff[i]:], as.Peers, ix.pos)
+	}
+	return ix
+}
+
+func fill(dst []int32, src []ASN, pos map[ASN]int32) {
+	for i, a := range src {
+		dst[i] = pos[a]
+	}
+}
+
+// routeTree is the valley-free shortest-path tree rooted at one
+// destination. next[phase][v] packs the next hop of the shortest
+// valley-free path from v (entered in `phase`) toward the root as
+// neighborIdx<<1 | nextPhase; -1 marks "no valley-free path", -2 the
+// root itself.
+type routeTree struct {
+	root int32
+	next [2][]int32
+}
+
+// buildTree runs one backward BFS from the root over the reversed
+// two-phase state graph. All edges have unit weight, so a FIFO scan
+// labels every state with its shortest completion; the first label
+// wins, and adjacency order (deterministic, insertion-ordered) breaks
+// ties.
+func buildTree(ix *routingIndex, root int32) *routeTree {
+	n := len(ix.asns)
+	tr := &routeTree{root: root}
+	for st := 0; st < 2; st++ {
+		tr.next[st] = make([]int32, n)
+		for i := range tr.next[st] {
+			tr.next[st][i] = -1
+		}
+	}
+	tr.next[stUp][root], tr.next[stDown][root] = -2, -2
+
+	queue := make([]int32, 0, 2*n)
+	queue = append(queue, root<<1|stUp, root<<1|stDown)
+	for qi := 0; qi < len(queue); qi++ {
+		s := queue[qi]
+		v, st := s>>1, s&1
+		enc := v<<1 | st
+		if st == stUp {
+			// Reverse of a c2p hop: a customer of v, still climbing,
+			// climbs into v.
+			for _, u := range ix.cust[ix.custOff[v]:ix.custOff[v+1]] {
+				if tr.next[stUp][u] == -1 {
+					tr.next[stUp][u] = enc
+					queue = append(queue, u<<1|stUp)
+				}
+			}
+		} else {
+			// Reverse of a p2c hop: a provider of v hands down into v,
+			// from either phase.
+			for _, u := range ix.prov[ix.provOff[v]:ix.provOff[v+1]] {
+				if tr.next[stUp][u] == -1 {
+					tr.next[stUp][u] = enc
+					queue = append(queue, u<<1|stUp)
+				}
+				if tr.next[stDown][u] == -1 {
+					tr.next[stDown][u] = enc
+					queue = append(queue, u<<1|stDown)
+				}
+			}
+			// Reverse of the single peer hop: a peer of v, still
+			// climbing, crosses into v and starts descending.
+			for _, u := range ix.peer[ix.peerOff[v]:ix.peerOff[v+1]] {
+				if tr.next[stUp][u] == -1 {
+					tr.next[stUp][u] = enc
+					queue = append(queue, u<<1|stUp)
+				}
+			}
+		}
+	}
+	return tr
+}
+
+// pathFrom reconstructs the full AS path from src to the tree root by
+// walking the next-hop pointers. Returns nil when no valley-free path
+// exists. BFS distance strictly decreases along the chain, so the
+// walk terminates at the root.
+func (tr *routeTree) pathFrom(ix *routingIndex, src int32) []ASN {
+	if src == tr.root {
+		return []ASN{ix.asns[src]}
+	}
+	if tr.next[stUp][src] < 0 {
+		return nil
+	}
+	path := make([]ASN, 0, 8)
+	v, st := src, int32(stUp)
+	for {
+		path = append(path, ix.asns[v])
+		if v == tr.root {
+			return path
+		}
+		p := tr.next[st][v]
+		v, st = p>>1, p&1
+	}
+}
+
+// routeCache holds the frozen index plus the bounded set of routing
+// trees, evicted FIFO. Guarded by Topology.routeMu.
+type routeCache struct {
+	ix    *routingIndex
+	trees map[int32]*routeTree
+	fifo  []int32 // insertion order, for eviction
+	cap   int
+}
+
+func (t *Topology) newRouteCache() *routeCache {
+	n := len(t.order)
+	c := t.routeCap
+	if c <= 0 {
+		c = defaultRouteEntryBudget / (2 * max(n, 1))
+		if c < 4 {
+			c = 4
+		}
+		if c > 4096 {
+			c = 4096
+		}
+	}
+	return &routeCache{
+		ix:    t.buildIndex(),
+		trees: make(map[int32]*routeTree, c),
+		cap:   c,
+	}
+}
+
+// insert adds a tree, evicting oldest-first past capacity, and
+// reports how many trees were evicted.
+func (rc *routeCache) insert(root int32, tr *routeTree) int {
+	evicted := 0
+	for len(rc.fifo) >= rc.cap {
+		old := rc.fifo[0]
+		rc.fifo = rc.fifo[1:]
+		delete(rc.trees, old)
+		evicted++
+	}
+	rc.trees[root] = tr
+	rc.fifo = append(rc.fifo, root)
+	return evicted
+}
+
+// routeMetrics holds optional obs handles for the routing cache; all
+// methods are nil-safe so an unattached topology pays only a nil
+// check.
+type routeMetrics struct {
+	trees, capacity       *obs.Gauge
+	hits, misses, evicted *obs.Counter
+}
+
+func (m *routeMetrics) hit() {
+	if m.hits != nil {
+		m.hits.Inc()
+	}
+}
+
+func (m *routeMetrics) miss() {
+	if m.misses != nil {
+		m.misses.Inc()
+	}
+}
+
+func (m *routeMetrics) evict(n int) {
+	if m.evicted != nil && n > 0 {
+		m.evicted.Add(uint64(n))
+	}
+}
+
+func (m *routeMetrics) size(trees, capacity int) {
+	if m.trees != nil {
+		m.trees.Set(int64(trees))
+		m.capacity.Set(int64(capacity))
+	}
+}
+
+// PublishMetrics registers the routing-cache gauges and counters
+// (topology.route_*) in reg: cached-tree count and capacity, plus
+// hit/miss/eviction counters from which a hit rate falls out.
+// core.NewSystem wires the system registry through here.
+func (t *Topology) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	t.routeMu.Lock()
+	defer t.routeMu.Unlock()
+	t.rm = routeMetrics{
+		trees:    reg.Gauge(MetricRouteTrees),
+		capacity: reg.Gauge(MetricRouteCapacity),
+		hits:     reg.Counter(MetricRouteHits),
+		misses:   reg.Counter(MetricRouteMisses),
+		evicted:  reg.Counter(MetricRouteEvictions),
+	}
+	if t.routes != nil {
+		t.rm.size(len(t.routes.trees), t.routes.cap)
+	}
+}
+
+// SetRouteCacheCapacity overrides the number of routing trees kept
+// in memory (default: a ~33 MB entry budget divided by topology
+// size). Existing cached trees are dropped.
+func (t *Topology) SetRouteCacheCapacity(trees int) {
+	t.routeMu.Lock()
+	defer t.routeMu.Unlock()
+	t.routeCap = trees
+	t.routes = nil
+	t.rm.size(0, trees)
+}
+
+// CachedRouteTrees reports how many routing trees are currently
+// cached (tests and capacity planning).
+func (t *Topology) CachedRouteTrees() int {
+	t.routeMu.RLock()
+	defer t.routeMu.RUnlock()
+	if t.routes == nil {
+		return 0
+	}
+	return len(t.routes.trees)
+}
+
+// invalidateRoutes drops the frozen index and every cached tree; the
+// graph changed. Caller must not hold routeMu.
+func (t *Topology) invalidateRoutes() {
+	t.routeMu.Lock()
+	if t.routes != nil {
+		t.routes = nil
+		t.rm.size(0, 0)
+	}
+	t.routeMu.Unlock()
+}
+
+// treeFor returns the routing tree rooted at dst plus the index it
+// was built against, computing and caching it on miss. A nil tree
+// means dst is not part of the frozen graph (it was added after the
+// last link change and has no links, hence no valley-free routes).
+func (t *Topology) treeFor(dst ASN) (*routeTree, *routingIndex) {
+	t.routeMu.RLock()
+	if rc := t.routes; rc != nil {
+		if root, ok := rc.ix.pos[dst]; ok {
+			if tr := rc.trees[root]; tr != nil {
+				ix := rc.ix
+				t.routeMu.RUnlock()
+				t.rm.hit()
+				return tr, ix
+			}
+		}
+	}
+	t.routeMu.RUnlock()
+	t.rm.miss()
+
+	t.routeMu.Lock()
+	if t.routes == nil {
+		t.routes = t.newRouteCache()
+	}
+	rc := t.routes
+	ix := rc.ix
+	root, ok := ix.pos[dst]
+	if !ok {
+		t.routeMu.Unlock()
+		return nil, ix
+	}
+	if tr := rc.trees[root]; tr != nil {
+		t.routeMu.Unlock()
+		return tr, ix
+	}
+	// Build outside the lock: tree construction is O(V+E) and other
+	// readers (and Warm workers) must not stall behind it.
+	t.routeMu.Unlock()
+	tr := buildTree(ix, root)
+	t.routeMu.Lock()
+	if t.routes == rc { // not invalidated while building
+		if cur := rc.trees[root]; cur != nil {
+			tr = cur // another goroutine won the race
+		} else {
+			t.rm.evict(rc.insert(root, tr))
+			t.rm.size(len(rc.trees), rc.cap)
+		}
+	}
+	t.routeMu.Unlock()
+	return tr, ix
+}
+
+// WarmRoutes precomputes routing trees for the given destinations
+// with a pool of `workers` goroutines (≤0 means GOMAXPROCS) — the
+// bulk path for paper-scale runs, where lazy per-miss computation
+// would serialize. Destinations beyond the cache capacity are
+// skipped. It returns the number of trees cached afterwards.
+func (t *Topology) WarmRoutes(dsts []ASN, workers int) int {
+	t.routeMu.Lock()
+	if t.routes == nil {
+		t.routes = t.newRouteCache()
+	}
+	rc := t.routes
+	ix := rc.ix
+	roots := make([]int32, 0, len(dsts))
+	queued := make(map[int32]bool, len(dsts))
+	for _, d := range dsts {
+		if len(roots) >= rc.cap {
+			break
+		}
+		root, ok := ix.pos[d]
+		if !ok || queued[root] {
+			continue
+		}
+		queued[root] = true
+		if _, cached := rc.trees[root]; cached {
+			continue
+		}
+		roots = append(roots, root)
+	}
+	t.routeMu.Unlock()
+
+	if len(roots) > 0 {
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(roots) {
+			workers = len(roots)
+		}
+		built := make([]*routeTree, len(roots))
+		jobs := make(chan int, len(roots))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					built[j] = buildTree(ix, roots[j])
+				}
+			}()
+		}
+		for j := range roots {
+			jobs <- j
+		}
+		close(jobs)
+		wg.Wait()
+
+		t.routeMu.Lock()
+		if t.routes == rc { // graph unchanged while building
+			evicted := 0
+			for j, root := range roots {
+				if rc.trees[root] == nil {
+					evicted += rc.insert(root, built[j])
+				}
+			}
+			t.rm.evict(evicted)
+			t.rm.size(len(rc.trees), rc.cap)
+		}
+		t.routeMu.Unlock()
+	}
+	return t.CachedRouteTrees()
+}
 
 // Path returns the shortest valley-free AS path from src to dst,
 // inclusive of both endpoints. ok is false when no valley-free path
-// exists. Results are memoized until the graph changes (Link
-// invalidates the cache); callers must not modify the returned slice.
+// exists. The slice is freshly allocated on every call; callers own
+// it. Safe for concurrent use; the underlying tree is cached until
+// the graph changes (Link invalidates).
 func (t *Topology) Path(src, dst ASN) (path []ASN, ok bool) {
 	if t.ases[src] == nil || t.ases[dst] == nil {
 		return nil, false
@@ -29,113 +462,38 @@ func (t *Topology) Path(src, dst ASN) (path []ASN, ok bool) {
 	if src == dst {
 		return []ASN{src}, true
 	}
-	ck := [2]ASN{src, dst}
-	t.pathMu.RLock()
-	if t.pathCache != nil {
-		if cached, hit := t.pathCache[ck]; hit {
-			t.pathMu.RUnlock()
-			return cached, cached != nil
-		}
-	}
-	t.pathMu.RUnlock()
-	path, ok = t.computePath(src, dst)
-	t.pathMu.Lock()
-	if t.pathCache == nil {
-		t.pathCache = make(map[[2]ASN][]ASN)
-	}
-	if ok {
-		t.pathCache[ck] = path
-	} else {
-		t.pathCache[ck] = nil
-	}
-	t.pathMu.Unlock()
-	return path, ok
-}
-
-// computePath runs the valley-free BFS.
-func (t *Topology) computePath(src, dst ASN) (path []ASN, ok bool) {
-	type nodeState struct {
-		asn ASN
-		st  pathState
-	}
-	prev := make(map[nodeState]nodeState)
-	seen := map[nodeState]bool{{src, stateUp}: true}
-	queue := []nodeState{{src, stateUp}}
-	var goal nodeState
-	found := false
-
-	push := func(cur, next nodeState) {
-		if seen[next] {
-			return
-		}
-		seen[next] = true
-		prev[next] = cur
-		queue = append(queue, next)
-	}
-
-	for len(queue) > 0 && !found {
-		cur := queue[0]
-		queue = queue[1:]
-		a := t.ases[cur.asn]
-		var candidates []nodeState
-		if cur.st == stateUp {
-			for _, p := range a.Providers {
-				candidates = append(candidates, nodeState{p, stateUp})
-			}
-			for _, p := range a.Peers {
-				candidates = append(candidates, nodeState{p, stateDown})
-			}
-		}
-		for _, c := range a.Customers {
-			candidates = append(candidates, nodeState{c, stateDown})
-		}
-		for _, next := range candidates {
-			if next.asn == dst {
-				prev[next] = cur
-				goal, found = next, true
-				break
-			}
-			push(cur, next)
-		}
-	}
-	if !found {
-		// dst may have been reached in the other state via the loop
-		// above only on direct hit; do a final check over both states.
-		for _, st := range []pathState{stateUp, stateDown} {
-			if seen[nodeState{dst, st}] {
-				goal, found = nodeState{dst, st}, true
-				break
-			}
-		}
-	}
-	if !found {
+	tr, ix := t.treeFor(dst)
+	if tr == nil {
 		return nil, false
 	}
-	// Reconstruct: only the BFS start state has no predecessor.
-	var rev []ASN
-	for cur := goal; ; {
-		rev = append(rev, cur.asn)
-		p, exists := prev[cur]
-		if !exists {
-			break
-		}
-		cur = p
+	si, ok := ix.pos[src]
+	if !ok {
+		return nil, false
 	}
-	path = make([]ASN, len(rev))
-	for i, a := range rev {
-		path[len(rev)-1-i] = a
-	}
-	return path, true
+	p := tr.pathFrom(ix, si)
+	return p, p != nil
 }
 
 // NextHop returns the next AS after `at` on the shortest valley-free
-// path from `at` to dst.
+// path from `at` to dst. With the tree for dst cached (warm), this is
+// an O(1) array read.
 func (t *Topology) NextHop(at, dst ASN) (ASN, bool) {
-	p, ok := t.Path(at, dst)
-	if !ok || len(p) < 2 {
+	if at == dst || t.ases[at] == nil || t.ases[dst] == nil {
 		return 0, false
 	}
-	return p[1], true
+	tr, ix := t.treeFor(dst)
+	if tr == nil {
+		return 0, false
+	}
+	ai, ok := ix.pos[at]
+	if !ok {
+		return 0, false
+	}
+	p := tr.next[stUp][ai]
+	if p < 0 {
+		return 0, false
+	}
+	return ix.asns[p>>1], true
 }
 
 // ValidateValleyFree checks that a path obeys the valley-free rule and
@@ -192,4 +550,11 @@ func (t *Topology) relOf(a, b ASN) (Relationship, bool) {
 		}
 	}
 	return 0, false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -72,9 +72,13 @@ type Topology struct {
 	pfx2as *lpm.Table[ASN]
 	total  uint64 // global routable address space
 
-	// Path memoization (see Path); invalidated on graph changes.
-	pathMu    sync.RWMutex
-	pathCache map[[2]ASN][]ASN
+	// Routing state (see routing.go): a frozen dense index plus a
+	// bounded cache of per-destination shortest-path trees, dropped
+	// whenever the graph changes.
+	routeMu  sync.RWMutex
+	routes   *routeCache
+	routeCap int // 0 = derive from topology size
+	rm       routeMetrics
 }
 
 // New creates an empty topology.
@@ -116,6 +120,11 @@ func (t *Topology) Link(a, b ASN, rel Relationship) error {
 	if a == b {
 		return fmt.Errorf("topology: self link on AS%d", a)
 	}
+	if t.Connected(a, b) {
+		// A second link between the same pair would double-count
+		// Degree() and create duplicate BGP sessions in BuildNetwork.
+		return fmt.Errorf("topology: duplicate link %d-%d", a, b)
+	}
 	switch rel {
 	case CustomerToProvider:
 		asA.Providers = append(asA.Providers, b)
@@ -129,18 +138,21 @@ func (t *Topology) Link(a, b ASN, rel Relationship) error {
 	default:
 		return fmt.Errorf("topology: unknown relationship %d", rel)
 	}
-	// The graph changed: memoized paths are stale.
-	t.pathMu.Lock()
-	t.pathCache = nil
-	t.pathMu.Unlock()
+	// The graph changed: cached routing trees are stale.
+	t.invalidateRoutes()
 	return nil
 }
 
-// Connected reports whether a and b share a link.
+// Connected reports whether a and b share a link. It scans the
+// adjacency lists of the lower-degree endpoint, so probing a tier-1's
+// neighborhood from a stub costs the stub's degree, not the tier-1's.
 func (t *Topology) Connected(a, b ASN) bool {
-	asA := t.ases[a]
-	if asA == nil {
+	asA, asB := t.ases[a], t.ases[b]
+	if asA == nil || asB == nil {
 		return false
+	}
+	if asB.Degree() < asA.Degree() {
+		asA, b = asB, a
 	}
 	for _, n := range asA.Providers {
 		if n == b {
@@ -158,6 +170,19 @@ func (t *Topology) Connected(a, b ASN) bool {
 		}
 	}
 	return false
+}
+
+// NumLinks returns the number of (undirected) links. Every transit
+// link appears in exactly one Providers list and every peering in two
+// Peers lists, so the count is exact given Link's duplicate guard.
+func (t *Topology) NumLinks() int {
+	transit, peer := 0, 0
+	for _, asn := range t.order {
+		a := t.ases[asn]
+		transit += len(a.Providers)
+		peer += len(a.Peers)
+	}
+	return transit + peer/2
 }
 
 // AddPrefix assigns a prefix to an AS and updates the prefix-to-AS

@@ -1,0 +1,156 @@
+// Paper-scale topology benchmark: generate the 44 036-AS synthetic
+// Internet WITH links, build the full BGP network over it, and warm
+// the valley-free routing trees — the three phases PR 4 made linear.
+// `make bench-topo` runs the budget gate against the committed
+// BENCH_topo.json; `make bench-topo-report` regenerates the file.
+package discs_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"discs/internal/bgp"
+	"discs/internal/obs"
+	"discs/internal/topology"
+)
+
+// topoBenchWarmTrees is the number of destination trees the warm phase
+// precomputes (matches a generous DAS deployment, and stays well under
+// the default cache capacity at 44k ASes).
+const topoBenchWarmTrees = 32
+
+// topoBenchReport is the schema of BENCH_topo.json.
+type topoBenchReport struct {
+	GeneratedBy string  `json:"generated_by"`
+	ASes        int     `json:"ases"`
+	Links       int     `json:"links"`
+	Prefixes    int     `json:"prefixes"`
+	WarmTrees   int     `json:"warm_trees"`
+	GenerateS   float64 `json:"generate_s"`
+	BuildS      float64 `json:"build_s"`
+	WarmS       float64 `json:"warm_s"`
+	TotalS      float64 `json:"total_s"`
+	NextHopNs   float64 `json:"nexthop_ns"`
+}
+
+// measureTopoRun executes one full generate→build→warm pass at paper
+// scale and measures each phase.
+func measureTopoRun(t *testing.T) topoBenchReport {
+	t.Helper()
+	cfg := topology.DefaultGenConfig()
+	cfg.SkipLinks = false
+
+	start := time.Now()
+	topo, err := topology.GenerateInternet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genS := time.Since(start).Seconds()
+
+	start = time.Now()
+	net, err := bgp.BuildNetwork(topo, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildS := time.Since(start).Seconds()
+	if got := net.Sim.NumNodes(); got != cfg.NumASes {
+		t.Fatalf("network has %d nodes, want %d", got, cfg.NumASes)
+	}
+
+	reg := obs.NewRegistry()
+	topo.PublishMetrics(reg)
+	dsts := topo.BySizeDesc()[:topoBenchWarmTrees]
+	start = time.Now()
+	warmed := topo.WarmRoutes(dsts, 0)
+	warmS := time.Since(start).Seconds()
+	if warmed != topoBenchWarmTrees {
+		t.Fatalf("warmed %d trees, want %d", warmed, topoBenchWarmTrees)
+	}
+	if g := reg.Snapshot().GetGauge(topology.MetricRouteTrees); g != topoBenchWarmTrees {
+		t.Fatalf("route_trees gauge = %d, want %d", g, topoBenchWarmTrees)
+	}
+
+	// Warm NextHop is the forwarding hot path: it must stay O(1) and
+	// allocation-free.
+	asns := topo.ASNs()
+	dst := dsts[0]
+	allocs := testing.AllocsPerRun(1000, func() {
+		topo.NextHop(asns[1], dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm NextHop allocates %.1f/op, want 0", allocs)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			topo.NextHop(asns[i%len(asns)], dst)
+		}
+	})
+
+	return topoBenchReport{
+		GeneratedBy: "make bench-topo-report",
+		ASes:        topo.NumASes(),
+		Links:       topo.NumLinks(),
+		Prefixes:    topo.Pfx2AS().Len(),
+		WarmTrees:   topoBenchWarmTrees,
+		GenerateS:   genS,
+		BuildS:      buildS,
+		WarmS:       warmS,
+		TotalS:      genS + buildS + warmS,
+		NextHopNs:   float64(res.T.Nanoseconds()) / float64(res.N),
+	}
+}
+
+// TestTopoBudget is the regression gate `make bench-topo` (part of
+// `make check`) runs: the paper-scale generate+build+warm total must
+// stay within 10% of the committed BENCH_topo.json. Gated behind an
+// environment variable so plain `go test ./...` stays wall-clock
+// independent across machines.
+func TestTopoBudget(t *testing.T) {
+	if os.Getenv("DISCS_TOPO_BENCH") == "" && os.Getenv("DISCS_TOPO_REPORT") == "" {
+		t.Skip("set DISCS_TOPO_BENCH=1 (make bench-topo) to run the paper-scale topology gate")
+	}
+	raw, err := os.ReadFile("BENCH_topo.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing (run make bench-topo-report): %v", err)
+	}
+	var base topoBenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("BENCH_topo.json: %v", err)
+	}
+
+	// Min of two runs: the gate measures the code, not a cold page
+	// cache or a scheduler hiccup.
+	run := measureTopoRun(t)
+	if second := measureTopoRun(t); second.TotalS < run.TotalS {
+		run = second
+	}
+	budget := base.TotalS * 1.10
+	if run.TotalS > budget {
+		t.Fatalf("paper-scale generate+build+warm took %.2fs, budget %.2fs (committed %.2fs +10%%)",
+			run.TotalS, budget, base.TotalS)
+	}
+	t.Logf("generate %.2fs + build %.2fs + warm(%d) %.2fs = %.2fs (budget %.2fs), warm NextHop %.0f ns",
+		run.GenerateS, run.BuildS, run.WarmTrees, run.WarmS, run.TotalS, budget, run.NextHopNs)
+}
+
+// TestTopoReport regenerates BENCH_topo.json (make bench-topo-report).
+func TestTopoReport(t *testing.T) {
+	if os.Getenv("DISCS_TOPO_REPORT") == "" {
+		t.Skip("set DISCS_TOPO_REPORT=1 (make bench-topo-report) to regenerate BENCH_topo.json")
+	}
+	best := measureTopoRun(t)
+	if second := measureTopoRun(t); second.TotalS < best.TotalS {
+		best = second
+	}
+	out, err := json.MarshalIndent(best, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_topo.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("generate %.2fs + build %.2fs + warm(%d) %.2fs = %.2fs, warm NextHop %.0f ns",
+		best.GenerateS, best.BuildS, best.WarmTrees, best.WarmS, best.TotalS, best.NextHopNs)
+}
