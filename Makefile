@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet vet-obs check bench bench-dataplane bench-obs bench-topo bench-topo-report fuzz report figures cost sim examples cover clean
+.PHONY: all build test test-race vet vet-obs check bench bench-dataplane bench-obs bench-topo bench-topo-report bench-paper bench-paper-report diff-paper fuzz report figures cost sim examples cover clean
 
 all: build check
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -30,8 +30,9 @@ vet-obs:
 	fi
 
 # The pre-merge gate: static analysis, the full suite under the race
-# detector, and the paper-scale topology budget.
-check: vet vet-obs test-race bench-topo
+# detector (with shuffled test order to catch order-dependent tests),
+# and the paper-scale topology and end-to-end budgets.
+check: vet vet-obs test-race bench-topo bench-paper
 
 # Per-figure/table reproduction benches (bench_test.go at the root).
 bench:
@@ -58,6 +59,21 @@ bench-topo:
 # Regenerate BENCH_topo.json (best of two full runs).
 bench-topo-report:
 	DISCS_TOPO_REPORT=1 $(GO) test -run 'TestTopoReport' -count=1 -v .
+
+# Paper-scale end-to-end gate: the full discs-sim -paper scenario at
+# -workers 1 must stay within 10% of the committed BENCH_paper.json.
+bench-paper:
+	DISCS_PAPER_BENCH=1 $(GO) test -run 'TestPaperBudget' -count=1 -v -timeout 30m .
+
+# Regenerate BENCH_paper.json with the 1/2/4/8-worker scaling sweep.
+bench-paper-report:
+	DISCS_PAPER_REPORT=1 $(GO) test -run 'TestPaperReport' -count=1 -v -timeout 60m .
+
+# Paper-scale differential: the 44,036-AS scenario at -workers 1 vs 4
+# must produce byte-identical final metrics snapshots. (The mid-size
+# fault-injected differential runs unconditionally in make check.)
+diff-paper:
+	DISCS_PAPER_DIFF=1 $(GO) test -run 'TestPaperDifferential' -count=1 -v -timeout 60m .
 
 # Short fuzz pass over every parser (extend -fuzztime for deeper runs).
 fuzz:

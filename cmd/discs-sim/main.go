@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"discs/internal/cli"
 	"discs/internal/core"
 	"discs/internal/obs"
+	"discs/internal/parsim"
 	"discs/internal/topology"
 )
 
@@ -38,6 +40,8 @@ func main() {
 		flows   = flag.Int("flows", 200, "number of attack flows")
 		perFlow = flag.Int("per-flow", 10, "packets per flow")
 		invoke  = flag.String("invoke", "", `invocation triples to use instead of all four functions, e.g. "all:DP:24h,all:CDP:24h" ("all" expands to the victim's prefixes)`)
+
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker goroutines for the parallel engine (0 = legacy serial scheduler); results are bit-identical across worker counts")
 
 		metrics  = flag.String("metrics", "", "write the observability export (JSON) to this path")
 		interval = flag.Duration("interval", time.Second, "simulated-time spacing of interval snapshots and attack waves")
@@ -72,6 +76,26 @@ func main() {
 		log.Fatal(err)
 	}
 	buildDur := time.Since(start)
+
+	// Install the parallel engine before any event is scheduled: shard
+	// the border nodes by customer-cone locality, then swap the
+	// simulator's scheduler for the conservative lookahead engine. A
+	// parallel run is bit-identical to -workers 1 (see DESIGN.md §11).
+	var eng *parsim.Engine
+	if *workers > 0 {
+		net.AssignShards(parsim.DefaultShards)
+		eng, err = parsim.New(net.Sim, parsim.Options{Shards: parsim.DefaultShards, Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer eng.Close()
+		mode := "parallel"
+		if eng.Merged() {
+			mode = "merged (zero-delay cross-shard link)"
+		}
+		fmt.Printf("parsim engine: %d shards, %d workers, lookahead %v, mode %s\n",
+			eng.Shards(), eng.Workers(), eng.Lookahead(), mode)
+	}
 
 	deployers := topo.BySizeDesc()[:*nDAS]
 	start = time.Now()
@@ -261,6 +285,15 @@ func main() {
 		snap.Sum(core.MetricCtrlMsgsSent), snap.Sum(core.MetricCtrlMsgsRecv),
 		snap.Sum(core.MetricCtrlRetries), snap.Sum(core.MetricCtrlBytesSealed),
 		snap.Sum(core.MetricCtrlBytesOpened))
+
+	if eng != nil {
+		fmt.Printf("\nparsim: %d epochs, %.3fs total worker stall\n",
+			snap.Get(parsim.MetricEpochs),
+			time.Duration(snap.Get(parsim.MetricStallNS)).Seconds())
+		for w := 0; w < eng.Workers(); w++ {
+			fmt.Printf("  worker %d: %d events\n", w, snap.Get(parsim.MetricWorkerEvents(w)))
+		}
+	}
 
 	if *metrics != "" {
 		ex := obs.NewExport("discs-sim", sys.Registry(), rec, int64(*interval))

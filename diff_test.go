@@ -1,0 +1,206 @@
+// Differential tests for the parallel engine: the same scenario run
+// at -workers 1 and -workers 4 must produce byte-identical final obs
+// snapshots and the same event ordering. The mid-size fault-injected
+// variant always runs (so `make check` exercises it under -race); the
+// full paper-scale variant is gated behind DISCS_PAPER_DIFF because it
+// runs the 44 036-AS scenario twice.
+package discs_test
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"discs/internal/attack"
+	"discs/internal/bgp"
+	"discs/internal/core"
+	"discs/internal/netsim"
+	"discs/internal/obs"
+	"discs/internal/parsim"
+	"discs/internal/topology"
+)
+
+// stripEngineMetrics drops the parsim.* namespace: stall and worker
+// attribution are wall-clock and scheduling dependent by design (see
+// DESIGN.md §11); everything else must match exactly.
+func stripEngineMetrics(snap obs.Snapshot) (map[string]uint64, map[string]int64) {
+	counters := make(map[string]uint64, len(snap.Counters))
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "parsim.") {
+			continue
+		}
+		counters[name] = v
+	}
+	gauges := make(map[string]int64, len(snap.Gauges))
+	for name, v := range snap.Gauges {
+		if strings.HasPrefix(name, "parsim.") {
+			continue
+		}
+		gauges[name] = v
+	}
+	return counters, gauges
+}
+
+// sortTrace puts trace events into the canonical order used for
+// comparison. Lanes publish into the shared ring as they run, so the
+// raw ring order is scheduling-dependent; the canonical sort is not.
+func sortTrace(evs []obs.Event) []obs.Event {
+	out := append([]obs.Event(nil), evs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.AS != b.AS {
+			return a.AS < b.AS
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Peer != b.Peer {
+			return a.Peer < b.Peer
+		}
+		return a.Serial < b.Serial
+	})
+	return out
+}
+
+// runMidScenario executes a fault-injected mid-size DISCS scenario —
+// BGP convergence, 6 DAS deployments over lossy/jittery controller
+// links, heartbeats, an attack burst, invocation — under the parallel
+// engine with the given worker count.
+func runMidScenario(t *testing.T, workers int) (map[string]uint64, map[string]int64, []obs.Event) {
+	t.Helper()
+	topo, err := topology.GenerateInternet(topology.GenConfig{
+		NumASes: 120, NumPrefixes: 360, ZipfExponent: 1.0, Seed: 3, TierOneCount: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := bgp.BuildNetwork(topo, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.AssignShards(parsim.DefaultShards)
+	eng, err := parsim.New(net.Sim, parsim.Options{Shards: parsim.DefaultShards, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	net.Sim.Registry().SetTraceCapacity(1 << 15)
+	net.Sim.SeedFaults(7)
+	net.OriginateAll()
+	if err := net.Converge(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Controller links (created from Deploy onward) are faulted: the
+	// control plane must converge despite loss, duplication and jitter,
+	// identically at every worker count.
+	net.Sim.SetDefaultLinkFaults(netsim.LinkFaults{
+		Loss: 0.05, Dup: 0.05, JitterMax: 500 * time.Microsecond,
+	})
+	sys := core.NewSystem(net, core.DefaultConfig())
+	deployers := topo.BySizeDesc()[:6]
+	for i, asn := range deployers {
+		if _, err := sys.Deploy(asn, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	// Heartbeats tick on background events: advance past a few
+	// intervals so liveness traffic crosses the faulted links too.
+	net.Sim.Run(net.Sim.Now() + 3*core.DefaultConfig().HeartbeatInterval)
+
+	victim := deployers[len(deployers)-1]
+	sampler := attack.NewSampler(topo)
+	rng := rand.New(rand.NewSource(5))
+	flows := make([]attack.Flow, 40)
+	for i := range flows {
+		flows[i] = sampler.DrawFlowForVictim(attack.DDDoS, victim, rng)
+	}
+	if _, err := attack.RunPaced(sys, flows, 5, 5, 2, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	vc := sys.Controllers[victim]
+	if _, err := vc.Invoke(core.Invocation{
+		Prefixes: vc.OwnPrefixes(), Function: core.DP, Duration: time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := attack.RunPaced(sys, flows, 5, 6, 2, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	counters, gauges := stripEngineMetrics(sys.Stats())
+	return counters, gauges, sortTrace(sys.Registry().Tracer().Events())
+}
+
+func diffSnapshots(t *testing.T, label string,
+	c1, c4 map[string]uint64, g1, g4 map[string]int64, e1, e4 []obs.Event) {
+	t.Helper()
+	if len(c1) != len(c4) {
+		t.Fatalf("%s: counter sets differ: %d vs %d", label, len(c1), len(c4))
+	}
+	for name, v := range c1 {
+		if c4[name] != v {
+			t.Errorf("%s: counter %s: %d vs %d", label, name, v, c4[name])
+		}
+	}
+	for name, v := range g1 {
+		if g4[name] != v {
+			t.Errorf("%s: gauge %s: %d vs %d", label, name, v, g4[name])
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if len(e1) != len(e4) {
+		t.Fatalf("%s: trace lengths differ: %d vs %d", label, len(e1), len(e4))
+	}
+	for i := range e1 {
+		if e1[i] != e4[i] {
+			t.Fatalf("%s: trace diverges at %d: %+v vs %+v", label, i, e1[i], e4[i])
+		}
+	}
+}
+
+// TestSystemDifferentialWorkers: the fault-injected mid-size scenario
+// is bit-identical between 1 and 4 workers — final counters, gauges,
+// and the full control/data-plane event trace.
+func TestSystemDifferentialWorkers(t *testing.T) {
+	c1, g1, e1 := runMidScenario(t, 1)
+	c4, g4, e4 := runMidScenario(t, 4)
+	if len(e1) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	if c1["netsim.delivered"] == 0 {
+		t.Fatal("scenario delivered nothing")
+	}
+	diffSnapshots(t, "mid-size", c1, c4, g1, g4, e1, e4)
+}
+
+// TestPaperDifferential runs the full 44 036-AS paper scenario at
+// -workers 1 and -workers 4 and requires byte-identical final
+// snapshots. Gated: two paper-scale runs.
+func TestPaperDifferential(t *testing.T) {
+	if os.Getenv("DISCS_PAPER_DIFF") == "" {
+		t.Skip("set DISCS_PAPER_DIFF=1 (make diff-paper) to run the paper-scale differential")
+	}
+	run := func(workers int) (map[string]uint64, map[string]int64) {
+		_, snap := measurePaperRun(t, workers)
+		return stripEngineMetrics(snap)
+	}
+	c1, g1 := run(1)
+	c4, g4 := run(4)
+	diffSnapshots(t, "paper", c1, c4, g1, g4, nil, nil)
+}

@@ -62,6 +62,20 @@ func BuildNetwork(topo *topology.Topology, linkDelay time.Duration) (*Network, e
 	return net, nil
 }
 
+// AssignShards partitions the topology into k customer-cone shards
+// (topology.PartitionCones) and stamps every border node with its
+// shard, preparing the network for a parallel engine install
+// (parsim.New). Call it after BuildNetwork and before installing the
+// engine; it returns the partition so later node creation (controller
+// and data-plane nodes) can inherit AS shard affinity.
+func (n *Network) AssignShards(k int) map[topology.ASN]int {
+	shard := n.Topo.PartitionCones(k)
+	for asn, s := range shard {
+		n.Speakers[asn].Node().SetShard(s)
+	}
+	return shard
+}
+
 // OriginateAll makes every AS originate all of its prefixes.
 func (n *Network) OriginateAll() {
 	for _, asn := range n.Topo.ASNs() {

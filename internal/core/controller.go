@@ -46,6 +46,18 @@ func (d *Directory) Register(e *DirEntry) error {
 // Lookup returns the entry for name, or nil.
 func (d *Directory) Lookup(name string) *DirEntry { return d.entries[name] }
 
+// Entries returns all registered controllers sorted by name, so
+// callers iterating the mesh (e.g. the sharded-deploy preconnect) do
+// so in a deterministic order.
+func (d *Directory) Entries() []*DirEntry {
+	out := make([]*DirEntry, 0, len(d.entries))
+	for _, e := range d.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // PeerStatus tracks the lifecycle of a DISCS peering (§IV, steps 1-3).
 type PeerStatus int
 
@@ -523,8 +535,10 @@ func (c *Controller) Peers() []topology.ASN {
 }
 
 // now converts the simulated clock to the wall-clock domain used by
-// the data-plane tables.
-func (c *Controller) now() time.Time { return time.Unix(0, 0).UTC().Add(c.sim.Now()) }
+// the data-plane tables. It reads the node clock, not the global
+// simulator clock: under a sharded backend the two can differ by up to
+// one lookahead window while an event executes.
+func (c *Controller) now() time.Time { return time.Unix(0, 0).UTC().Add(c.node.Now()) }
 
 // after arms a node-scoped timer: crashing the controller kills it, as
 // a real process crash would. All controller timers go through this
@@ -624,6 +638,8 @@ func (c *Controller) sendPeeringRequest(p *peerState) {
 
 // linkTo finds or creates the on-demand link to a peer controller
 // node; it stands in for the routed Internet path between controllers.
+// Under a sharded backend the mesh is preconnected at Deploy time
+// (System.Deploy), so the lazy Connect below only runs serially.
 func (c *Controller) linkTo(node *netsim.Node) *netsim.Link {
 	for _, l := range c.node.Links() {
 		if l.Neighbor(c.node) == node {
@@ -1004,7 +1020,7 @@ func (c *Controller) handleMsg(p *peerState, m *ControlMsg) {
 // --- liveness (heartbeats, dead-peer detection, recovery) -----------------
 
 func (c *Controller) markAlive(p *peerState) {
-	p.lastSeen = c.sim.Now()
+	p.lastSeen = c.node.Now() // node clock: exact under sharded backends
 	p.missed = 0
 }
 
@@ -1025,7 +1041,7 @@ func (c *Controller) heartbeatTick(p *peerState) {
 		p.hbArmed = false
 		return
 	}
-	if c.sim.Now()-p.lastSeen >= c.cfg.HeartbeatInterval {
+	if c.node.Now()-p.lastSeen >= c.cfg.HeartbeatInterval {
 		p.missed++
 		c.m.heartbeatMisses.Inc()
 		c.trace.Emit(obs.Event{Kind: obs.EvHeartbeatMiss, AS: uint32(c.AS), Peer: uint32(p.asn)})

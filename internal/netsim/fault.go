@@ -77,12 +77,23 @@ func (s *Simulator) SetDefaultLinkFaults(f LinkFaults) {
 
 // SeedFaults seeds the fault RNG. Call it before the first faulted
 // send for a reproducible failure schedule; without it the RNG uses a
-// fixed default seed (still deterministic, just not chosen).
+// fixed default seed (still deterministic, just not chosen). Under a
+// sharded backend each shard owns an independent stream derived from
+// this seed, drawn in that shard's event order — deterministic given
+// the seed and the partition (but a different schedule than serial).
 func (s *Simulator) SeedFaults(seed int64) {
 	s.frng = rand.New(rand.NewSource(seed))
+	if s.backend != nil {
+		s.backend.SeedFaults(seed)
+	}
 }
 
-func (s *Simulator) faultRNG() *rand.Rand {
+// faultRNGCtx returns the fault RNG stream for node n's execution
+// context (the serial stream when no backend is installed).
+func (s *Simulator) faultRNGCtx(n *Node) *rand.Rand {
+	if s.backend != nil {
+		return s.backend.FaultRNG(n)
+	}
 	if s.frng == nil {
 		s.frng = rand.New(rand.NewSource(1))
 	}

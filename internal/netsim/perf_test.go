@@ -1,0 +1,194 @@
+// Event-path performance and determinism regression tests: the event
+// free-list must keep the schedule→execute cycle allocation-free at
+// steady state, a stopped ticker must leave no residue in the queue,
+// and serial execution must be a reproducible total order (the oracle
+// the parsim differential tests build on).
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"discs/internal/obs"
+)
+
+// TestEventPathZeroAlloc pins the free-list: after warm-up, scheduling
+// and executing an event reuses pooled event structs and the heap's
+// backing array — zero allocations per cycle.
+func TestEventPathZeroAlloc(t *testing.T) {
+	s := New()
+	fn := func() {}
+	// Warm the pool and the heap slice.
+	for i := 0; i < 64; i++ {
+		if _, err := s.Schedule(s.Now()+1, fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := s.Schedule(s.Now()+1, fn); err != nil {
+			t.Fatal(err)
+		}
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+execute allocates %.1f/op at steady state, want 0", allocs)
+	}
+}
+
+// TestTimerStopRecycleZeroAlloc covers the arm→stop cycle (retry
+// timers re-arm constantly): lazily-cancelled events must be recycled
+// through the pool, not leaked to the allocator.
+func TestTimerStopRecycleZeroAlloc(t *testing.T) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		tm, err := s.Schedule(s.Now()+1, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm.Stop()
+	}
+	for s.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm, _ := s.Schedule(s.Now()+1, fn)
+		tm.Stop()
+		tm, _ = s.Schedule(s.Now()+1, fn)
+		_ = tm
+		s.Step() // pops the dead event, executes the live one
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("arm+stop+execute allocates %.1f/op at steady state, want 0", allocs)
+	}
+}
+
+// BenchmarkEventPath reports the steady-state cost of one
+// schedule→execute cycle (run with -benchmem to see 0 allocs/op).
+func BenchmarkEventPath(b *testing.B) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		s.Schedule(s.Now()+1, fn)
+	}
+	for s.Step() {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(s.Now()+1, fn)
+		s.Step()
+	}
+}
+
+// TestTickerStopQueueDepthEager: stopping a ticker must remove its
+// pending event from the heap immediately — visible as MetricQueueDepth
+// dropping to zero at the Stop call, not at the event's would-be fire
+// time.
+func TestTickerStopQueueDepthEager(t *testing.T) {
+	s := New()
+	ticks := 0
+	tk := s.EveryBackground(time.Millisecond, func() { ticks++ })
+	s.Run(2500 * time.Microsecond)
+	if ticks != 2 {
+		t.Fatalf("ticks = %d, want 2", ticks)
+	}
+	if got := s.Stats().GetGauge(MetricQueueDepth); got != 1 {
+		t.Fatalf("queue depth before Stop = %d, want 1 (the armed tick)", got)
+	}
+	tk.Stop()
+	if got := s.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen after Stop = %d, want 0", got)
+	}
+	if got := s.Stats().GetGauge(MetricQueueDepth); got != 0 {
+		t.Fatalf("queue depth after Stop = %d, want 0 (eager cancel)", got)
+	}
+}
+
+// buildDeterminismRun drives one serial simulation mixing everything
+// that could perturb ordering — duplicate timestamps across nodes,
+// background cascades, fault-injected links (loss, dup, jitter), a
+// link flap — and returns the execution trace.
+func buildDeterminismRun(t *testing.T) []obs.Event {
+	t.Helper()
+	s := New()
+	s.Registry().SetTraceCapacity(1 << 15)
+	tr := s.Registry().Tracer()
+	s.SetExecTrace(tr)
+
+	const n = 8
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nd, err := s.AddNode(fmt.Sprintf("n%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	var links []*Link
+	for i := range nodes {
+		for j := i + 1; j < n; j += 2 {
+			l, err := s.Connect(nodes[i], nodes[j], time.Millisecond*Time(1+(i+j)%3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			l.SetFaults(LinkFaults{Loss: 0.1, Dup: 0.1, JitterMax: 200 * time.Microsecond})
+			links = append(links, l)
+		}
+	}
+	s.SeedFaults(11)
+	for i := range nodes {
+		nd := nodes[i]
+		nd.SetHandler(HandlerFunc(func(from *Node, l *Link, msg Message) {
+			if msg.Size() > 1 {
+				for _, nl := range nd.Links() {
+					nl.Send(nd, Bytes(make([]byte, msg.Size()-1)))
+				}
+			}
+		}))
+		// Duplicate-timestamp timers on every node.
+		for k := 0; k < 2; k++ {
+			nd.After(2*time.Millisecond, func() {})
+		}
+		// Background cascade.
+		nd.AfterBackground(4*time.Millisecond, func() {
+			for _, nl := range nd.Links() {
+				nl.Send(nd, Bytes{7})
+			}
+		})
+	}
+	if err := s.ScheduleFlap(links[0], 3*time.Millisecond, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for i := range nodes {
+		nodes[i].SendTo(nodes[(i+1)%n], Bytes(make([]byte, 3)))
+	}
+	if _, err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(s.Now() + 10*time.Millisecond)
+	return append([]obs.Event(nil), tr.Events()...)
+}
+
+// TestSerialDeterminismTrace is the determinism property test: two
+// identical serial runs execute the exact same event sequence. This is
+// the oracle the parsim differential tests
+// (internal/parsim.TestDeterminismAcrossWorkers) reuse.
+func TestSerialDeterminismTrace(t *testing.T) {
+	a := buildDeterminismRun(t)
+	b := buildDeterminismRun(t)
+	if len(a) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,941 @@
+// Package parsim executes a netsim event graph across worker
+// goroutines under conservative (lookahead-window) synchronization,
+// while producing results bit-identical to running the same engine
+// with one worker.
+//
+// # Model
+//
+// Nodes are partitioned into a fixed number of logical shards (set at
+// construction, independent of the worker count — see
+// topology.PartitionCones for the topology-aware assignment). Each
+// shard is a lane: it owns an event heap, a clock, a fault-RNG stream
+// and an event-creation counter. A sixteenth-plus-one lane — the
+// global lane — holds driver-scheduled events (flap/partition
+// schedules, interval recorders, grace timers); it executes on the
+// coordinator goroutine with every shard parked, so global events can
+// safely touch cross-shard state (link status, registry snapshots).
+//
+// Simulation advances in epochs. Let tS be the earliest pending shard
+// event and tG the earliest pending global event. If tG <= tS the
+// coordinator runs the global event. Otherwise all lanes execute their
+// events with timestamp strictly below
+//
+//	windowEnd = min(tS + lookahead, tG, deadline+1)
+//
+// in parallel, where lookahead is the minimum delay of any link whose
+// endpoints live in different shards. A message sent at time t over a
+// cross-shard link arrives no earlier than t + lookahead >= windowEnd,
+// so cross-shard deliveries are buffered in per-(src,dst) SPSC queues
+// during the epoch and merged into the destination heaps at the next
+// barrier — always before the destination's clock reaches them.
+//
+// # Determinism
+//
+// Every event carries the key (at, origin, originSeq): origin is the
+// lane that created it (global = -1, ordered first) and originSeq that
+// lane's monotonic creation counter. Lane heaps order by this key, so
+// each lane executes a deterministic sequence, which makes its
+// creation counter — and therefore every key it assigns —
+// deterministic by induction. Crucially the key is fixed at creation,
+// not at delivery, so the total order does not depend on the epoch
+// window structure or on which worker ran which lane: runs with 1 and
+// N workers are bit-identical. Per-lane fault RNG streams are seeded
+// from the fault seed and the lane id and drawn in lane-execution
+// order, so injected faults are equally reproducible (though they
+// differ from the serial Simulator's single-stream schedule — see
+// DESIGN.md §11).
+//
+// # Serial fallback
+//
+// If any cross-shard link has zero delay there is no usable lookahead;
+// the engine then executes the merged key order one event at a time on
+// the coordinator. Because the key order is window-independent this
+// produces the same results a parallel run would, just without the
+// parallelism. workers <= 1 keeps the epoch structure and simply runs
+// the lanes inline.
+package parsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"discs/internal/netsim"
+	"discs/internal/obs"
+)
+
+// DefaultShards is the default number of logical shards. It is part of
+// the deterministic inputs of a run: changing it changes event
+// interleavings (changing Workers does not).
+const DefaultShards = 16
+
+// Metric names published by the engine. Everything under "parsim." is
+// diagnostic: epoch and per-shard counts are deterministic, stall and
+// per-worker attribution are wall-clock/scheduling dependent — so
+// differential tests compare snapshots with the whole parsim.*
+// namespace stripped.
+const (
+	MetricEpochs  = "parsim.epochs"
+	MetricStallNS = "parsim.stall_ns"
+)
+
+// MetricWorkerEvents names the executed-event counter for one worker.
+func MetricWorkerEvents(w int) string { return fmt.Sprintf("parsim.worker%d.events", w) }
+
+// MetricShardEvents names the executed-event counter for one shard.
+func MetricShardEvents(s int) string { return fmt.Sprintf("parsim.shard%d.events", s) }
+
+const (
+	maxTime = netsim.Time(math.MaxInt64)
+	// defaultStride bounds epoch windows when no cross-shard links
+	// exist (lanes fully independent, any window is safe) so that
+	// self-re-arming background events cannot spin a lane forever.
+	defaultStride = 100 * time.Millisecond
+	// eventCap mirrors the serial RunAll livelock guard.
+	eventCap = 50_000_000
+)
+
+// pevent is a pooled scheduled callback. Its identity for ordering is
+// (at, origin, oseq), assigned at creation and never dependent on the
+// epoch structure.
+type pevent struct {
+	at     netsim.Time
+	origin int32  // creating lane: -1 global, 0..S-1 shards
+	oseq   uint64 // creating lane's counter at creation
+	gen    uint64 // pooled-reuse generation (Timer guard)
+	idx    int32  // heap position; -1 popped/free, -2 in a cross buffer
+	bg     bool
+	fn     func()
+	lane   *lane // destination lane (owner of the queue slot)
+}
+
+const (
+	idxFree     = -1
+	idxBuffered = -2
+)
+
+// pqueue is a min-heap of pevents ordered by the creation key.
+type pqueue []*pevent
+
+func (q pqueue) Len() int { return len(q) }
+func (q pqueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.origin != b.origin {
+		return a.origin < b.origin
+	}
+	return a.oseq < b.oseq
+}
+func (q pqueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = int32(i)
+	q[j].idx = int32(j)
+}
+func (q *pqueue) Push(x any) {
+	e := x.(*pevent)
+	e.idx = int32(len(*q))
+	*q = append(*q, e)
+}
+func (q *pqueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = idxFree
+	*q = old[:n-1]
+	return e
+}
+
+// lane is one shard's event state (or the global lane, id -1). During
+// an epoch a lane is touched by exactly one worker; between epochs
+// only the coordinator touches it.
+type lane struct {
+	id    int32
+	now   netsim.Time
+	ctr   uint64 // creation counter, source of oseq
+	queue pqueue
+	free  []*pevent
+	fg    int // queued foreground events
+	dead  int // lazily-cancelled events still in queue
+	// fgMax is the latest timestamp any foreground event was ever
+	// scheduled at on this lane (monotone; cancellations do not lower
+	// it). RunAll clamps epoch windows to the maximum across lanes so
+	// background events far beyond the last foreground event do not
+	// run — mirroring the serial RunAll's stop-at-quiescence.
+	fgMax netsim.Time
+	inBG  bool
+	rng   *rand.Rand
+	// executed counts events run on this lane (deterministic).
+	executed uint64
+	err      error
+}
+
+func (ln *lane) alloc() *pevent {
+	if n := len(ln.free); n > 0 {
+		e := ln.free[n-1]
+		ln.free[n-1] = nil
+		ln.free = ln.free[:n-1]
+		return e
+	}
+	return &pevent{idx: idxFree}
+}
+
+func (ln *lane) recycle(e *pevent) {
+	e.gen++
+	e.fn = nil
+	e.idx = idxFree
+	ln.free = append(ln.free, e)
+}
+
+// head returns the timestamp of the earliest live event, discarding
+// lazily-cancelled ones that surfaced. Coordinator-only.
+func (ln *lane) head() (netsim.Time, bool) {
+	for ln.queue.Len() > 0 {
+		e := ln.queue[0]
+		if e.fn != nil {
+			return e.at, true
+		}
+		heap.Pop(&ln.queue)
+		ln.dead--
+		ln.recycle(e)
+	}
+	return 0, false
+}
+
+// compact rebuilds the heap without dead events once they outnumber
+// the live half (same policy as the serial Simulator).
+func (ln *lane) compact() {
+	if ln.dead <= len(ln.queue)/2 || len(ln.queue) < 64 {
+		return
+	}
+	live := ln.queue[:0]
+	for _, e := range ln.queue {
+		if e.fn == nil {
+			ln.recycle(e)
+			continue
+		}
+		live = append(live, e)
+	}
+	for i := len(live); i < len(ln.queue); i++ {
+		ln.queue[i] = nil
+	}
+	ln.queue = live
+	ln.dead = 0
+	heap.Init(&ln.queue)
+}
+
+// runWindow executes the lane's events with at < end in key order,
+// stopping after maxEvents. It returns the number executed. Called by
+// the lane's current executor (a worker mid-epoch, or the coordinator).
+func (ln *lane) runWindow(e *Engine, end netsim.Time, maxEvents int) int {
+	ln.compact()
+	executed := 0
+	trace := e.trace
+	for ln.queue.Len() > 0 {
+		ev := ln.queue[0]
+		if ev.fn == nil {
+			heap.Pop(&ln.queue)
+			ln.dead--
+			ln.recycle(ev)
+			continue
+		}
+		if ev.at >= end {
+			break
+		}
+		if executed >= maxEvents {
+			if maxEvents >= eventCap {
+				ln.err = fmt.Errorf("parsim: lane %d exceeded %d events in one window (livelock?)", ln.id, maxEvents)
+			}
+			break
+		}
+		heap.Pop(&ln.queue)
+		fn := ev.fn
+		if !ev.bg {
+			ln.fg--
+		}
+		ln.now = ev.at
+		bg := ev.bg
+		if trace != nil {
+			trace.Emit(obs.Event{
+				Kind:   netsim.TraceEventKind,
+				At:     int64(ev.at),
+				AS:     uint32(ev.origin + 1),
+				Serial: ev.oseq,
+			})
+		}
+		// Recycle before running: fn may schedule onto this lane and
+		// legitimately reuse the slot under a fresh generation.
+		ln.recycle(ev)
+		ln.inBG = bg
+		fn()
+		ln.inBG = false
+		executed++
+	}
+	ln.executed += uint64(executed)
+	if executed > 0 {
+		e.events.Add(uint64(executed))
+	}
+	return executed
+}
+
+// xbuf carries events created by one source lane for one destination
+// lane during an epoch. Only the source's worker appends; only the
+// coordinator drains, after the barrier.
+type xbuf struct {
+	msgs []*pevent
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Shards is the number of logical shards (default DefaultShards).
+	// Part of the deterministic inputs: two runs must use the same
+	// value to be comparable.
+	Shards int
+	// Workers is the number of worker goroutines (default
+	// GOMAXPROCS). Never affects results, only wall-clock speed.
+	Workers int
+}
+
+// Engine is a conservative parallel event core. Create one with New —
+// which installs it as the simulator's Backend — after the nodes that
+// exist so far have their shards assigned, and before any events are
+// scheduled.
+type Engine struct {
+	sim     *netsim.Simulator
+	shards  int
+	workers int
+	// lookahead is the minimum cross-shard link delay; <0 means no
+	// cross-shard links seen yet (unbounded windows, clamped by
+	// defaultStride). merged flips on a zero-delay cross-shard link.
+	lookahead netsim.Time
+	merged    bool
+	global    *lane
+	lanes     []*lane
+	cross     [][]xbuf // [src][dst]
+
+	// Epoch machinery. inEpoch is written by the coordinator strictly
+	// before releasing / after collecting workers (the work/done
+	// channels provide the happens-before edges).
+	inEpoch   bool
+	windowEnd netsim.Time
+	cursor    atomic.Int64
+	work      chan struct{}
+	done      chan struct{}
+	epochBusy []time.Duration // per-worker busy time in the last epoch
+	closed    bool
+
+	// Metrics (registered on the simulator's registry).
+	events       *obs.Counter // netsim.events
+	queueDepth   *obs.Gauge   // netsim.queue_depth
+	epochs       *obs.Counter
+	stall        *obs.Counter
+	workerEvents []*obs.Counter
+	shardEvents  []*obs.Counter
+	shardPub     []uint64 // last published per-shard executed counts
+	trace        *obs.Tracer
+}
+
+var _ netsim.Backend = (*Engine)(nil)
+var _ netsim.Canceller = (*Engine)(nil)
+
+// New builds an engine over sim and installs it as sim's Backend.
+// Shard assignments (Node.SetShard) for already-created nodes must be
+// final: the cross-shard lookahead is derived from them and from the
+// links present now (links added later feed in via Connected).
+func New(sim *netsim.Simulator, opts Options) (*Engine, error) {
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	e := &Engine{
+		sim:       sim,
+		shards:    shards,
+		workers:   workers,
+		lookahead: -1,
+		global:    &lane{id: -1, rng: laneRNG(1, -1)},
+		lanes:     make([]*lane, shards),
+		cross:     make([][]xbuf, shards),
+		epochBusy: make([]time.Duration, workers),
+	}
+	for i := range e.lanes {
+		e.lanes[i] = &lane{id: int32(i), rng: laneRNG(1, int32(i))}
+		e.cross[i] = make([]xbuf, shards)
+	}
+	reg := sim.Registry()
+	e.events = reg.Counter(netsim.MetricEvents)
+	e.queueDepth = reg.Gauge(netsim.MetricQueueDepth)
+	e.epochs = reg.Counter(MetricEpochs)
+	e.stall = reg.Counter(MetricStallNS)
+	e.workerEvents = make([]*obs.Counter, workers)
+	for i := range e.workerEvents {
+		e.workerEvents[i] = reg.Counter(MetricWorkerEvents(i))
+	}
+	e.shardEvents = make([]*obs.Counter, shards)
+	e.shardPub = make([]uint64, shards)
+	for i := range e.shardEvents {
+		e.shardEvents[i] = reg.Counter(MetricShardEvents(i))
+	}
+	for _, l := range sim.Links() {
+		e.Connected(l)
+	}
+	if workers > 1 {
+		e.work = make(chan struct{}, workers)
+		e.done = make(chan struct{}, workers)
+		for w := 0; w < workers; w++ {
+			go e.worker(w, e.work)
+		}
+	}
+	sim.SetBackend(e)
+	return e, nil
+}
+
+// laneRNG derives the per-lane fault stream from the base seed via a
+// splitmix64 step, so neighbouring lane seeds are decorrelated.
+func laneRNG(seed int64, id int32) *rand.Rand {
+	z := uint64(seed) + uint64(id+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+}
+
+// Workers returns the number of worker goroutines.
+func (e *Engine) Workers() int { return e.workers }
+
+// Shards returns the number of logical shards.
+func (e *Engine) Shards() int { return e.shards }
+
+// Merged reports whether the engine fell back to merged serial
+// execution (a zero-delay cross-shard link exists).
+func (e *Engine) Merged() bool { return e.merged }
+
+// Lookahead returns the current cross-shard lookahead bound (negative
+// when no cross-shard links exist).
+func (e *Engine) Lookahead() netsim.Time { return e.lookahead }
+
+// Close stops the worker goroutines. The engine must be parked (no
+// Run/RunAll in progress). Further Run calls fall back to inline lane
+// execution; results are unchanged.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.work != nil {
+		close(e.work)
+		e.work = nil
+		e.workers = 1
+	}
+}
+
+func (e *Engine) laneFor(n *netsim.Node) *lane {
+	if n == nil {
+		return e.global
+	}
+	s := n.Shard()
+	if s < 0 || s >= e.shards {
+		s = ((s % e.shards) + e.shards) % e.shards
+	}
+	return e.lanes[s]
+}
+
+// --- netsim.Backend ---
+
+// Now returns the clock of ctx's lane (the driver clock for nil).
+func (e *Engine) Now(ctx *netsim.Node) netsim.Time { return e.laneFor(ctx).now }
+
+// InBackground reports whether ctx's lane is executing a background
+// event.
+func (e *Engine) InBackground(ctx *netsim.Node) bool { return e.laneFor(ctx).inBG }
+
+// FaultRNG returns ctx's lane-local fault stream.
+func (e *Engine) FaultRNG(ctx *netsim.Node) *rand.Rand { return e.laneFor(ctx).rng }
+
+// SeedFaults reseeds every lane's fault stream from seed.
+func (e *Engine) SeedFaults(seed int64) {
+	e.global.rng = laneRNG(seed, -1)
+	for _, ln := range e.lanes {
+		ln.rng = laneRNG(seed, ln.id)
+	}
+}
+
+// Schedule arms fn at the absolute time at, on behalf of src (nil =
+// driver), for dst (nil = driver-level housekeeping: the global lane
+// when scheduled by the driver, src's own lane when scheduled from a
+// node's event).
+func (e *Engine) Schedule(src, dst *netsim.Node, at netsim.Time, fn func(), background bool) (netsim.Timer, error) {
+	srcLane := e.laneFor(src)
+	var dstLane *lane
+	switch {
+	case dst != nil:
+		dstLane = e.laneFor(dst)
+	case src != nil:
+		// A node-context schedule with no destination stays on its own
+		// lane: running the closure there preserves the lane's event
+		// order and needs no cross-lane coordination.
+		dstLane = srcLane
+	default:
+		dstLane = e.global
+	}
+	if e.inEpoch {
+		if src == nil {
+			panic("parsim: driver-context Schedule while an epoch is executing")
+		}
+		if at < srcLane.now {
+			return netsim.Timer{}, fmt.Errorf("parsim: schedule at %v before now %v", at, srcLane.now)
+		}
+		ev := srcLane.alloc()
+		ev.at, ev.origin, ev.oseq, ev.bg, ev.fn, ev.lane = at, srcLane.id, srcLane.ctr, background, fn, dstLane
+		srcLane.ctr++
+		if dstLane == srcLane {
+			heap.Push(&srcLane.queue, ev)
+			if !background {
+				srcLane.fg++
+				srcLane.fgMax = maxT(srcLane.fgMax, at)
+			}
+		} else {
+			// Cross-shard: buffer for the barrier merge. The key was
+			// assigned above, so merge timing cannot affect ordering.
+			// (Its fg count and fgMax reach the destination at drain.)
+			ev.idx = idxBuffered
+			e.cross[srcLane.id][dstLane.id].msgs = append(e.cross[srcLane.id][dstLane.id].msgs, ev)
+		}
+		return netsim.NewBackendTimer(e, ev, ev.gen), nil
+	}
+	// Parked: the coordinator (or driver) owns every lane; push
+	// directly. The creation key comes from the destination lane.
+	if at < dstLane.now {
+		return netsim.Timer{}, fmt.Errorf("parsim: schedule at %v before now %v", at, dstLane.now)
+	}
+	ev := dstLane.alloc()
+	ev.at, ev.origin, ev.oseq, ev.bg, ev.fn, ev.lane = at, dstLane.id, dstLane.ctr, background, fn, dstLane
+	dstLane.ctr++
+	heap.Push(&dstLane.queue, ev)
+	if !background {
+		dstLane.fg++
+		dstLane.fgMax = maxT(dstLane.fgMax, at)
+	}
+	return netsim.NewBackendTimer(e, ev, ev.gen), nil
+}
+
+// CancelEvent implements netsim.Canceller. It must run from the
+// destination lane's execution context (or parked), which is the
+// documented Timer.Stop contract.
+func (e *Engine) CancelEvent(h any, gen uint64, eager bool) bool {
+	ev := h.(*pevent)
+	if ev.gen != gen || ev.fn == nil {
+		return false
+	}
+	ln := ev.lane
+	if ev.idx == idxBuffered {
+		// Still in a cross buffer: never counted in the destination's
+		// fg, so just mark it; the drain discards it.
+		ev.fn = nil
+		return true
+	}
+	if !ev.bg {
+		ln.fg--
+	}
+	if eager && ev.idx >= 0 {
+		heap.Remove(&ln.queue, int(ev.idx))
+		ln.recycle(ev)
+		return true
+	}
+	ev.fn = nil
+	ln.dead++
+	return true
+}
+
+// Reserved pre-sizes per-lane queues for a known topology.
+func (e *Engine) Reserved(nodes, links int) {
+	per := (nodes + links) / e.shards
+	for _, ln := range e.lanes {
+		if cap(ln.queue) < per {
+			grown := make(pqueue, len(ln.queue), per)
+			copy(grown, ln.queue)
+			ln.queue = grown
+		}
+	}
+}
+
+// Connected refreshes the lookahead bound with a new link. A
+// zero-delay cross-shard link forces merged (serial) execution.
+func (e *Engine) Connected(l *netsim.Link) {
+	a, b := l.Endpoints()
+	if e.laneFor(a) == e.laneFor(b) {
+		return
+	}
+	if e.lookahead < 0 || l.Delay < e.lookahead {
+		e.lookahead = l.Delay
+	}
+	if l.Delay <= 0 {
+		e.merged = true
+	}
+}
+
+// QueueLen returns pending events across all lanes (driver-only).
+func (e *Engine) QueueLen() int {
+	n := e.global.queue.Len()
+	for _, ln := range e.lanes {
+		n += ln.queue.Len()
+	}
+	return n
+}
+
+// Step executes the single earliest pending event in merged key order
+// on the coordinator. Because the order is window-independent, mixing
+// Step with Run/RunAll cannot change results.
+func (e *Engine) Step() bool {
+	e.trace = e.sim.ExecTrace()
+	ln := e.minLane()
+	if ln == nil {
+		return false
+	}
+	at, _ := ln.head()
+	if ln != e.global {
+		// Epoch semantics for shard events, so keys match Run/RunAll.
+		e.inEpoch = true
+		ln.runWindow(e, at+1, 1)
+		e.inEpoch = false
+		e.drainCross()
+	} else {
+		ln.runWindow(e, at+1, 1)
+	}
+	e.publish()
+	return true
+}
+
+// minLane returns the lane holding the globally least (at, origin,
+// oseq) key, or nil when everything is drained.
+func (e *Engine) minLane() *lane {
+	var best *lane
+	var bestEv *pevent
+	consider := func(ln *lane) {
+		if _, ok := ln.head(); !ok {
+			return
+		}
+		ev := ln.queue[0]
+		if best == nil || less(ev, bestEv) {
+			best, bestEv = ln, ev
+		}
+	}
+	consider(e.global)
+	for _, ln := range e.lanes {
+		consider(ln)
+	}
+	return best
+}
+
+func less(a, b *pevent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.origin != b.origin {
+		return a.origin < b.origin
+	}
+	return a.oseq < b.oseq
+}
+
+// Run executes events (foreground and background) with at <= deadline,
+// then advances every clock to deadline, mirroring the serial
+// Simulator.Run.
+func (e *Engine) Run(deadline netsim.Time) int {
+	n, err := e.loop(deadline, false)
+	if err != nil {
+		panic(err)
+	}
+	e.global.now = maxT(e.global.now, deadline)
+	for _, ln := range e.lanes {
+		ln.now = maxT(ln.now, deadline)
+	}
+	e.publish()
+	return n
+}
+
+// RunAll executes events in key order until no foreground events
+// remain. Termination is checked at epoch barriers, so background
+// events within the final window may still run (bounded by the
+// lookahead; deterministic for a given scenario).
+func (e *Engine) RunAll() (int, error) {
+	n, err := e.loop(maxTime, true)
+	e.publish()
+	return n, err
+}
+
+func maxT(a, b netsim.Time) netsim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (e *Engine) totalFG() int {
+	n := e.global.fg
+	for _, ln := range e.lanes {
+		n += ln.fg
+	}
+	return n
+}
+
+// drainCross merges buffered cross-shard events into their destination
+// heaps. Coordinator-only, workers parked. Keys were assigned at
+// creation, so push order is irrelevant.
+func (e *Engine) drainCross() {
+	for s := range e.cross {
+		for d := range e.cross[s] {
+			buf := &e.cross[s][d]
+			if len(buf.msgs) == 0 {
+				continue
+			}
+			ln := e.lanes[d]
+			for i, ev := range buf.msgs {
+				buf.msgs[i] = nil
+				if ev.fn == nil {
+					// Cancelled while buffered.
+					ln.recycle(ev)
+					continue
+				}
+				heap.Push(&ln.queue, ev)
+				if !ev.bg {
+					ln.fg++
+					ln.fgMax = maxT(ln.fgMax, ev.at)
+				}
+			}
+			buf.msgs = buf.msgs[:0]
+		}
+	}
+}
+
+// loop is the shared coordinator loop behind Run and RunAll.
+func (e *Engine) loop(deadline netsim.Time, quiesce bool) (int, error) {
+	e.trace = e.sim.ExecTrace()
+	exDeadline := deadline
+	if exDeadline < maxTime {
+		exDeadline++ // events at exactly deadline execute
+	}
+	total := 0
+	for {
+		e.drainCross()
+		e.publish()
+		if quiesce && e.totalFG() == 0 {
+			return total, nil
+		}
+		tG, okG := e.global.head()
+		tS := maxTime
+		okS := false
+		for _, ln := range e.lanes {
+			if at, ok := ln.head(); ok {
+				okS = true
+				if at < tS {
+					tS = at
+				}
+			}
+		}
+		if !okG && !okS {
+			return total, nil
+		}
+		if !quiesce && (!okG || tG > deadline) && (!okS || tS > deadline) {
+			return total, nil
+		}
+		if okG && (!okS || tG <= tS) {
+			// Global events order before shard events at equal time
+			// (origin -1); run exactly one, then re-evaluate — it may
+			// have scheduled in any lane.
+			n := e.global.runWindow(e, tG+1, 1)
+			total += n
+			if e.global.err != nil {
+				return total, e.global.err
+			}
+			continue
+		}
+		// Shard epoch.
+		stride := e.lookahead
+		if stride <= 0 {
+			stride = defaultStride
+		}
+		windowEnd := tS + stride
+		if windowEnd < tS { // overflow
+			windowEnd = maxTime
+		}
+		if okG && tG < windowEnd {
+			windowEnd = tG
+		}
+		if exDeadline < windowEnd {
+			windowEnd = exDeadline
+		}
+		if quiesce {
+			// Stop-at-quiescence: never run background events beyond
+			// the latest foreground timestamp ever scheduled. fgMax is
+			// monotone, so this can only shrink the window — safe —
+			// and it is derived from deterministic per-lane state.
+			fgEnd := e.global.fgMax
+			for _, ln := range e.lanes {
+				fgEnd = maxT(fgEnd, ln.fgMax)
+			}
+			if fgEnd+1 < windowEnd {
+				windowEnd = fgEnd + 1
+			}
+		}
+		var n int
+		var err error
+		if e.merged {
+			n, err = e.runMergedWindow(windowEnd)
+		} else {
+			n, err = e.runEpoch(windowEnd)
+		}
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if total >= eventCap {
+			return total, errors.New("parsim: event cap exceeded (livelock?)")
+		}
+	}
+}
+
+// runEpoch executes one lookahead window across all lanes — in
+// parallel when workers are available, inline otherwise. Identical
+// results either way.
+func (e *Engine) runEpoch(windowEnd netsim.Time) (int, error) {
+	e.epochs.Inc()
+	n := 0
+	if e.workers <= 1 || e.work == nil {
+		// Inline execution still uses epoch semantics (inEpoch): event
+		// keys must come from the source lane and cross-shard events
+		// must go through the buffers, or the creation counters — and
+		// with them every tie-break — would differ from a worker run.
+		e.inEpoch = true
+		for _, ln := range e.lanes {
+			n += ln.runWindow(e, windowEnd, eventCap)
+		}
+		e.inEpoch = false
+		if len(e.workerEvents) > 0 {
+			e.workerEvents[0].Add(uint64(n))
+		}
+	} else {
+		e.windowEnd = windowEnd
+		e.cursor.Store(0)
+		e.inEpoch = true
+		start := time.Now()
+		for i := 0; i < e.workers; i++ {
+			e.work <- struct{}{}
+		}
+		for i := 0; i < e.workers; i++ {
+			<-e.done
+		}
+		e.inEpoch = false
+		wall := time.Since(start)
+		var stall time.Duration
+		for w := 0; w < e.workers; w++ {
+			if busy := e.epochBusy[w]; busy < wall {
+				stall += wall - busy
+			}
+		}
+		e.stall.Add(uint64(stall))
+		for _, ln := range e.lanes {
+			n += int(ln.executed - e.shardPub[ln.id])
+		}
+	}
+	for _, ln := range e.lanes {
+		if d := ln.executed - e.shardPub[ln.id]; d > 0 {
+			e.shardEvents[ln.id].Add(d)
+			e.shardPub[ln.id] = ln.executed
+		}
+		if ln.err != nil {
+			return n, ln.err
+		}
+	}
+	return n, nil
+}
+
+// runMergedWindow executes the window in fully merged key order on the
+// coordinator — the serial fallback for zero-lookahead topologies.
+func (e *Engine) runMergedWindow(windowEnd netsim.Time) (int, error) {
+	e.epochs.Inc()
+	n := 0
+	for {
+		var best *lane
+		var bestEv *pevent
+		for _, ln := range e.lanes {
+			if _, ok := ln.head(); !ok {
+				continue
+			}
+			if ev := ln.queue[0]; best == nil || less(ev, bestEv) {
+				best, bestEv = ln, ev
+			}
+		}
+		if best == nil || bestEv.at >= windowEnd {
+			break
+		}
+		e.inEpoch = true
+		n += best.runWindow(e, bestEv.at+1, 1)
+		e.inEpoch = false
+		// Zero-delay cross-shard events land in buffers even though
+		// nothing runs concurrently; fold them in immediately so they
+		// are visible as candidates.
+		e.drainCross()
+		if best.err != nil {
+			return n, best.err
+		}
+		if n >= eventCap {
+			return n, errors.New("parsim: event cap exceeded (livelock?)")
+		}
+	}
+	if len(e.workerEvents) > 0 {
+		e.workerEvents[0].Add(uint64(n))
+	}
+	for _, ln := range e.lanes {
+		if d := ln.executed - e.shardPub[ln.id]; d > 0 {
+			e.shardEvents[ln.id].Add(d)
+			e.shardPub[ln.id] = ln.executed
+		}
+	}
+	return n, nil
+}
+
+// worker is the body of one worker goroutine: per epoch, claim lanes
+// off the shared cursor and run their windows.
+func (e *Engine) worker(wid int, work <-chan struct{}) {
+	for range work {
+		start := time.Now()
+		n := 0
+		for {
+			i := int(e.cursor.Add(1)) - 1
+			if i >= e.shards {
+				break
+			}
+			n += e.lanes[i].runWindow(e, e.windowEnd, eventCap)
+		}
+		e.epochBusy[wid] = time.Since(start)
+		e.workerEvents[wid].Add(uint64(n))
+		e.done <- struct{}{}
+	}
+}
+
+// publish refreshes driver-visible derived state: the driver clock
+// (max of all lane clocks) and the queue-depth gauge. Coordinator-only,
+// called at deterministic points, so snapshots taken at global events
+// see deterministic values.
+func (e *Engine) publish() {
+	now := e.global.now
+	for _, ln := range e.lanes {
+		if ln.now > now {
+			now = ln.now
+		}
+	}
+	e.global.now = now
+	e.queueDepth.Set(int64(e.QueueLen()))
+}

@@ -83,8 +83,8 @@ func TestWireBasicsDelivery(t *testing.T) {
 	sys, dn := wireWorld(t)
 	dn.Inject(4, mkPkt("10.4.0.10", "10.3.0.1"))
 	sys.Settle()
-	if dn.Delivered != 1 {
-		t.Fatalf("delivered = %d", dn.Delivered)
+	if dn.Delivered() != 1 {
+		t.Fatalf("delivered = %d", dn.Delivered())
 	}
 	d := dn.Deliveries()[0]
 	// Two hops (4→1→3) at 1 ms each.
@@ -104,22 +104,22 @@ func TestWireIntraAS(t *testing.T) {
 	sys, dn := wireWorld(t)
 	dn.Inject(4, mkPkt("10.4.0.10", "10.4.0.99"))
 	sys.Settle()
-	if dn.Delivered != 1 {
-		t.Fatalf("intra-AS delivery = %d", dn.Delivered)
+	if dn.Delivered() != 1 {
+		t.Fatalf("intra-AS delivery = %d", dn.Delivered())
 	}
 }
 
 func TestWireUnroutableAndTTL(t *testing.T) {
 	sys, dn := wireWorld(t)
 	dn.Inject(4, mkPkt("10.4.0.10", "198.51.100.1"))
-	if dn.DroppedNet != 1 {
-		t.Fatalf("unroutable not counted: %d", dn.DroppedNet)
+	if dn.DroppedNet() != 1 {
+		t.Fatalf("unroutable not counted: %d", dn.DroppedNet())
 	}
 	p := mkPkt("10.4.0.10", "10.3.0.1")
 	p.TTL = 1
 	dn.Inject(4, p)
 	sys.Settle()
-	if dn.Delivered != 0 {
+	if dn.Delivered() != 0 {
 		t.Fatal("TTL=1 packet delivered across two hops")
 	}
 }
@@ -170,7 +170,7 @@ func TestWireBandwidthExhaustion(t *testing.T) {
 	if float64(legitB) > 0.7*legitN {
 		t.Fatalf("flood did not bite: legit %d/%d", legitB, legitN)
 	}
-	if dn.DroppedNet == 0 {
+	if dn.DroppedNet() == 0 {
 		t.Fatal("no congestion drops during flood")
 	}
 
@@ -194,8 +194,8 @@ func TestWireBandwidthExhaustion(t *testing.T) {
 	if legitC != legitN {
 		t.Fatalf("post-invocation legit delivered = %d/%d", legitC, legitN)
 	}
-	if dn.DroppedDISCS != floodN {
-		t.Fatalf("DISCS dropped %d, want the whole flood %d", dn.DroppedDISCS, floodN)
+	if dn.DroppedDISCS() != floodN {
+		t.Fatalf("DISCS dropped %d, want the whole flood %d", dn.DroppedDISCS(), floodN)
 	}
 	// Far-from-victim filtering: the flood never reached A's own uplink,
 	// so the intermediate A→P link carried nothing from it.
@@ -228,15 +228,15 @@ func TestWireVerificationAtVictim(t *testing.T) {
 	// Spoofed from legacy L claiming A's space: crosses to V, dies there.
 	dn.Inject(4, mkPkt("10.2.0.66", "10.3.0.1"))
 	sys.Settle()
-	if dn.Delivered != 0 || dn.DroppedDISCS != 1 {
-		t.Fatalf("delivered=%d droppedDISCS=%d", dn.Delivered, dn.DroppedDISCS)
+	if dn.Delivered() != 0 || dn.DroppedDISCS() != 1 {
+		t.Fatalf("delivered=%d droppedDISCS=%d", dn.Delivered(), dn.DroppedDISCS())
 	}
 	// Genuine traffic from the DAS peer A is stamped at A and verified
 	// at V over the wire.
 	dn.ResetCounters()
 	dn.Inject(2, mkPkt("10.2.0.10", "10.3.0.1"))
 	sys.Settle()
-	if dn.Delivered != 1 {
+	if dn.Delivered() != 1 {
 		t.Fatalf("genuine peer packet lost: %+v", dn)
 	}
 	if dn.Deliveries()[0].Pkt.Mark() == 0 {
@@ -299,7 +299,7 @@ func TestWirePeerLinksBuilt(t *testing.T) {
 	}
 	dn.Inject(1, mkPkt("10.1.0.1", "10.2.0.1"))
 	sys.Settle()
-	if dn.Delivered != 1 {
-		t.Fatalf("delivered = %d over peer link", dn.Delivered)
+	if dn.Delivered() != 1 {
+		t.Fatalf("delivered = %d over peer link", dn.Delivered())
 	}
 }

@@ -1,0 +1,213 @@
+// Paper-scale end-to-end benchmark: the full `-paper` scenario of
+// cmd/discs-sim (44 036-AS Internet, BGP convergence, 10-DAS
+// deployment, paced d-DDoS attack, invocation) timed under the
+// parallel engine at a given worker count. `make bench-paper` runs the
+// wall-clock regression gate against the committed BENCH_paper.json;
+// `make bench-paper-report` regenerates the file with a 1/2/4/8-worker
+// scaling sweep (see EXPERIMENTS.md for the committed table and the
+// hardware caveat — speedup requires cores).
+package discs_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"discs/internal/attack"
+	"discs/internal/bgp"
+	"discs/internal/core"
+	"discs/internal/obs"
+	"discs/internal/parsim"
+	"discs/internal/topology"
+)
+
+const (
+	paperBenchDAS     = 10
+	paperBenchFlows   = 200
+	paperBenchPerFlow = 10
+	paperBenchWaves   = 8
+)
+
+// paperWorkerRun is one scenario execution at a fixed worker count.
+type paperWorkerRun struct {
+	Workers   int     `json:"workers"`
+	TotalS    float64 `json:"total_s"`
+	ConvergeS float64 `json:"converge_s"`
+	DeployS   float64 `json:"deploy_s"`
+	AttackS   float64 `json:"attack_s"`
+	Epochs    uint64  `json:"epochs"`
+	StallS    float64 `json:"stall_s"`
+	SpeedupX  float64 `json:"speedup_vs_workers1"`
+}
+
+// paperBenchReport is the schema of BENCH_paper.json.
+type paperBenchReport struct {
+	GeneratedBy string           `json:"generated_by"`
+	CPUs        int              `json:"cpus"`
+	ASes        int              `json:"ases"`
+	DAS         int              `json:"das"`
+	Runs        []paperWorkerRun `json:"runs"`
+}
+
+// measurePaperRun executes the discs-sim `-paper` scenario in-process
+// with the given worker count (0 = legacy serial scheduler) and
+// returns phase timings plus the final metrics snapshot (the
+// paper-scale differential compares the latter across worker counts).
+// Every run is the same deterministic event sequence, so worker counts
+// are directly comparable.
+func measurePaperRun(t *testing.T, workers int) (paperWorkerRun, obs.Snapshot) {
+	t.Helper()
+	cfg := topology.DefaultGenConfig()
+	topo, err := topology.GenerateInternet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := bgp.BuildNetwork(topo, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	var eng *parsim.Engine
+	if workers > 0 {
+		net.AssignShards(parsim.DefaultShards)
+		eng, err = parsim.New(net.Sim, parsim.Options{Shards: parsim.DefaultShards, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+	}
+
+	deployers := topo.BySizeDesc()[:paperBenchDAS]
+	net.OriginateFirst(deployers...)
+	if err := net.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	convS := time.Since(start).Seconds()
+
+	start = time.Now()
+	sys := core.NewSystem(net, core.DefaultConfig())
+	for i, asn := range deployers {
+		if _, err := sys.Deploy(asn, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	victim := deployers[len(deployers)-1]
+	topo.WarmRoutes(deployers, 0)
+	deployS := time.Since(start).Seconds()
+
+	start = time.Now()
+	sampler := attack.NewSampler(topo)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	flows := make([]attack.Flow, paperBenchFlows)
+	for i := range flows {
+		flows[i] = sampler.DrawFlowForVictim(attack.DDDoS, victim, rng)
+	}
+	if _, err := attack.RunPaced(sys, flows, paperBenchPerFlow, cfg.Seed, paperBenchWaves, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	vc := sys.Controllers[victim]
+	if _, err := vc.Invoke(core.Invocation{
+		Prefixes: vc.OwnPrefixes(), Function: core.DP, Duration: 24 * time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := attack.RunPaced(sys, flows, paperBenchPerFlow, cfg.Seed+1, paperBenchWaves, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	attackS := time.Since(start).Seconds()
+
+	run := paperWorkerRun{
+		Workers:   workers,
+		TotalS:    convS + deployS + attackS,
+		ConvergeS: convS,
+		DeployS:   deployS,
+		AttackS:   attackS,
+	}
+	snap := sys.Stats()
+	if eng != nil {
+		run.Epochs = snap.Get(parsim.MetricEpochs)
+		run.StallS = time.Duration(snap.Get(parsim.MetricStallNS)).Seconds()
+	}
+	return run, snap
+}
+
+// TestPaperBudget is the regression gate `make bench-paper` (part of
+// `make check`) runs: the full paper scenario at -workers 1 must stay
+// within 10% of the committed BENCH_paper.json. Gated behind an
+// environment variable so plain `go test ./...` stays wall-clock
+// independent across machines.
+func TestPaperBudget(t *testing.T) {
+	if os.Getenv("DISCS_PAPER_BENCH") == "" {
+		t.Skip("set DISCS_PAPER_BENCH=1 (make bench-paper) to run the paper-scale scenario gate")
+	}
+	raw, err := os.ReadFile("BENCH_paper.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing (run make bench-paper-report): %v", err)
+	}
+	var base paperBenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("BENCH_paper.json: %v", err)
+	}
+	var base1 *paperWorkerRun
+	for i := range base.Runs {
+		if base.Runs[i].Workers == 1 {
+			base1 = &base.Runs[i]
+		}
+	}
+	if base1 == nil {
+		t.Fatal("BENCH_paper.json has no workers=1 entry")
+	}
+	run, _ := measurePaperRun(t, 1)
+	budget := base1.TotalS * 1.10
+	if run.TotalS > budget {
+		t.Fatalf("paper scenario at -workers 1 took %.2fs, budget %.2fs (committed %.2fs +10%%)",
+			run.TotalS, budget, base1.TotalS)
+	}
+	t.Logf("converge %.2fs + deploy %.2fs + attack %.2fs = %.2fs (budget %.2fs), %d epochs, stall %.2fs",
+		run.ConvergeS, run.DeployS, run.AttackS, run.TotalS, budget, run.Epochs, run.StallS)
+}
+
+// TestPaperReport regenerates BENCH_paper.json with a worker scaling
+// sweep (make bench-paper-report).
+func TestPaperReport(t *testing.T) {
+	if os.Getenv("DISCS_PAPER_REPORT") == "" {
+		t.Skip("set DISCS_PAPER_REPORT=1 (make bench-paper-report) to regenerate BENCH_paper.json")
+	}
+	rep := paperBenchReport{
+		GeneratedBy: "make bench-paper-report",
+		CPUs:        runtime.NumCPU(),
+		ASes:        topology.DefaultGenConfig().NumASes,
+		DAS:         paperBenchDAS,
+	}
+	var t1 float64
+	for _, w := range []int{1, 2, 4, 8} {
+		run, _ := measurePaperRun(t, w)
+		if w == 1 {
+			t1 = run.TotalS
+		}
+		if t1 > 0 {
+			run.SpeedupX = t1 / run.TotalS
+		}
+		rep.Runs = append(rep.Runs, run)
+		t.Logf("workers %d: %.2fs (%.2fx), %d epochs, stall %.2fs",
+			w, run.TotalS, run.SpeedupX, run.Epochs, run.StallS)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_paper.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("wrote BENCH_paper.json")
+}
