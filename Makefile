@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet vet-obs check bench bench-dataplane bench-obs bench-topo bench-topo-report bench-paper bench-paper-report diff-paper fuzz report figures cost sim examples cover clean
+.PHONY: all build test test-race vet vet-obs check bench bench-dataplane bench-obs bench-topo bench-topo-report bench-paper bench-paper-report bench-snapshot bench-snapshot-report diff-paper fuzz report figures cost sim examples cover clean
 
 all: build check
 
@@ -32,7 +32,7 @@ vet-obs:
 # The pre-merge gate: static analysis, the full suite under the race
 # detector (with shuffled test order to catch order-dependent tests),
 # and the paper-scale topology and end-to-end budgets.
-check: vet vet-obs test-race bench-topo bench-paper
+check: vet vet-obs test-race bench-topo bench-paper bench-snapshot
 
 # Per-figure/table reproduction benches (bench_test.go at the root).
 bench:
@@ -69,6 +69,17 @@ bench-paper:
 bench-paper-report:
 	DISCS_PAPER_REPORT=1 $(GO) test -run 'TestPaperReport' -count=1 -v -timeout 60m .
 
+# Paper-scale snapshot gate: checkpoint/restore wall-clock and image
+# size within 10% of the committed BENCH_snapshot.json, the restored
+# run bit-identical to straight-through at 1 and 4 workers under fault
+# injection, and a 3-cell warm-start sweep ≥3× faster than 3 cold runs.
+bench-snapshot:
+	DISCS_SNAPSHOT_BENCH=1 $(GO) test -run 'TestSnapshotBudget' -count=1 -v -timeout 30m .
+
+# Regenerate BENCH_snapshot.json.
+bench-snapshot-report:
+	DISCS_SNAPSHOT_REPORT=1 $(GO) test -run 'TestSnapshotReport' -count=1 -v -timeout 60m .
+
 # Paper-scale differential: the 44,036-AS scenario at -workers 1 vs 4
 # must produce byte-identical final metrics snapshots. (The mid-size
 # fault-injected differential runs unconditionally in make check.)
@@ -87,6 +98,7 @@ fuzz:
 	$(GO) test ./internal/flowexport/ -fuzz FuzzUnmarshal -fuzztime 15s
 	$(GO) test ./internal/securechan/ -fuzz FuzzOpen -fuzztime 15s
 	$(GO) test ./internal/securechan/ -fuzz FuzzHandshakeFrames -fuzztime 15s
+	$(GO) test ./internal/snapshot/ -fuzz FuzzRead -fuzztime 15s
 
 # Paper-vs-measured reproduction artifacts.
 report:

@@ -7,7 +7,6 @@
 package discs_test
 
 import (
-	"encoding/json"
 	"math/rand"
 	"net/netip"
 	"os"
@@ -16,6 +15,7 @@ import (
 	"time"
 
 	"discs/internal/attack"
+	"discs/internal/benchgate"
 	"discs/internal/bgp"
 	"discs/internal/core"
 	"discs/internal/cost"
@@ -388,14 +388,8 @@ type dataPlaneBaseline struct {
 // nothing, and the stamped path's allocations stay within the
 // committed baseline.
 func TestDataPlaneBudget(t *testing.T) {
-	raw, err := os.ReadFile("BENCH_baseline.json")
-	if err != nil {
-		t.Fatalf("committed baseline missing: %v", err)
-	}
 	var base dataPlaneBaseline
-	if err := json.Unmarshal(raw, &base); err != nil {
-		t.Fatalf("BENCH_baseline.json: %v", err)
-	}
+	benchgate.Load(t, "BENCH_baseline.json", "", &base)
 
 	now := time.Unix(0, 0).UTC().Add(time.Minute)
 	idle := idleRouter(t)
@@ -491,13 +485,7 @@ func TestDataPlaneReport(t *testing.T) {
 		Batch:         mk(batch),
 		Idle:          mk(idle),
 	}
-	out, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile("BENCH_dataplane.json", append(out, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	benchgate.Write(t, "BENCH_dataplane.json", report)
 	t.Logf("serial %.3f / parallel %.3f / batch %.3f Mpps, idle %.1f ns/op",
 		report.Serial.Mpps, report.Parallel.Mpps, report.Batch.Mpps, report.Idle.NsPerOp)
 }

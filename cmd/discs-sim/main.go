@@ -8,6 +8,13 @@
 // (internal/obs): the final registry snapshot, an interval time series
 // recorded on the simulated clock, and the control/data-plane event
 // trace. discs-report -metrics renders that file.
+//
+// Checkpoint/restore: -snapshot writes a crash-consistent image of
+// the deployed, settled world (internal/snapshot) and continues;
+// -restore boots from such an image — skipping generation,
+// convergence and deployment — and runs the attack phase after
+// journal-replay recovery. -sweep N forks N scenario cells from one
+// warm image, varying the attack seed per cell.
 package main
 
 import (
@@ -26,8 +33,18 @@ import (
 	"discs/internal/core"
 	"discs/internal/obs"
 	"discs/internal/parsim"
+	"discs/internal/snapshot"
 	"discs/internal/topology"
 )
+
+// scenario bundles the attack/invocation-phase knobs shared by a
+// straight-through run and restored cells.
+type scenario struct {
+	flows, perFlow, waves int
+	interval              time.Duration
+	invoke                string
+	seed                  int64
+}
 
 func main() {
 	cli.Init("discs-sim")
@@ -47,9 +64,24 @@ func main() {
 		interval = flag.Duration("interval", time.Second, "simulated-time spacing of interval snapshots and attack waves")
 		waves    = flag.Int("waves", 8, "attack waves per run (clock advances by -interval between waves)")
 		sample   = flag.Int("trace-sample", 64, "with -metrics, trace every Nth data-plane packet decision")
+
+		snapPath    = flag.String("snapshot", "", "after deployment settles, write a crash-consistent world snapshot to this path and continue")
+		restorePath = flag.String("restore", "", "boot from a world snapshot instead of generating/converging/deploying (topology, DAS set and seed come from the image)")
+		sweep       = flag.Int("sweep", 0, "with -restore: fork N scenario cells from the image, attack seed varying per cell")
 	)
 	flag.Parse()
 	seed := topoFlags.Seed
+
+	if *restorePath != "" {
+		runRestored(*restorePath, *workers, *sweep, scenario{
+			flows: *flows, perFlow: *perFlow, waves: *waves,
+			interval: *interval, invoke: *invoke, seed: seed,
+		})
+		return
+	}
+	if *sweep > 0 {
+		log.Fatal("-sweep requires -restore")
+	}
 
 	// Paper mode swaps in the full evaluation scale of §VI: the
 	// DefaultGenConfig synthetic Internet (2012 CAIDA snapshot scale)
@@ -155,11 +187,45 @@ func main() {
 	fmt.Printf("deployed DISCS on %d largest ASes; victim AS%d has %d peers\n",
 		*nDAS, victim, len(vc.Peers()))
 
+	// The deployed, settled, warmed world is the expensive part of a
+	// run; -snapshot persists it so later runs (and -sweep scenario
+	// fans) start here instead of at generation.
+	if *snapPath != "" {
+		start = time.Now()
+		if err := snapshot.WriteFile(*snapPath, &snapshot.World{Net: net, Eng: eng, Sys: sys}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote world snapshot: %s (%.2fs)\n", *snapPath, time.Since(start).Seconds())
+	}
+
+	runAttack(sys, eng, deployers, scenario{
+		flows: *flows, perFlow: *perFlow, waves: *waves,
+		interval: *interval, invoke: *invoke, seed: seed,
+	})
+
+	if *metrics != "" {
+		ex := obs.NewExport("discs-sim", sys.Registry(), rec, int64(*interval))
+		if err := ex.WriteFile(*metrics); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote observability export: %s (%d interval points, %d events, %d dropped)\n",
+			*metrics, len(ex.Points), len(ex.Events), ex.EventsDropped)
+	}
+}
+
+// runAttack executes the attack/invocation phase — the part of the
+// scenario after the world is deployed and settled, which is exactly
+// where a restored snapshot resumes.
+func runAttack(sys *core.System, eng *parsim.Engine, deployers []topology.ASN, sc scenario) {
+	topo := sys.Net.Topo
+	victim := deployers[len(deployers)-1]
+	vc := sys.Controllers[victim]
+
 	// Attack before invocation: everything gets through.
 	sampler := attack.NewSampler(topo)
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(sc.seed))
 	mkFlows := func(kind attack.Kind) []attack.Flow {
-		out := make([]attack.Flow, *flows)
+		out := make([]attack.Flow, sc.flows)
 		for i := range out {
 			out[i] = sampler.DrawFlowForVictim(kind, victim, rng)
 		}
@@ -167,7 +233,7 @@ func main() {
 	}
 	dFlows, sFlows := mkFlows(attack.DDDoS), mkFlows(attack.SDDoS)
 
-	before, err := attack.RunPaced(sys, dFlows, *perFlow, seed, *waves, *interval)
+	before, err := attack.RunPaced(sys, dFlows, sc.perFlow, sc.seed, sc.waves, sc.interval)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -179,7 +245,7 @@ func main() {
 	// -invoke overrides with explicit (v, f, duration) triples, where
 	// the prefix "all" expands to the victim's own prefixes.
 	var invs []core.Invocation
-	if *invoke == "" {
+	if sc.invoke == "" {
 		for _, f := range []core.Function{core.DP, core.CDP, core.SP, core.CSP} {
 			invs = append(invs, core.Invocation{
 				Prefixes: vc.OwnPrefixes(), Function: f, Duration: 24 * time.Hour,
@@ -187,7 +253,7 @@ func main() {
 		}
 	} else {
 		var err error
-		invs, err = core.ParseInvocations(strings.ReplaceAll(*invoke, "all:", "0.0.0.0/0:"))
+		invs, err = core.ParseInvocations(strings.ReplaceAll(sc.invoke, "all:", "0.0.0.0/0:"))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -237,13 +303,13 @@ func main() {
 		}
 	}
 
-	after, err := attack.RunPaced(sys, dFlows, *perFlow, seed+1, *waves, *interval)
+	after, err := attack.RunPaced(sys, dFlows, sc.perFlow, sc.seed+1, sc.waves, sc.interval)
 	if err != nil {
 		log.Fatal(err)
 	}
 	report("d-DDoS", after)
 
-	afterS, err := attack.RunPaced(sys, sFlows, *perFlow, seed+2, *waves, *interval)
+	afterS, err := attack.RunPaced(sys, sFlows, sc.perFlow, sc.seed+2, sc.waves, sc.interval)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -294,13 +360,53 @@ func main() {
 			fmt.Printf("  worker %d: %d events\n", w, snap.Get(parsim.MetricWorkerEvents(w)))
 		}
 	}
+}
 
-	if *metrics != "" {
-		ex := obs.NewExport("discs-sim", sys.Registry(), rec, int64(*interval))
-		if err := ex.WriteFile(*metrics); err != nil {
+// runRestored boots one or more scenario cells from a world snapshot:
+// decode the image once, then per cell restore a fresh world, re-drive
+// the crash-recovery journal replay, and run the attack phase with a
+// per-cell attack seed. Restore + replay is seconds where the cold
+// path (generate, converge, deploy) is tens of seconds at paper scale.
+func runRestored(path string, workers, sweep int, sc scenario) {
+	start := time.Now()
+	img, err := snapshot.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read world snapshot: %s (%.2fs)\n", path, time.Since(start).Seconds())
+
+	cells := sweep
+	if cells < 1 {
+		cells = 1
+	}
+	for cell := 0; cell < cells; cell++ {
+		start := time.Now()
+		world, err := snapshot.Restore(img, snapshot.Options{Workers: workers})
+		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nwrote observability export: %s (%d interval points, %d events, %d dropped)\n",
-			*metrics, len(ex.Points), len(ex.Events), ex.EventsDropped)
+		if world.Sys == nil {
+			log.Fatal("image has no deployed system; write one with -snapshot")
+		}
+		if err := world.Sys.RestartAll(); err != nil {
+			log.Fatal(err)
+		}
+		if err := world.Sys.Settle(); err != nil {
+			log.Fatal(err)
+		}
+		deployers := world.Sys.Deployed()
+		cellSc := sc
+		cellSc.seed += int64(cell)
+		if cells > 1 {
+			fmt.Printf("\n=== cell %d/%d (attack seed %d) ===\n", cell+1, cells, cellSc.seed)
+		}
+		fmt.Printf("restored %d ASes, %d DAS; recovery settled in %.2fs\n",
+			world.Net.Topo.NumASes(), len(deployers), time.Since(start).Seconds())
+
+		runAttack(world.Sys, world.Eng, deployers, cellSc)
+		if world.Eng != nil {
+			world.Eng.Close()
+		}
+		fmt.Printf("cell wall time %.2fs\n", time.Since(start).Seconds())
 	}
 }

@@ -1,0 +1,56 @@
+// Package benchgate is the shared helper behind the BENCH_*.json
+// budget gates: every gate loads a committed baseline, compares a
+// fresh measurement against it with a relative slack, and every
+// report target rewrites the baseline as indented JSON. The four
+// original gates (data-plane, paper, topology, obs) each carried a
+// private copy of this plumbing; they and any new gate share this one.
+package benchgate
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// Load reads the committed baseline at path into out. regen names the
+// make target that (re)creates the file, for the failure message;
+// pass "" for hand-committed baselines.
+func Load(tb testing.TB, path, regen string, out any) {
+	tb.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if regen != "" {
+			tb.Fatalf("committed baseline missing (run %s): %v", regen, err)
+		}
+		tb.Fatalf("committed baseline missing: %v", err)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		tb.Fatalf("%s: %v", path, err)
+	}
+}
+
+// Write commits report to path as indented JSON with a trailing
+// newline, the canonical BENCH_*.json form.
+func Write(tb testing.TB, path string, report any) {
+	tb.Helper()
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// Budget enforces got ≤ committed·(1+slack) and returns the computed
+// budget for logging. what should name the measurement with its unit,
+// e.g. "paper scenario at -workers 1 (s)".
+func Budget(tb testing.TB, what string, got, committed, slack float64) float64 {
+	tb.Helper()
+	budget := committed * (1 + slack)
+	if got > budget {
+		tb.Fatalf("%s: %.3f over budget %.3f (committed %.3f +%.0f%%)",
+			what, got, budget, committed, slack*100)
+	}
+	return budget
+}

@@ -139,7 +139,7 @@ type Speaker struct {
 	topo *topology.Topology
 
 	neighbors map[topology.ASN]*netsim.Node
-	byNode    map[*netsim.Node]topology.ASN           // reverse index for receive()
+	byNode    map[*netsim.Node]topology.ASN          // reverse index for receive()
 	rels      map[topology.ASN]topology.Relationship // our perspective of hop to neighbor
 
 	adjIn  map[netip.Prefix]map[topology.ASN]*Route

@@ -1,0 +1,198 @@
+// Checkpoint/restore seam. A speaker's routing state — Adj-RIBs-In,
+// Loc-RIB and the DISCS-Ad dedup set — is serialized as data and
+// injected back directly, with no UPDATE messages replayed: the whole
+// point of a post-convergence snapshot is to skip the convergence
+// event storm. Loc-RIB entries that are not locally originated are
+// stored as a reference (the advertising neighbor) into the Adj-RIB,
+// so restore re-establishes the same pointer identity decide() left
+// behind.
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"discs/internal/snapcodec"
+	"discs/internal/topology"
+)
+
+func writeRouteBody(w *snapcodec.Writer, rt *Route) {
+	w.Uvarint(uint64(len(rt.ASPath)))
+	for _, a := range rt.ASPath {
+		w.Uvarint(uint64(a))
+	}
+	w.Uvarint(uint64(len(rt.Attrs)))
+	for _, at := range rt.Attrs {
+		w.U8(at.Flags)
+		w.U8(at.Code)
+		w.Bytes(at.Data)
+	}
+	w.Varint(int64(rt.FromRel))
+}
+
+func readRouteBody(r *snapcodec.Reader, rt *Route) {
+	n := r.Count(1)
+	if n > 0 {
+		rt.ASPath = make([]topology.ASN, n)
+		for i := range rt.ASPath {
+			rt.ASPath[i] = topology.ASN(r.Uvarint())
+		}
+	}
+	na := r.Count(3)
+	if na > 0 {
+		rt.Attrs = make([]Attr, na)
+		for i := range rt.Attrs {
+			rt.Attrs[i] = Attr{Flags: r.U8(), Code: r.U8(), Data: r.Bytes()}
+		}
+	}
+	rt.FromRel = topology.Relationship(r.Varint())
+}
+
+func sortedPrefixes[V any](m map[netip.Prefix]V) []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Addr().Compare(out[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}
+
+// checkpoint serializes one speaker's routing state.
+func (s *Speaker) checkpoint(w *snapcodec.Writer) {
+	w.Uvarint(s.UpdatesSent)
+	w.Uvarint(s.UpdatesRecv)
+
+	w.Uvarint(uint64(len(s.adjIn)))
+	for _, p := range sortedPrefixes(s.adjIn) {
+		w.Prefix(p)
+		froms := s.adjIn[p]
+		keys := make([]topology.ASN, 0, len(froms))
+		for f := range froms {
+			keys = append(keys, f)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		w.Uvarint(uint64(len(keys)))
+		for _, f := range keys {
+			w.Uvarint(uint64(f))
+			writeRouteBody(w, froms[f])
+		}
+	}
+
+	w.Uvarint(uint64(len(s.locRib)))
+	for _, p := range sortedPrefixes(s.locRib) {
+		rt := s.locRib[p]
+		w.Prefix(p)
+		w.Bool(rt.Local)
+		if rt.Local {
+			writeRouteBody(w, rt)
+		} else {
+			w.Uvarint(uint64(rt.From)) // reference into adjIn[p]
+		}
+	}
+
+	origins := make([]topology.ASN, 0, len(s.seenAds))
+	for o := range s.seenAds {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	w.Uvarint(uint64(len(origins)))
+	for _, o := range origins {
+		w.Uvarint(uint64(o))
+		w.String(s.seenAds[o])
+	}
+}
+
+// restore injects state written by checkpoint into a fresh speaker.
+func (s *Speaker) restore(r *snapcodec.Reader) error {
+	s.UpdatesSent = r.Uvarint()
+	s.UpdatesRecv = r.Uvarint()
+
+	np := r.Count(6)
+	for i := 0; i < np; i++ {
+		p := r.Prefix()
+		nf := r.Count(2)
+		froms := make(map[topology.ASN]*Route, nf)
+		for j := 0; j < nf; j++ {
+			from := topology.ASN(r.Uvarint())
+			rt := &Route{Prefix: p, From: from}
+			readRouteBody(r, rt)
+			froms[from] = rt
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+		s.adjIn[p] = froms
+	}
+
+	nl := r.Count(6)
+	for i := 0; i < nl; i++ {
+		p := r.Prefix()
+		if r.Bool() {
+			rt := &Route{Prefix: p, Local: true}
+			readRouteBody(r, rt)
+			s.locRib[p] = rt
+		} else {
+			from := topology.ASN(r.Uvarint())
+			rt := s.adjIn[p][from]
+			if rt == nil && r.Err() == nil {
+				return fmt.Errorf("bgp: restore: AS%d Loc-RIB %v references absent Adj-RIB route from AS%d",
+					s.ASN, p, from)
+			}
+			s.locRib[p] = rt
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+	}
+
+	na := r.Count(2)
+	for i := 0; i < na; i++ {
+		o := topology.ASN(r.Uvarint())
+		s.seenAds[o] = r.String()
+	}
+	return r.Err()
+}
+
+// Checkpoint serializes every speaker's routing state, in topology
+// order.
+func (n *Network) Checkpoint(w *snapcodec.Writer) error {
+	asns := n.Topo.ASNs()
+	w.Uvarint(uint64(len(asns)))
+	for _, asn := range asns {
+		w.Uvarint(uint64(asn))
+		n.Speakers[asn].checkpoint(w)
+	}
+	return w.Err()
+}
+
+// RestoreCheckpoint loads speaker state written by Checkpoint into a
+// freshly built network over the same (restored) topology.
+func (n *Network) RestoreCheckpoint(r *snapcodec.Reader) error {
+	cnt := r.Count(2)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if cnt != len(n.Speakers) {
+		return fmt.Errorf("bgp: restore: image has %d speakers, network has %d", cnt, len(n.Speakers))
+	}
+	for i := 0; i < cnt; i++ {
+		asn := topology.ASN(r.Uvarint())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		sp := n.Speakers[asn]
+		if sp == nil {
+			return fmt.Errorf("bgp: restore: image speaker AS%d absent from network", asn)
+		}
+		if err := sp.restore(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -22,6 +22,18 @@ type System struct {
 
 	cfg Config
 	reg *obs.Registry
+
+	// deploys records every Deploy in order with its caller-visible
+	// seed, so a checkpoint can rebuild the same controllers — same
+	// node names, mesh link creation order and RNG seeds — on restore
+	// (see checkpoint.go).
+	deploys []deployRecord
+}
+
+// deployRecord is one Deploy call as the snapshot layer replays it.
+type deployRecord struct {
+	asn  topology.ASN
+	seed int64
 }
 
 // NewSystem creates a system around a converged (or to-be-converged)
@@ -71,54 +83,10 @@ func (s *System) Stats() obs.Snapshot { return s.reg.Snapshot() }
 // negotiation then run inside the simulator; call s.Net.Converge() (or
 // run the simulator) to let them complete.
 func (s *System) Deploy(asn topology.ASN, seed int64) (*Controller, error) {
-	if _, dup := s.Controllers[asn]; dup {
-		return nil, fmt.Errorf("core: AS%d already deployed", asn)
-	}
-	sp := s.Net.Speakers[asn]
-	if sp == nil {
-		return nil, fmt.Errorf("core: AS%d has no BGP speaker", asn)
-	}
-	name := fmt.Sprintf("ctrl.as%d", asn)
-	node, err := s.Net.Sim.AddNode(name)
+	ctrl, sp, err := s.deployNode(asn, seed)
 	if err != nil {
 		return nil, err
 	}
-	// The controller lives in its AS: it shares the border node's
-	// shard, so speaker<->controller hand-offs (Ad replay, router
-	// programming) stay shard-local under the parallel engine.
-	node.SetShard(sp.Node().Shard())
-	if s.Net.Sim.Sharded() {
-		// Preconnect the controller mesh. Under the parallel engine,
-		// linkTo's lazy sim.Connect would mutate the link table and the
-		// engine's lookahead bound from inside event execution; creating
-		// the links here, from driver context, keeps the run epochs
-		// structurally stable. Directory order is sorted, so the link
-		// table is deterministic.
-		for _, ent := range s.Dir.Entries() {
-			if _, err := s.Net.Sim.Connect(node, ent.Node, s.cfg.CtrlLinkDelay); err != nil {
-				return nil, err
-			}
-		}
-	}
-	scope := fmt.Sprintf("as%d.", asn)
-	effSeed := seed ^ s.cfg.Seed
-	ctrl, err := NewControllerWithOptions(ControllerOptions{
-		AS: asn, Name: name, Sim: s.Net.Sim, Node: node, Dir: s.Dir,
-		Topo: s.Net.Topo, Config: s.cfg, Seed: effSeed,
-		Registry: s.reg, Scope: scope,
-	})
-	if err != nil {
-		return nil, err
-	}
-	tables := NewTables(asn, s.Net.Topo.Pfx2AS())
-	router := NewBorderRouterWithOptions(RouterOptions{
-		Tables: tables, Seed: effSeed ^ 0x5eed,
-		Registry: s.reg, Scope: scope, AS: asn,
-		TraceSampleEvery: s.cfg.TraceSampleEvery,
-	})
-	ctrl.AttachRouter(router)
-	s.Controllers[asn] = ctrl
-	s.Routers[asn] = router
 
 	// Existing Ads already seen by the speaker are replayed to the new
 	// controller, then future Ads stream in.
@@ -146,6 +114,65 @@ func (s *System) Deploy(asn topology.ASN, seed int64) (*Controller, error) {
 		return nil, fmt.Errorf("core: AS%d originates none of its prefixes; run OriginateAll or OriginateFirst before Deploy", asn)
 	}
 	return ctrl, nil
+}
+
+// deployNode is the structural half of Deploy: node, mesh links,
+// controller, router, bookkeeping — everything except the Ad replay
+// and the BGP re-origination. The snapshot restore path uses it alone:
+// a restored world already has the Ads in its RIBs, and replay happens
+// through Restart (the same journal-replay path a crashed controller
+// takes).
+func (s *System) deployNode(asn topology.ASN, seed int64) (*Controller, *bgp.Speaker, error) {
+	if _, dup := s.Controllers[asn]; dup {
+		return nil, nil, fmt.Errorf("core: AS%d already deployed", asn)
+	}
+	sp := s.Net.Speakers[asn]
+	if sp == nil {
+		return nil, nil, fmt.Errorf("core: AS%d has no BGP speaker", asn)
+	}
+	name := fmt.Sprintf("ctrl.as%d", asn)
+	node, err := s.Net.Sim.AddNode(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The controller lives in its AS: it shares the border node's
+	// shard, so speaker<->controller hand-offs (Ad replay, router
+	// programming) stay shard-local under the parallel engine.
+	node.SetShard(sp.Node().Shard())
+	if s.Net.Sim.Sharded() {
+		// Preconnect the controller mesh. Under the parallel engine,
+		// linkTo's lazy sim.Connect would mutate the link table and the
+		// engine's lookahead bound from inside event execution; creating
+		// the links here, from driver context, keeps the run epochs
+		// structurally stable. Directory order is sorted, so the link
+		// table is deterministic.
+		for _, ent := range s.Dir.Entries() {
+			if _, err := s.Net.Sim.Connect(node, ent.Node, s.cfg.CtrlLinkDelay); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	scope := fmt.Sprintf("as%d.", asn)
+	effSeed := seed ^ s.cfg.Seed
+	ctrl, err := NewControllerWithOptions(ControllerOptions{
+		AS: asn, Name: name, Sim: s.Net.Sim, Node: node, Dir: s.Dir,
+		Topo: s.Net.Topo, Config: s.cfg, Seed: effSeed,
+		Registry: s.reg, Scope: scope,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tables := NewTables(asn, s.Net.Topo.Pfx2AS())
+	router := NewBorderRouterWithOptions(RouterOptions{
+		Tables: tables, Seed: effSeed ^ 0x5eed,
+		Registry: s.reg, Scope: scope, AS: asn,
+		TraceSampleEvery: s.cfg.TraceSampleEvery,
+	})
+	ctrl.AttachRouter(router)
+	s.Controllers[asn] = ctrl
+	s.Routers[asn] = router
+	s.deploys = append(s.deploys, deployRecord{asn: asn, seed: seed})
+	return ctrl, sp, nil
 }
 
 // Settle runs the simulator until the control plane goes quiet.

@@ -82,7 +82,8 @@ func (s *Simulator) SetDefaultLinkFaults(f LinkFaults) {
 // this seed, drawn in that shard's event order — deterministic given
 // the seed and the partition (but a different schedule than serial).
 func (s *Simulator) SeedFaults(seed int64) {
-	s.frng = rand.New(rand.NewSource(seed))
+	s.fsrc = NewCountingSource(seed)
+	s.frng = rand.New(s.fsrc)
 	if s.backend != nil {
 		s.backend.SeedFaults(seed)
 	}
@@ -95,7 +96,8 @@ func (s *Simulator) faultRNGCtx(n *Node) *rand.Rand {
 		return s.backend.FaultRNG(n)
 	}
 	if s.frng == nil {
-		s.frng = rand.New(rand.NewSource(1))
+		s.fsrc = NewCountingSource(1)
+		s.frng = rand.New(s.fsrc)
 	}
 	return s.frng
 }

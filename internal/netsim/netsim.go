@@ -91,11 +91,11 @@ type Backend interface {
 // a Timer captured against an earlier generation can no longer cancel
 // the event's successor.
 type event struct {
-	at   Time
-	seq  uint64 // tie-breaker for deterministic ordering
-	gen  uint64 // reuse generation, see Timer
-	idx  int32  // heap position, -1 when not queued
-	fn   func()
+	at  Time
+	seq uint64 // tie-breaker for deterministic ordering
+	gen uint64 // reuse generation, see Timer
+	idx int32  // heap position, -1 when not queued
+	fn  func()
 	// background marks housekeeping events (heartbeats, periodic
 	// purges) that keep a live system ticking but must not keep RunAll
 	// from reaching quiescence. Events scheduled while a background
@@ -193,8 +193,11 @@ type Simulator struct {
 	fgPending int
 	// inBG is true while a background event executes (see event).
 	inBG bool
-	// Fault injection (fault.go).
+	// Fault injection (fault.go). frng draws from fsrc, a counting
+	// source, so a checkpoint can record the exact stream position as
+	// (seed, draws) — see checkpoint.go.
 	frng      *rand.Rand
+	fsrc      *CountingSource
 	defFaults *LinkFaults
 	// Observability: all counters live in reg; m caches the handles.
 	reg *obs.Registry

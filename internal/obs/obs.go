@@ -280,6 +280,22 @@ func (r *Registry) Snapshot() Snapshot {
 	return r.SnapshotPrefix("", "")
 }
 
+// Absorb merges a previously captured Snapshot into the registry:
+// counters are added on top of current values (find-or-create), gauges
+// are set. It is the restore half of the checkpoint seam — a restored
+// world starts from a fresh registry and absorbs the image's metric
+// state so counters continue exactly where the checkpointed run left
+// off. Histograms are not restored: they are diagnostic distributions,
+// excluded from the determinism differential, and restart empty.
+func (r *Registry) Absorb(s Snapshot) {
+	for name, v := range s.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Set(v)
+	}
+}
+
 // SnapshotPrefix captures only metrics whose name starts with prefix,
 // removing trim from the front of each kept name. It is how a scoped
 // component (one controller, one router) exposes a Stats() view over

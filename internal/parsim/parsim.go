@@ -171,7 +171,10 @@ type lane struct {
 	// run — mirroring the serial RunAll's stop-at-quiescence.
 	fgMax netsim.Time
 	inBG  bool
-	rng   *rand.Rand
+	// rng draws from src, a counting source, so checkpoints can record
+	// the exact per-lane fault stream position (see checkpoint.go).
+	rng *rand.Rand
+	src *netsim.CountingSource
 	// executed counts events run on this lane (deterministic).
 	executed uint64
 	err      error
@@ -316,6 +319,9 @@ type Engine struct {
 	// defaultStride). merged flips on a zero-delay cross-shard link.
 	lookahead netsim.Time
 	merged    bool
+	// faultSeed is the base seed the per-lane fault streams derive
+	// from (SeedFaults; default 1), recorded for checkpointing.
+	faultSeed int64
 	global    *lane
 	lanes     []*lane
 	cross     [][]xbuf // [src][dst]
@@ -366,13 +372,16 @@ func New(sim *netsim.Simulator, opts Options) (*Engine, error) {
 		shards:    shards,
 		workers:   workers,
 		lookahead: -1,
-		global:    &lane{id: -1, rng: laneRNG(1, -1)},
+		faultSeed: 1,
+		global:    &lane{id: -1},
 		lanes:     make([]*lane, shards),
 		cross:     make([][]xbuf, shards),
 		epochBusy: make([]time.Duration, workers),
 	}
+	e.global.seed(1)
 	for i := range e.lanes {
-		e.lanes[i] = &lane{id: int32(i), rng: laneRNG(1, int32(i))}
+		e.lanes[i] = &lane{id: int32(i)}
+		e.lanes[i].seed(1)
 		e.cross[i] = make([]xbuf, shards)
 	}
 	reg := sim.Registry()
@@ -405,11 +414,17 @@ func New(sim *netsim.Simulator, opts Options) (*Engine, error) {
 
 // laneRNG derives the per-lane fault stream from the base seed via a
 // splitmix64 step, so neighbouring lane seeds are decorrelated.
-func laneRNG(seed int64, id int32) *rand.Rand {
+func laneRNG(seed int64, id int32) (*rand.Rand, *netsim.CountingSource) {
 	z := uint64(seed) + uint64(id+1)*0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+	src := netsim.NewCountingSource(int64(z ^ (z >> 31)))
+	return rand.New(src), src
+}
+
+// seedLane installs the fault stream derived from (seed, lane id).
+func (ln *lane) seed(seed int64) {
+	ln.rng, ln.src = laneRNG(seed, ln.id)
 }
 
 // Workers returns the number of worker goroutines.
@@ -466,9 +481,10 @@ func (e *Engine) FaultRNG(ctx *netsim.Node) *rand.Rand { return e.laneFor(ctx).r
 
 // SeedFaults reseeds every lane's fault stream from seed.
 func (e *Engine) SeedFaults(seed int64) {
-	e.global.rng = laneRNG(seed, -1)
+	e.faultSeed = seed
+	e.global.seed(seed)
 	for _, ln := range e.lanes {
-		ln.rng = laneRNG(seed, ln.id)
+		ln.seed(seed)
 	}
 }
 

@@ -1,0 +1,157 @@
+package snapcodec
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uvarint(0)
+	w.Uvarint(1 << 60)
+	w.Varint(-42)
+	w.U8(7)
+	w.U16(0xbeef)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 63)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(3.25)
+	w.Duration(-5 * time.Second)
+	w.Time(time.Unix(123, 456).UTC())
+	w.Bytes([]byte("hello"))
+	w.Bytes(nil)
+	w.String("world")
+	w.Prefix(netip.MustParsePrefix("10.1.0.0/16"))
+	w.Prefix(netip.MustParsePrefix("2001:db8::/32"))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(buf.Bytes())
+	if got := r.Uvarint(); got != 0 {
+		t.Fatalf("uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<60 {
+		t.Fatalf("uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -42 {
+		t.Fatalf("varint = %d", got)
+	}
+	if got := r.U8(); got != 7 {
+		t.Fatalf("u8 = %d", got)
+	}
+	if got := r.U16(); got != 0xbeef {
+		t.Fatalf("u16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Fatalf("u32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<63 {
+		t.Fatalf("u64 = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bools")
+	}
+	if got := r.F64(); got != 3.25 {
+		t.Fatalf("f64 = %v", got)
+	}
+	if got := r.Duration(); got != -5*time.Second {
+		t.Fatalf("duration = %v", got)
+	}
+	if got := r.Time(); !got.Equal(time.Unix(123, 456)) {
+		t.Fatalf("time = %v", got)
+	}
+	if got := r.Bytes(); string(got) != "hello" {
+		t.Fatalf("bytes = %q", got)
+	}
+	if got := r.Bytes(); got != nil {
+		t.Fatalf("nil bytes = %q", got)
+	}
+	if got := r.String(); got != "world" {
+		t.Fatalf("string = %q", got)
+	}
+	if got := r.Prefix(); got != netip.MustParsePrefix("10.1.0.0/16") {
+		t.Fatalf("prefix = %v", got)
+	}
+	if got := r.Prefix(); got != netip.MustParsePrefix("2001:db8::/32") {
+		t.Fatalf("prefix = %v", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOversizedLength is the OOM guard: a length prefix claiming more
+// bytes than the section holds must fail before any allocation.
+func TestOversizedLength(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uvarint(1 << 40) // forged length, only a few bytes follow
+	w.U8(1)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(buf.Bytes())
+	if got := r.Bytes(); got != nil {
+		t.Fatalf("bytes = %v, want nil", got)
+	}
+	if r.Err() != ErrShortBuffer {
+		t.Fatalf("err = %v, want ErrShortBuffer", r.Err())
+	}
+	// Sticky: everything after the failure is a zero-valued no-op.
+	if got := r.U64(); got != 0 {
+		t.Fatalf("post-error u64 = %d", got)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(12345)
+	w.String("payload")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		_ = r.U64()
+		_ = r.String()
+		if err := r.Done(); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestLeftoverBytes(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	r.U8()
+	if err := r.Done(); err != ErrRange {
+		t.Fatalf("err = %v, want ErrRange", err)
+	}
+}
+
+func TestBadBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if r.Err() != ErrRange {
+		t.Fatalf("err = %v, want ErrRange", r.Err())
+	}
+}
+
+func TestCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uvarint(1 << 50)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(buf.Bytes())
+	if n := r.Count(8); n != 0 || r.Err() != ErrShortBuffer {
+		t.Fatalf("count = %d err = %v", n, r.Err())
+	}
+}

@@ -1,0 +1,44 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead: arbitrary bytes through the image decoder must never
+// panic or allocate unboundedly — corruption surfaces as a typed
+// error. Valid images must decode and restore cleanly. Seeded like
+// the core ctrl-frame corpus: one valid image plus the classic
+// corruptions (truncation, bit flip, forged giant length prefix).
+func FuzzRead(f *testing.F) {
+	good := encode(f, buildWorld(f, 0, 0))
+	f.Add(good)
+	f.Add(good[:len(good)/3])
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	forged := append([]byte(nil), good...)
+	for i := 0; i < 8; i++ {
+		forged[14+i] = 0xff // first section's length prefix → ~2^64
+	}
+	f.Add(forged)
+	f.Add([]byte("DISCSNAP"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A structurally valid image must restore or fail cleanly —
+		// Restore validates cross-section invariants with typed
+		// errors, never a panic.
+		world, err := Restore(img, Options{})
+		if err != nil {
+			return
+		}
+		if world.Eng != nil {
+			world.Eng.Close()
+		}
+	})
+}

@@ -1,0 +1,154 @@
+// Checkpoint/restore seam. The topology serializes its internals
+// verbatim rather than replaying construction calls: per-AS neighbor
+// lists keep their exact insertion order because adjacency order
+// breaks BFS ties in the valley-free routing trees and fixes the link
+// creation order in bgp.BuildNetwork — a restored world must reproduce
+// both bit-for-bit. The prefix-to-AS table is serialized as its own
+// entry list (not re-derived from per-AS prefix lists) so multi-origin
+// corner cases survive a round trip. The route-tree cache itself is
+// not serialized — only warmth markers, the FIFO-ordered list of
+// destination ASNs whose trees were cached, which the restore path
+// re-warms with WarmRoutes.
+package topology
+
+import (
+	"fmt"
+	"net/netip"
+
+	"discs/internal/snapcodec"
+)
+
+func writeASNs(w *snapcodec.Writer, list []ASN) {
+	w.Uvarint(uint64(len(list)))
+	for _, a := range list {
+		w.Uvarint(uint64(a))
+	}
+}
+
+func readASNs(r *snapcodec.Reader) []ASN {
+	n := r.Count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]ASN, n)
+	for i := range out {
+		out[i] = ASN(r.Uvarint())
+	}
+	return out
+}
+
+// WarmedDestinations returns the destination ASNs whose routing trees
+// are currently cached, in cache insertion order (the FIFO eviction
+// order, so re-warming in this order reproduces the cache exactly).
+func (t *Topology) WarmedDestinations() []ASN {
+	t.routeMu.RLock()
+	defer t.routeMu.RUnlock()
+	if t.routes == nil {
+		return nil
+	}
+	out := make([]ASN, 0, len(t.routes.fifo))
+	for _, root := range t.routes.fifo {
+		out = append(out, t.routes.ix.asns[root])
+	}
+	return out
+}
+
+// Checkpoint serializes the full topology plus route-cache warmth
+// markers.
+func (t *Topology) Checkpoint(w *snapcodec.Writer) error {
+	w.Uvarint(uint64(len(t.order)))
+	for _, asn := range t.order {
+		a := t.ases[asn]
+		w.Uvarint(uint64(asn))
+		w.Uvarint(a.AddrSpace)
+		w.Uvarint(uint64(len(a.Prefixes)))
+		for _, p := range a.Prefixes {
+			w.Prefix(p)
+		}
+		writeASNs(w, a.Providers)
+		writeASNs(w, a.Customers)
+		writeASNs(w, a.Peers)
+	}
+	w.Uvarint(t.total)
+	w.Uvarint(uint64(t.pfx2as.Len()))
+	t.pfx2as.Walk(func(p netip.Prefix, v ASN) bool {
+		w.Prefix(p)
+		w.Uvarint(uint64(v))
+		return true
+	})
+	w.Varint(int64(t.routeCap))
+	t.routeMu.RLock()
+	active := t.routes != nil
+	t.routeMu.RUnlock()
+	w.Bool(active)
+	writeASNs(w, t.WarmedDestinations())
+	return w.Err()
+}
+
+// RestoreTopology rebuilds a topology from a Checkpoint section and
+// returns it together with the warmth markers (the caller re-warms
+// them once metric publication is wired up, so cache hit/miss counters
+// accrue in the right registry).
+func RestoreTopology(r *snapcodec.Reader) (*Topology, []ASN, error) {
+	t := New()
+	n := r.Count(4)
+	for i := 0; i < n; i++ {
+		asn := ASN(r.Uvarint())
+		a := &AS{ASN: asn, AddrSpace: r.Uvarint()}
+		np := r.Count(6)
+		for j := 0; j < np; j++ {
+			a.Prefixes = append(a.Prefixes, r.Prefix())
+		}
+		a.Providers = readASNs(r)
+		a.Customers = readASNs(r)
+		a.Peers = readASNs(r)
+		if r.Err() != nil {
+			return nil, nil, r.Err()
+		}
+		if asn == 0 || t.ases[asn] != nil {
+			return nil, nil, fmt.Errorf("topology: restore: invalid or duplicate AS%d", asn)
+		}
+		t.ases[asn] = a
+		t.order = append(t.order, asn)
+	}
+	t.total = r.Uvarint()
+	npfx := r.Count(6)
+	for i := 0; i < npfx; i++ {
+		p := r.Prefix()
+		asn := ASN(r.Uvarint())
+		if r.Err() != nil {
+			return nil, nil, r.Err()
+		}
+		if err := t.pfx2as.Insert(p, asn); err != nil {
+			return nil, nil, fmt.Errorf("topology: restore: %w", err)
+		}
+	}
+	t.routeCap = int(r.Varint())
+	// nil warm ⇔ the route cache did not exist at checkpoint time; an
+	// empty non-nil slice means it existed but held no trees. The
+	// caller mirrors that: WarmRoutes (which instantiates the cache)
+	// only when warm is non-nil.
+	active := r.Bool()
+	warm := readASNs(r)
+	if active && warm == nil {
+		warm = []ASN{}
+	} else if !active {
+		warm = nil
+	}
+	if r.Err() != nil {
+		return nil, nil, r.Err()
+	}
+	// Neighbor lists must be closed over the AS set, or BuildNetwork
+	// on the restored topology would dereference a missing AS.
+	for _, asn := range t.order {
+		a := t.ases[asn]
+		for _, lists := range [][]ASN{a.Providers, a.Customers, a.Peers} {
+			for _, nb := range lists {
+				if t.ases[nb] == nil {
+					return nil, nil, fmt.Errorf("topology: restore: AS%d references missing AS%d", asn, nb)
+				}
+			}
+		}
+	}
+	return t, warm, nil
+}

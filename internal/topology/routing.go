@@ -60,8 +60,8 @@ const defaultRouteEntryBudget = 4 << 20
 // so tree construction is an O(V+E) scan over flat arrays instead of
 // map walks. It is rebuilt whenever the graph changes.
 type routingIndex struct {
-	asns []ASN           // dense index → ASN (t.order at freeze time)
-	pos  map[ASN]int32   // ASN → dense index
+	asns []ASN         // dense index → ASN (t.order at freeze time)
+	pos  map[ASN]int32 // ASN → dense index
 
 	provOff, custOff, peerOff []int32 // CSR offsets, len n+1
 	prov, cust, peer          []int32 // CSR neighbor indices

@@ -1,0 +1,63 @@
+// Checkpoint/restore seam. The data plane's durable state is its
+// accounting — delivery/drop totals and directed per-link byte
+// counters. The Deliveries list is a transient measurement buffer
+// (per-packet pointers into live packet objects) and is not
+// serialized: like the obs histograms, it is a diagnostic view that
+// restarts empty. Restored totals land in shard slot 0; the accessors
+// sum slots, so the counters continue exactly where the checkpointed
+// run left off.
+package wire
+
+import (
+	"sort"
+
+	"discs/internal/snapcodec"
+	"discs/internal/topology"
+)
+
+// Checkpoint serializes the aggregated data-plane counters.
+func (dn *DataNet) Checkpoint(w *snapcodec.Writer) error {
+	w.Uvarint(dn.Delivered())
+	w.Uvarint(dn.DroppedDISCS())
+	w.Uvarint(dn.DroppedNet())
+
+	totals := make(map[[2]topology.ASN]uint64)
+	for i := range dn.sc {
+		for k, v := range dn.sc[i].linkBytes {
+			totals[k] += v
+		}
+	}
+	keys := make([][2]topology.ASN, 0, len(totals))
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.Uvarint(uint64(k[0]))
+		w.Uvarint(uint64(k[1]))
+		w.Uvarint(totals[k])
+	}
+	return w.Err()
+}
+
+// RestoreCheckpoint loads counters written by Checkpoint into shard
+// slot 0 of a freshly built data plane.
+func (dn *DataNet) RestoreCheckpoint(r *snapcodec.Reader) error {
+	s := &dn.sc[0]
+	s.delivered = r.Uvarint()
+	s.droppedDISCS = r.Uvarint()
+	s.droppedNet = r.Uvarint()
+	n := r.Count(3)
+	for i := 0; i < n; i++ {
+		a := topology.ASN(r.Uvarint())
+		b := topology.ASN(r.Uvarint())
+		s.linkBytes[[2]topology.ASN{a, b}] = r.Uvarint()
+	}
+	return r.Err()
+}

@@ -7,12 +7,12 @@
 package discs_test
 
 import (
-	"encoding/json"
 	"net/netip"
 	"os"
 	"testing"
 	"time"
 
+	"discs/internal/benchgate"
 	"discs/internal/core"
 	"discs/internal/obs"
 	"discs/internal/packet"
@@ -145,18 +145,12 @@ func TestObsReport(t *testing.T) {
 	if os.Getenv("DISCS_OBS_REPORT") == "" {
 		t.Skip("set DISCS_OBS_REPORT=1 (make bench-obs) to regenerate BENCH_obs.json")
 	}
-	raw, err := os.ReadFile("BENCH_dataplane.json")
-	if err != nil {
-		t.Fatalf("committed baseline missing: %v", err)
-	}
 	var base struct {
 		Serial struct {
 			NsPerOp float64 `json:"ns_per_op"`
 		} `json:"serial"`
 	}
-	if err := json.Unmarshal(raw, &base); err != nil {
-		t.Fatalf("BENCH_dataplane.json: %v", err)
-	}
+	benchgate.Load(t, "BENCH_dataplane.json", "make bench-dataplane", &base)
 	if base.Serial.NsPerOp <= 0 {
 		t.Fatal("BENCH_dataplane.json has no serial ns/op")
 	}
@@ -203,13 +197,7 @@ func TestObsReport(t *testing.T) {
 		AllocsPerOp:     instrAllocs,
 		TraceSampleEach: 64,
 	}
-	out, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile("BENCH_obs.json", append(out, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	benchgate.Write(t, "BENCH_obs.json", report)
 	t.Logf("instrumented %.2f ns/op vs plain %.2f ns/op (ratio %.3f, budget %.2f; committed baseline %.2f)",
 		instrNs, plainNs, ratio, budget, base.Serial.NsPerOp)
 	if ratio > budget {

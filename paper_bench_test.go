@@ -9,7 +9,6 @@
 package discs_test
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
@@ -18,6 +17,7 @@ import (
 	"time"
 
 	"discs/internal/attack"
+	"discs/internal/benchgate"
 	"discs/internal/bgp"
 	"discs/internal/core"
 	"discs/internal/obs"
@@ -150,14 +150,8 @@ func TestPaperBudget(t *testing.T) {
 	if os.Getenv("DISCS_PAPER_BENCH") == "" {
 		t.Skip("set DISCS_PAPER_BENCH=1 (make bench-paper) to run the paper-scale scenario gate")
 	}
-	raw, err := os.ReadFile("BENCH_paper.json")
-	if err != nil {
-		t.Fatalf("committed baseline missing (run make bench-paper-report): %v", err)
-	}
 	var base paperBenchReport
-	if err := json.Unmarshal(raw, &base); err != nil {
-		t.Fatalf("BENCH_paper.json: %v", err)
-	}
+	benchgate.Load(t, "BENCH_paper.json", "make bench-paper-report", &base)
 	var base1 *paperWorkerRun
 	for i := range base.Runs {
 		if base.Runs[i].Workers == 1 {
@@ -168,11 +162,7 @@ func TestPaperBudget(t *testing.T) {
 		t.Fatal("BENCH_paper.json has no workers=1 entry")
 	}
 	run, _ := measurePaperRun(t, 1)
-	budget := base1.TotalS * 1.10
-	if run.TotalS > budget {
-		t.Fatalf("paper scenario at -workers 1 took %.2fs, budget %.2fs (committed %.2fs +10%%)",
-			run.TotalS, budget, base1.TotalS)
-	}
+	budget := benchgate.Budget(t, "paper scenario at -workers 1 (s)", run.TotalS, base1.TotalS, 0.10)
 	t.Logf("converge %.2fs + deploy %.2fs + attack %.2fs = %.2fs (budget %.2fs), %d epochs, stall %.2fs",
 		run.ConvergeS, run.DeployS, run.AttackS, run.TotalS, budget, run.Epochs, run.StallS)
 }
@@ -202,12 +192,6 @@ func TestPaperReport(t *testing.T) {
 		t.Logf("workers %d: %.2fs (%.2fx), %d epochs, stall %.2fs",
 			w, run.TotalS, run.SpeedupX, run.Epochs, run.StallS)
 	}
-	out, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile("BENCH_paper.json", append(out, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	benchgate.Write(t, "BENCH_paper.json", rep)
 	fmt.Println("wrote BENCH_paper.json")
 }

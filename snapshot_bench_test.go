@@ -1,0 +1,269 @@
+// Snapshot benchmark gate: the paper-scale scenario checkpointed at
+// convergence must restore and run to a bit-identical end state under
+// fault injection at 1 and 4 workers, and a 3-cell warm-start sweep
+// from a deployed image must beat 3 cold runs by ≥3×. `make
+// bench-snapshot` runs the wall-clock/image-size budgets against the
+// committed BENCH_snapshot.json; `make bench-snapshot-report`
+// regenerates the file. Env-gated like the other paper-scale gates so
+// plain `go test ./...` stays wall-clock independent.
+package discs_test
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"discs/internal/attack"
+	"discs/internal/benchgate"
+	"discs/internal/bgp"
+	"discs/internal/core"
+	"discs/internal/netsim"
+	"discs/internal/parsim"
+	"discs/internal/snapshot"
+	"discs/internal/topology"
+)
+
+// snapshotBenchReport is the schema of BENCH_snapshot.json.
+type snapshotBenchReport struct {
+	GeneratedBy      string  `json:"generated_by"`
+	CPUs             int     `json:"cpus"`
+	ASes             int     `json:"ases"`
+	DAS              int     `json:"das"`
+	ConvergedImageMB float64 `json:"converged_image_mb"`
+	DeployedImageMB  float64 `json:"deployed_image_mb"`
+	CheckpointS      float64 `json:"checkpoint_s"`
+	RestoreS         float64 `json:"restore_s"`
+	ColdRunS         float64 `json:"cold_run_s"`
+	Sweep3S          float64 `json:"sweep3_s"`
+	WarmSpeedupX     float64 `json:"warm_speedup_x"`
+}
+
+// snapshotPaperPrologue is the cold half of the scenario: generate the
+// paper-scale Internet, build, install the engine, and converge with
+// jitter on every link — so the fault RNG streams sit at nonzero
+// positions when the checkpoint is cut. Returns the cold prologue
+// wall-clock (generate+build+converge: what a warm start skips).
+func snapshotPaperPrologue(t *testing.T, workers int) (*bgp.Network, *parsim.Engine, []topology.ASN, float64) {
+	t.Helper()
+	start := time.Now()
+	cfg := topology.DefaultGenConfig()
+	topo, err := topology.GenerateInternet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := bgp.BuildNetwork(topo, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.AssignShards(parsim.DefaultShards)
+	eng, err := parsim.New(net.Sim, parsim.Options{Shards: parsim.DefaultShards, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+
+	net.Sim.SeedFaults(7)
+	for _, l := range net.Sim.Links() {
+		l.SetFaults(netsim.LinkFaults{JitterMax: 100 * time.Microsecond})
+	}
+	deployers := topo.BySizeDesc()[:paperBenchDAS]
+	net.OriginateFirst(deployers...)
+	if err := net.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	return net, eng, deployers, time.Since(start).Seconds()
+}
+
+// snapshotPaperAttack is the attack+invocation tail shared by the
+// straight, restored and sweep runs.
+func snapshotPaperAttack(t *testing.T, sys *core.System, deployers []topology.ASN, seed int64) {
+	t.Helper()
+	topo := sys.Net.Topo
+	victim := deployers[len(deployers)-1]
+	sampler := attack.NewSampler(topo)
+	rng := rand.New(rand.NewSource(seed))
+	flows := make([]attack.Flow, paperBenchFlows)
+	for i := range flows {
+		flows[i] = sampler.DrawFlowForVictim(attack.DDDoS, victim, rng)
+	}
+	if _, err := attack.RunPaced(sys, flows, paperBenchPerFlow, seed, paperBenchWaves, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	vc := sys.Controllers[victim]
+	if _, err := vc.Invoke(core.Invocation{
+		Prefixes: vc.OwnPrefixes(), Function: core.DP, Duration: 24 * time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := attack.RunPaced(sys, flows, paperBenchPerFlow, seed+1, paperBenchWaves, time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// snapshotPaperEpilogue deploys over lossy controller links and runs
+// the attack tail. onDeployed, when non-nil, runs between deployment
+// settling and the attack (where -snapshot cuts the deployed image).
+// Returns the epilogue wall-clock and the stripped final stats.
+func snapshotPaperEpilogue(t *testing.T, net *bgp.Network, deployers []topology.ASN,
+	onDeployed func(sys *core.System)) (float64, map[string]uint64, map[string]int64) {
+	t.Helper()
+	start := time.Now()
+	net.Sim.SetDefaultLinkFaults(netsim.LinkFaults{
+		Loss: 0.05, Dup: 0.05, JitterMax: 500 * time.Microsecond,
+	})
+	sys := core.NewSystem(net, core.DefaultConfig())
+	for i, asn := range deployers {
+		if _, err := sys.Deploy(asn, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	net.Topo.WarmRoutes(deployers, 0)
+	if onDeployed != nil {
+		onDeployed(sys)
+	}
+	snapshotPaperAttack(t, sys, deployers, topology.DefaultGenConfig().Seed)
+	counters, gauges := stripEngineMetrics(sys.Stats())
+	return time.Since(start).Seconds(), counters, gauges
+}
+
+// measureSnapshotSuite runs the full paper-scale snapshot pipeline:
+// the checkpoint/restore differential with fault injection at 1 and 4
+// workers, and the 3-cell warm-start sweep. It fails the test on any
+// divergence and returns the measured timings.
+func measureSnapshotSuite(t *testing.T) snapshotBenchReport {
+	t.Helper()
+	cfg := topology.DefaultGenConfig()
+	rep := snapshotBenchReport{
+		GeneratedBy: "make bench-snapshot-report",
+		CPUs:        runtime.NumCPU(),
+		ASes:        cfg.NumASes,
+		DAS:         paperBenchDAS,
+	}
+	var deployedImg []byte
+
+	for _, workers := range []int{1, 4} {
+		net, eng, deployers, coldPrologueS := snapshotPaperPrologue(t, workers)
+
+		start := time.Now()
+		var buf bytes.Buffer
+		if err := snapshot.Write(&buf, &snapshot.World{Net: net, Eng: eng}); err != nil {
+			t.Fatal(err)
+		}
+		ckptS := time.Since(start).Seconds()
+
+		// Straight-through continues on the checkpointed world; at
+		// workers=1 it also cuts the deployed image the sweep forks.
+		var onDeployed func(sys *core.System)
+		if workers == 1 {
+			onDeployed = func(sys *core.System) {
+				start := time.Now()
+				var dbuf bytes.Buffer
+				if err := snapshot.Write(&dbuf, &snapshot.World{Net: net, Eng: eng, Sys: sys}); err != nil {
+					t.Fatal(err)
+				}
+				deployedImg = dbuf.Bytes()
+				rep.DeployedImageMB = float64(len(deployedImg)) / 1e6
+				t.Logf("deployed image: %.1f MB in %.2fs", rep.DeployedImageMB, time.Since(start).Seconds())
+			}
+		}
+		epiS, c1, g1 := snapshotPaperEpilogue(t, net, deployers, onDeployed)
+
+		start = time.Now()
+		img, err := snapshot.Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := snapshot.Restore(img, snapshot.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		restoreS := time.Since(start).Seconds()
+		_, c2, g2 := snapshotPaperEpilogue(t, restored.Net, deployers, nil)
+		if restored.Eng != nil {
+			restored.Eng.Close()
+		}
+		diffSnapshots(t, "paper-snapshot", c1, c2, g1, g2, nil, nil)
+		t.Logf("workers %d: prologue %.2fs, checkpoint %.2fs (%.1f MB), epilogue %.2fs, restore %.2fs — differential identical",
+			workers, coldPrologueS, ckptS, float64(buf.Len())/1e6, epiS, restoreS)
+
+		if workers == 1 {
+			rep.ConvergedImageMB = float64(buf.Len()) / 1e6
+			rep.CheckpointS = ckptS
+			rep.RestoreS = restoreS
+			rep.ColdRunS = coldPrologueS + epiS
+		}
+	}
+
+	// Warm-start sweep: 3 cells forked from the deployed image, each a
+	// fresh restore + journal-replay recovery + attack with its own
+	// seed — what `discs-sim -restore img -sweep 3` does.
+	img, err := snapshot.Read(bytes.NewReader(deployedImg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for cell := 0; cell < 3; cell++ {
+		world, err := snapshot.Restore(img, snapshot.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := world.Sys.RestartAll(); err != nil {
+			t.Fatal(err)
+		}
+		if err := world.Sys.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		snapshotPaperAttack(t, world.Sys, world.Sys.Deployed(), cfg.Seed+int64(cell))
+		if world.Eng != nil {
+			world.Eng.Close()
+		}
+	}
+	rep.Sweep3S = time.Since(start).Seconds()
+	rep.WarmSpeedupX = 3 * rep.ColdRunS / rep.Sweep3S
+	t.Logf("3-cell sweep %.2fs vs 3 cold runs %.2fs: %.1fx",
+		rep.Sweep3S, 3*rep.ColdRunS, rep.WarmSpeedupX)
+	return rep
+}
+
+// TestSnapshotBudget is the regression gate `make bench-snapshot`
+// (part of `make check`) runs: checkpoint/restore wall-clock and image
+// size within 10% of the committed BENCH_snapshot.json, warm-start
+// sweep ≥3× faster than cold, and the paper-scale differential holds.
+func TestSnapshotBudget(t *testing.T) {
+	if os.Getenv("DISCS_SNAPSHOT_BENCH") == "" && os.Getenv("DISCS_SNAPSHOT_REPORT") == "" {
+		t.Skip("set DISCS_SNAPSHOT_BENCH=1 (make bench-snapshot) to run the paper-scale snapshot gate")
+	}
+	var base snapshotBenchReport
+	benchgate.Load(t, "BENCH_snapshot.json", "make bench-snapshot-report", &base)
+
+	rep := measureSnapshotSuite(t)
+	benchgate.Budget(t, "checkpoint wall-clock (s)", rep.CheckpointS, base.CheckpointS, 0.10)
+	benchgate.Budget(t, "restore wall-clock (s)", rep.RestoreS, base.RestoreS, 0.10)
+	benchgate.Budget(t, "converged image size (MB)", rep.ConvergedImageMB, base.ConvergedImageMB, 0.10)
+	benchgate.Budget(t, "deployed image size (MB)", rep.DeployedImageMB, base.DeployedImageMB, 0.10)
+	if rep.WarmSpeedupX < 3 {
+		t.Fatalf("3-cell warm sweep only %.2fx faster than 3 cold runs, want ≥3x", rep.WarmSpeedupX)
+	}
+}
+
+// TestSnapshotReport regenerates BENCH_snapshot.json
+// (make bench-snapshot-report).
+func TestSnapshotReport(t *testing.T) {
+	if os.Getenv("DISCS_SNAPSHOT_REPORT") == "" {
+		t.Skip("set DISCS_SNAPSHOT_REPORT=1 (make bench-snapshot-report) to regenerate BENCH_snapshot.json")
+	}
+	rep := measureSnapshotSuite(t)
+	if rep.WarmSpeedupX < 3 {
+		t.Fatalf("3-cell warm sweep only %.2fx faster than 3 cold runs, want ≥3x", rep.WarmSpeedupX)
+	}
+	benchgate.Write(t, "BENCH_snapshot.json", rep)
+}

@@ -6,11 +6,11 @@
 package discs_test
 
 import (
-	"encoding/json"
 	"os"
 	"testing"
 	"time"
 
+	"discs/internal/benchgate"
 	"discs/internal/bgp"
 	"discs/internal/obs"
 	"discs/internal/topology"
@@ -111,14 +111,8 @@ func TestTopoBudget(t *testing.T) {
 	if os.Getenv("DISCS_TOPO_BENCH") == "" && os.Getenv("DISCS_TOPO_REPORT") == "" {
 		t.Skip("set DISCS_TOPO_BENCH=1 (make bench-topo) to run the paper-scale topology gate")
 	}
-	raw, err := os.ReadFile("BENCH_topo.json")
-	if err != nil {
-		t.Fatalf("committed baseline missing (run make bench-topo-report): %v", err)
-	}
 	var base topoBenchReport
-	if err := json.Unmarshal(raw, &base); err != nil {
-		t.Fatalf("BENCH_topo.json: %v", err)
-	}
+	benchgate.Load(t, "BENCH_topo.json", "make bench-topo-report", &base)
 
 	// Min of two runs: the gate measures the code, not a cold page
 	// cache or a scheduler hiccup.
@@ -126,11 +120,7 @@ func TestTopoBudget(t *testing.T) {
 	if second := measureTopoRun(t); second.TotalS < run.TotalS {
 		run = second
 	}
-	budget := base.TotalS * 1.10
-	if run.TotalS > budget {
-		t.Fatalf("paper-scale generate+build+warm took %.2fs, budget %.2fs (committed %.2fs +10%%)",
-			run.TotalS, budget, base.TotalS)
-	}
+	budget := benchgate.Budget(t, "paper-scale generate+build+warm (s)", run.TotalS, base.TotalS, 0.10)
 	t.Logf("generate %.2fs + build %.2fs + warm(%d) %.2fs = %.2fs (budget %.2fs), warm NextHop %.0f ns",
 		run.GenerateS, run.BuildS, run.WarmTrees, run.WarmS, run.TotalS, budget, run.NextHopNs)
 }
@@ -144,13 +134,7 @@ func TestTopoReport(t *testing.T) {
 	if second := measureTopoRun(t); second.TotalS < best.TotalS {
 		best = second
 	}
-	out, err := json.MarshalIndent(best, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile("BENCH_topo.json", append(out, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	benchgate.Write(t, "BENCH_topo.json", best)
 	t.Logf("generate %.2fs + build %.2fs + warm(%d) %.2fs = %.2fs, warm NextHop %.0f ns",
 		best.GenerateS, best.BuildS, best.WarmTrees, best.WarmS, best.TotalS, best.NextHopNs)
 }
