@@ -32,17 +32,23 @@ vet-obs:
 # The pre-merge gate: static analysis, the full suite under the race
 # detector (with shuffled test order to catch order-dependent tests),
 # and the paper-scale topology and end-to-end budgets.
-check: vet vet-obs test-race bench-topo bench-paper bench-snapshot
+check: vet vet-obs test-race bench-topo bench-paper bench-snapshot bench-dataplane-gate
 
 # Per-figure/table reproduction benches (bench_test.go at the root).
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# Data-plane throughput report: serial vs parallel vs batch Mpps into
-# BENCH_dataplane.json. Fails if the idle path computes any CMAC or the
-# allocations per stamped packet regress above BENCH_baseline.json.
+# Data-plane throughput report: serial vs parallel vs batch vs hostile
+# many-flows Mpps into BENCH_dataplane.json. Fails if the idle path
+# computes any CMAC or the allocations per stamped packet regress above
+# BENCH_baseline.json.
 bench-dataplane:
 	DISCS_DATAPLANE_REPORT=1 $(GO) test -run 'TestDataPlane(Budget|Report)' -count=1 -v .
+
+# Throughput floor gate: the batch and many-flows shapes must hold at
+# least half of the committed BENCH_dataplane.json Mpps at 0 allocs/op.
+bench-dataplane-gate:
+	DISCS_DATAPLANE_GATE=1 $(GO) test -run 'TestDataPlaneGate' -count=1 -v .
 
 # Observability overhead report: instrumented vs plain stamp+verify
 # into BENCH_obs.json. Fails if instrumentation allocates or costs more

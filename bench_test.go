@@ -328,6 +328,113 @@ func stampVerifyBatch(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
 }
 
+// manyFlowsSetup builds the hostile data-plane shape: the peer owns
+// 10.0.0.0/8 as 256 /16 prefixes and stamps toward 16 victim ASes
+// with distinct keys; each victim verifies its own /24 against the
+// peer's key. Sources are drawn from millions of distinct addresses,
+// so the per-pipeline address memos thrash and every packet pays the
+// full LPM + table walk; destinations alternate across the 16 keys,
+// so burst key runs split constantly and the stamp-key memo misses.
+func manyFlowsSetup(b testing.TB) (peer *core.BorderRouter, victims [16]*core.BorderRouter, now time.Time) {
+	b.Helper()
+	tp := topology.New()
+	if _, err := tp.AddAS(1); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		if err := tp.AddPrefix(1, netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	vicPfx := func(k int) netip.Prefix {
+		return netip.PrefixFrom(netip.AddrFrom4([4]byte{172, 16, byte(k), 0}), 24)
+	}
+	for k := 0; k < 16; k++ {
+		asn := topology.ASN(201 + k)
+		if _, err := tp.AddAS(asn); err != nil {
+			b.Fatal(err)
+		}
+		if err := tp.AddPrefix(asn, vicPfx(k)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	t0 := time.Unix(0, 0).UTC()
+	pt := core.NewTables(1, tp.Pfx2AS())
+	for k := 0; k < 16; k++ {
+		key := make([]byte, 16)
+		key[0] = byte(k + 1)
+		pt.In[core.TableOutDst].Install(vicPfx(k), core.OpDPFilter, t0, time.Hour, 0)
+		pt.In[core.TableOutDst].Install(vicPfx(k), core.OpCDPStamp, t0, time.Hour, 0)
+		pt.Keys.SetStampKey(topology.ASN(201+k), key)
+	}
+	peer = core.NewBorderRouter(pt, 1)
+	for k := 0; k < 16; k++ {
+		key := make([]byte, 16)
+		key[0] = byte(k + 1)
+		vt := core.NewTables(topology.ASN(201+k), tp.Pfx2AS())
+		vt.In[core.TableInDst].Install(vicPfx(k), core.OpCDPVerify, t0, time.Hour, 0)
+		vt.Keys.SetVerifyKey(1, key)
+		victims[k] = core.NewBorderRouter(vt, int64(2+k))
+	}
+	return peer, victims, t0.Add(time.Minute)
+}
+
+// stampVerifyManyFlows is the hostile round trip: every batch carries
+// 64 never-before-seen sources spread over the peer's 256 prefixes,
+// destined to 16 victims with 16 distinct stamp keys. Outbound runs as
+// one batch at the peer; survivors are dispatched to their victim's
+// inbound batch, mirroring a border router fanning verified traffic
+// out to its customers.
+func stampVerifyManyFlows(b *testing.B) {
+	peer, victims, now := manyFlowsSetup(b)
+	const batchSize = 64
+	raw := make([]*packet.IPv4, batchSize)
+	pkts := make([]core.MarkCarrier, batchSize)
+	for i := range raw {
+		raw[i] = &packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Payload: []byte("benchmark payload!")}
+		pkts[i] = core.V4{P: raw[i]}
+	}
+	var buckets [16][]core.MarkCarrier
+	for k := range buckets {
+		buckets[k] = make([]core.MarkCarrier, 0, batchSize)
+	}
+	out := make([]core.Verdict, 0, batchSize)
+	var ctr uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSize {
+		for _, p := range raw {
+			ctr += 0x9e3779b97f4a7c15
+			v := ctr ^ ctr>>29
+			p.Src = netip.AddrFrom4([4]byte{10, byte(v >> 16), byte(v >> 8), byte(v)})
+			p.Dst = netip.AddrFrom4([4]byte{172, 16, byte(v>>24) & 15, byte(v >> 32)})
+		}
+		out = peer.ProcessOutboundBatch(pkts, now, out[:0])
+		for k := range buckets {
+			buckets[k] = buckets[k][:0]
+		}
+		for j, v := range out {
+			if v != core.VerdictPassStamped {
+				b.Fatalf("outbound %v", v)
+			}
+			k := raw[j].Dst.As4()[2]
+			buckets[k] = append(buckets[k], pkts[j])
+		}
+		for k := range buckets {
+			if len(buckets[k]) == 0 {
+				continue
+			}
+			out = victims[k].ProcessInboundBatch(buckets[k], now, out[:0])
+			for _, v := range out {
+				if v != core.VerdictPassVerified {
+					b.Fatalf("inbound %v", v)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
+}
+
 // idleOutbound measures the no-invocation fast path: table snapshots
 // loaded, idle bounds checked, nothing else.
 func idleOutbound(b *testing.B) {
@@ -375,6 +482,12 @@ func BenchmarkStampVerifyV4Parallel(b *testing.B) { stampVerifyParallel(b) }
 // BenchmarkStampVerifyV4Batch measures the burst entry points
 // (ProcessOutboundBatch/ProcessInboundBatch).
 func BenchmarkStampVerifyV4Batch(b *testing.B) { stampVerifyBatch(b) }
+
+// BenchmarkStampVerifyV4ManyFlows measures the burst entry points
+// under the hostile shape: millions of distinct sources (cold address
+// memos, full LPM walks) and 16 alternating stamp keys (key-run splits,
+// cold key caches).
+func BenchmarkStampVerifyV4ManyFlows(b *testing.B) { stampVerifyManyFlows(b) }
 
 // dataPlaneBaseline is the committed allocation budget the data plane
 // must not regress above (BENCH_baseline.json).
@@ -429,23 +542,39 @@ func TestDataPlaneBudget(t *testing.T) {
 	}
 }
 
+// dataPlaneRow is one measured shape in BENCH_dataplane.json.
+type dataPlaneRow struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	Mpps        float64 `json:"mpps"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// dataPlaneReport is the committed BENCH_dataplane.json layout, shared
+// by the regenerating report and the throughput floor gate.
+type dataPlaneReport struct {
+	GeneratedBy   string       `json:"generated_by"`
+	NumCPU        int          `json:"num_cpu"`
+	ParallelProcs int          `json:"parallel_procs"`
+	PaperMpps     float64      `json:"paper_mpps_per_core"`
+	Serial        dataPlaneRow `json:"serial"`
+	Parallel      dataPlaneRow `json:"parallel"`
+	Batch         dataPlaneRow `json:"batch"`
+	ManyFlows     dataPlaneRow `json:"many_flows"`
+	Idle          dataPlaneRow `json:"idle"`
+}
+
 // TestDataPlaneReport regenerates BENCH_dataplane.json: the serial vs
-// parallel vs batch Mpps comparison plus the idle-path cost, measured
-// with the standard benchmark driver. Gated behind an environment
-// variable because it runs real benchmarks; `make bench-dataplane`
-// sets it.
+// parallel vs batch Mpps comparison, the hostile many-flows/many-keys
+// shape, plus the idle-path cost, measured with the standard benchmark
+// driver. Gated behind an environment variable because it runs real
+// benchmarks; `make bench-dataplane` sets it.
 func TestDataPlaneReport(t *testing.T) {
 	if os.Getenv("DISCS_DATAPLANE_REPORT") == "" {
 		t.Skip("set DISCS_DATAPLANE_REPORT=1 (make bench-dataplane) to regenerate BENCH_dataplane.json")
 	}
 
-	type row struct {
-		NsPerOp     float64 `json:"ns_per_op"`
-		Mpps        float64 `json:"mpps"`
-		AllocsPerOp int64   `json:"allocs_per_op"`
-	}
-	mk := func(r testing.BenchmarkResult) row {
-		return row{
+	mk := func(r testing.BenchmarkResult) dataPlaneRow {
+		return dataPlaneRow{
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			Mpps:        r.Extra["Mpps"],
 			AllocsPerOp: r.AllocsPerOp(),
@@ -454,6 +583,7 @@ func TestDataPlaneReport(t *testing.T) {
 
 	serial := testing.Benchmark(stampVerifySerial)
 	batch := testing.Benchmark(stampVerifyBatch)
+	many := testing.Benchmark(stampVerifyManyFlows)
 	idle := testing.Benchmark(idleOutbound)
 
 	// The parallel run needs more than one P to mean anything; mirror
@@ -466,16 +596,7 @@ func TestDataPlaneReport(t *testing.T) {
 	parallel := testing.Benchmark(stampVerifyParallel)
 	runtime.GOMAXPROCS(prev)
 
-	report := struct {
-		GeneratedBy   string  `json:"generated_by"`
-		NumCPU        int     `json:"num_cpu"`
-		ParallelProcs int     `json:"parallel_procs"`
-		PaperMpps     float64 `json:"paper_mpps_per_core"`
-		Serial        row     `json:"serial"`
-		Parallel      row     `json:"parallel"`
-		Batch         row     `json:"batch"`
-		Idle          row     `json:"idle"`
-	}{
+	report := dataPlaneReport{
 		GeneratedBy:   "make bench-dataplane",
 		NumCPU:        runtime.NumCPU(),
 		ParallelProcs: procs,
@@ -483,11 +604,42 @@ func TestDataPlaneReport(t *testing.T) {
 		Serial:        mk(serial),
 		Parallel:      mk(parallel),
 		Batch:         mk(batch),
+		ManyFlows:     mk(many),
 		Idle:          mk(idle),
 	}
 	benchgate.Write(t, "BENCH_dataplane.json", report)
-	t.Logf("serial %.3f / parallel %.3f / batch %.3f Mpps, idle %.1f ns/op",
-		report.Serial.Mpps, report.Parallel.Mpps, report.Batch.Mpps, report.Idle.NsPerOp)
+	t.Logf("serial %.3f / parallel %.3f / batch %.3f / many-flows %.3f Mpps, idle %.1f ns/op",
+		report.Serial.Mpps, report.Parallel.Mpps, report.Batch.Mpps, report.ManyFlows.Mpps,
+		report.Idle.NsPerOp)
+}
+
+// TestDataPlaneGate floor-gates data-plane throughput against the
+// committed BENCH_dataplane.json: the friendly batch shape and the
+// hostile many-flows shape must each hold ≥50% of their committed Mpps
+// at zero allocations per packet. Environment-gated (`make check` sets
+// it) so plain `go test ./...` stays robust on slow or contended
+// machines; the wide slack absorbs machine-to-machine variance while
+// still catching real regressions like a dead cache or a re-serialized
+// burst loop.
+func TestDataPlaneGate(t *testing.T) {
+	if os.Getenv("DISCS_DATAPLANE_GATE") == "" {
+		t.Skip("set DISCS_DATAPLANE_GATE=1 (make check) to run the throughput floor gate")
+	}
+	var base dataPlaneReport
+	benchgate.Load(t, "BENCH_dataplane.json", "make bench-dataplane", &base)
+
+	batch := testing.Benchmark(stampVerifyBatch)
+	many := testing.Benchmark(stampVerifyManyFlows)
+	if a := batch.AllocsPerOp(); a != 0 {
+		t.Fatalf("batch shape allocates %d/op, want 0", a)
+	}
+	if a := many.AllocsPerOp(); a != 0 {
+		t.Fatalf("many-flows shape allocates %d/op, want 0", a)
+	}
+	benchgate.Floor(t, "batch stamp+verify (Mpps)", batch.Extra["Mpps"], base.Batch.Mpps, 0.5)
+	benchgate.Floor(t, "many-flows stamp+verify (Mpps)", many.Extra["Mpps"], base.ManyFlows.Mpps, 0.5)
+	t.Logf("batch %.3f Mpps (committed %.3f), many-flows %.3f Mpps (committed %.3f)",
+		batch.Extra["Mpps"], base.Batch.Mpps, many.Extra["Mpps"], base.ManyFlows.Mpps)
 }
 
 // BenchmarkForgery is the §VI-E1 experiment: random 29-bit marks

@@ -44,7 +44,9 @@ func Write(tb testing.TB, path string, report any) {
 
 // Budget enforces got ≤ committed·(1+slack) and returns the computed
 // budget for logging. what should name the measurement with its unit,
-// e.g. "paper scenario at -workers 1 (s)".
+// e.g. "paper scenario at -workers 1 (s)". Use it for lower-is-better
+// metrics (latency, allocations); for higher-is-better metrics
+// (throughput) use Floor.
 func Budget(tb testing.TB, what string, got, committed, slack float64) float64 {
 	tb.Helper()
 	budget := committed * (1 + slack)
@@ -53,4 +55,18 @@ func Budget(tb testing.TB, what string, got, committed, slack float64) float64 {
 			what, got, budget, committed, slack*100)
 	}
 	return budget
+}
+
+// Floor enforces got ≥ committed·(1−slack) and returns the computed
+// floor for logging — the higher-is-better dual of Budget, for gating
+// throughput metrics like Mpps directly instead of inverting them into
+// a ns/op budget.
+func Floor(tb testing.TB, what string, got, committed, slack float64) float64 {
+	tb.Helper()
+	floor := committed * (1 - slack)
+	if got < floor {
+		tb.Fatalf("%s: %.3f under floor %.3f (committed %.3f -%.0f%%)",
+			what, got, floor, committed, slack*100)
+	}
+	return floor
 }

@@ -1,0 +1,63 @@
+package benchgate
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// fatalRecorder overrides Fatalf so gate failures can be asserted
+// in-process; the embedded TB supplies the rest of the interface.
+type fatalRecorder struct {
+	testing.TB
+	failed bool
+}
+
+func (f *fatalRecorder) Fatalf(string, ...any) { f.failed = true }
+func (f *fatalRecorder) Helper()               {}
+
+func TestBudget(t *testing.T) {
+	if b := Budget(t, "ns/op", 100, 100, 0.25); b != 125 {
+		t.Fatalf("budget = %v, want 125", b)
+	}
+	Budget(t, "ns/op", 109.9, 100, 0.1) // inside slack: passes
+
+	f := &fatalRecorder{TB: t}
+	Budget(f, "ns/op", 111, 100, 0.1)
+	if !f.failed {
+		t.Fatal("Budget accepted a measurement over budget")
+	}
+}
+
+func TestFloor(t *testing.T) {
+	if fl := Floor(t, "mpps", 100, 100, 0.1); fl != 90 {
+		t.Fatalf("floor = %v, want 90", fl)
+	}
+	Floor(t, "mpps", 90.1, 100, 0.1)  // inside slack: passes
+	Floor(t, "mpps", 150, 100, 0.1)   // faster than committed: passes
+	Floor(t, "mpps", 0.91, 1.0, 0.10) // boundary-ish: passes
+
+	f := &fatalRecorder{TB: t}
+	Floor(f, "mpps", 89.9, 100, 0.1)
+	if !f.failed {
+		t.Fatal("Floor accepted a measurement under the floor")
+	}
+	// A regression to half the committed throughput must always trip.
+	f2 := &fatalRecorder{TB: t}
+	Floor(f2, "mpps", 50, 100, 0.25)
+	if !f2.failed {
+		t.Fatal("Floor accepted a 2x throughput regression")
+	}
+}
+
+func TestLoadWriteRoundTrip(t *testing.T) {
+	type report struct {
+		Mpps float64 `json:"mpps"`
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	Write(t, path, report{Mpps: 4.8})
+	var got report
+	Load(t, path, "make bench-test", &got)
+	if got.Mpps != 4.8 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}

@@ -95,6 +95,17 @@ func (c *CMAC) Sum(msg []byte) [BlockSize]byte {
 // SumWith computes the 16-byte AES-CMAC of msg using the caller's
 // scratch buffers, performing no heap allocation.
 func (c *CMAC) SumWith(msg []byte, s *Scratch) [BlockSize]byte {
+	return c.SumCached(msg, s, nil)
+}
+
+// SumCached is SumWith with an optional first-block cache. For messages
+// of two or more blocks the first chained encryption E_K(M1) depends
+// only on the key and the leading 16 message bytes; when bc is non-nil
+// that value is looked up (and on miss, filled) in bc, saving one AES
+// round per MAC for workloads where the leading block repeats — in
+// DISCS the first block of a mark message holds header fields shared by
+// every packet of a flow. A nil bc computes everything directly.
+func (c *CMAC) SumCached(msg []byte, s *Scratch, bc *BlockCache) [BlockSize]byte {
 	n := len(msg)
 	nBlocks := (n + BlockSize - 1) / BlockSize
 	complete := nBlocks > 0 && n%BlockSize == 0
@@ -114,10 +125,16 @@ func (c *CMAC) SumWith(msg []byte, s *Scratch) [BlockSize]byte {
 		xorInto(&last, &c.k2)
 	}
 
-	s.x = [BlockSize]byte{}
-	for i := 0; i < nBlocks-1; i++ {
-		xorBlock(&s.y, &s.x, msg[i*BlockSize:(i+1)*BlockSize])
-		c.block.Encrypt(s.x[:], s.y[:])
+	if nBlocks >= 2 {
+		// First chained block: X1 = E_K(M1), cacheable.
+		copy(s.y[:], msg[:BlockSize])
+		c.firstBlock(&s.y, &s.x, bc)
+		for i := 1; i < nBlocks-1; i++ {
+			xorBlock(&s.y, &s.x, msg[i*BlockSize:(i+1)*BlockSize])
+			c.block.Encrypt(s.x[:], s.y[:])
+		}
+	} else {
+		s.x = [BlockSize]byte{}
 	}
 	xorBlock(&s.y, &s.x, last[:])
 	c.block.Encrypt(s.x[:], s.y[:])
@@ -142,12 +159,186 @@ func xorInto(dst, src *[BlockSize]byte) {
 }
 
 // Verify reports whether mac equals the CMAC of msg, in constant time.
+// A mac of the wrong length is rejected before any AES work is done;
+// the constant-time property only matters for well-formed candidates.
 func (c *CMAC) Verify(msg, mac []byte) bool {
-	want := c.Sum(msg)
 	if len(mac) != BlockSize {
 		return false
 	}
+	want := c.Sum(msg)
 	return subtle.ConstantTimeCompare(want[:], mac) == 1
+}
+
+// blockCacheSize is the number of direct-mapped BlockCache slots. At 40
+// bytes per entry the whole cache is ~10 KiB — resident in L1/L2 for a
+// pinned data-plane worker.
+const blockCacheSize = 256
+
+type blockCacheEntry struct {
+	key *CMAC
+	blk [BlockSize]byte
+	enc [BlockSize]byte
+}
+
+// BlockCache is a direct-mapped cache of first-block encryptions
+// E_K(M1), keyed by (CMAC instance, plaintext block). It exploits the
+// structure of DISCS mark messages: the leading 16 bytes carry header
+// fields that repeat across the packets of a flow, so in steady state
+// the first of the two AES rounds per mark can be skipped entirely.
+//
+// Entries are tagged with the *CMAC pointer, so key rotation
+// invalidates naturally: a new key table snapshot carries new CMAC
+// instances and their lookups simply miss. A BlockCache must not be
+// shared by concurrent computations; give each data-plane worker its
+// own (core.BurstPipeline does this). The zero value is ready to use.
+type BlockCache struct {
+	entries      [blockCacheSize]blockCacheEntry
+	hits, misses uint64
+}
+
+// Hits returns the number of cache hits since the last Reset.
+func (bc *BlockCache) Hits() uint64 { return bc.hits }
+
+// Misses returns the number of cache misses since the last Reset.
+func (bc *BlockCache) Misses() uint64 { return bc.misses }
+
+// Reset clears all entries and counters.
+func (bc *BlockCache) Reset() { *bc = BlockCache{} }
+
+// blockSlot hashes a plaintext block to a cache slot.
+func blockSlot(b *[BlockSize]byte) uint32 {
+	h := binary.LittleEndian.Uint64(b[0:8]) ^ binary.LittleEndian.Uint64(b[8:16])*0x9e3779b97f4a7c15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	return uint32(h>>32) & (blockCacheSize - 1)
+}
+
+// firstBlock sets *dst = E_K(*src), consulting bc when non-nil. src and
+// dst must be scratch-owned buffers (they are passed to cipher.Block
+// methods and would otherwise escape).
+func (c *CMAC) firstBlock(src, dst *[BlockSize]byte, bc *BlockCache) {
+	if bc == nil {
+		c.block.Encrypt(dst[:], src[:])
+		return
+	}
+	e := &bc.entries[blockSlot(src)]
+	if e.key == c && e.blk == *src {
+		bc.hits++
+		*dst = e.enc
+		return
+	}
+	bc.misses++
+	c.block.Encrypt(dst[:], src[:])
+	e.key, e.blk, e.enc = c, *src, *dst
+}
+
+// BurstLanes is the number of independent CMAC chains SumBurst keeps in
+// flight at once. AES-NI encrypt has multi-cycle latency but per-cycle
+// throughput; eight independent chains are enough to cover the latency
+// of one AESENC sequence on current x86 and arm64 cores.
+const BurstLanes = 8
+
+// BurstScratch holds the per-lane chaining buffers for SumBurst29/32.
+// Like Scratch it exists to keep the buffers heap-resident but
+// allocation-free in steady state; it must not be shared by concurrent
+// bursts. The zero value is ready to use.
+type BurstScratch struct {
+	x, y [BurstLanes][BlockSize]byte
+}
+
+// SumBurst32 computes the 32-bit truncated CMAC of n = len(out)
+// equal-length messages packed back-to-back in flat (message i occupies
+// flat[i*msgLen:(i+1)*msgLen]), writing the results to out. The
+// messages are independent, so their block encryptions are interleaved
+// across up to BurstLanes lanes: all first blocks, then each interior
+// block index across lanes, then all final blocks. Consecutive Encrypt
+// calls therefore never depend on each other and the AES unit stays
+// full instead of stalling on the serial CBC-MAC chain of a single
+// message. bc, when non-nil, serves first-block encryptions for
+// messages of two or more blocks (see BlockCache).
+//
+// Results are bit-identical to calling Sum32 per message.
+func (c *CMAC) SumBurst32(flat []byte, msgLen int, out []uint32, bs *BurstScratch, bc *BlockCache) {
+	n := len(out)
+	if msgLen <= 0 {
+		panic("cmac: SumBurst32 msgLen must be positive")
+	}
+	if len(flat) < n*msgLen {
+		panic("cmac: SumBurst32 flat shorter than len(out)*msgLen")
+	}
+	nBlocks := (msgLen + BlockSize - 1) / BlockSize
+	complete := msgLen%BlockSize == 0
+	if nBlocks < 2 {
+		// Single-block messages: the only AES round already folds in
+		// the subkey, so there is no shared prefix to cache and no
+		// chain to overlap. Process serially through lane 0.
+		for i := 0; i < n; i++ {
+			rem := flat[i*msgLen : (i+1)*msgLen]
+			var last [BlockSize]byte
+			copy(last[:], rem)
+			if complete {
+				xorInto(&last, &c.k1)
+			} else {
+				last[msgLen] = 0x80
+				xorInto(&last, &c.k2)
+			}
+			bs.y[0] = last
+			c.block.Encrypt(bs.x[0][:], bs.y[0][:])
+			out[i] = mac32(&bs.x[0])
+		}
+		return
+	}
+	lastOff := (nBlocks - 1) * BlockSize
+	for base := 0; base < n; base += BurstLanes {
+		m := n - base
+		if m > BurstLanes {
+			m = BurstLanes
+		}
+		// Phase 1: first blocks, X1 = E_K(M1) per lane.
+		for j := 0; j < m; j++ {
+			msg := flat[(base+j)*msgLen:]
+			copy(bs.y[j][:], msg[:BlockSize])
+			c.firstBlock(&bs.y[j], &bs.x[j], bc)
+		}
+		// Phase 2: interior blocks, one block index across all lanes
+		// before advancing, so adjacent encryptions are independent.
+		for b := 1; b < nBlocks-1; b++ {
+			off := b * BlockSize
+			for j := 0; j < m; j++ {
+				msg := flat[(base+j)*msgLen:]
+				xorBlock(&bs.y[j], &bs.x[j], msg[off:off+BlockSize])
+				c.block.Encrypt(bs.x[j][:], bs.y[j][:])
+			}
+		}
+		// Phase 3: fold the subkeyed final block per lane, then run
+		// the closing encryptions back to back.
+		for j := 0; j < m; j++ {
+			rem := flat[(base+j)*msgLen+lastOff : (base+j+1)*msgLen]
+			var last [BlockSize]byte
+			copy(last[:], rem)
+			if complete {
+				xorInto(&last, &c.k1)
+			} else {
+				last[len(rem)] = 0x80
+				xorInto(&last, &c.k2)
+			}
+			xorBlock(&bs.y[j], &bs.x[j], last[:])
+		}
+		for j := 0; j < m; j++ {
+			c.block.Encrypt(bs.x[j][:], bs.y[j][:])
+		}
+		for j := 0; j < m; j++ {
+			out[base+j] = mac32(&bs.x[j])
+		}
+	}
+}
+
+// SumBurst29 is SumBurst32 truncated to the 29-bit IPv4 mark width.
+func (c *CMAC) SumBurst29(flat []byte, msgLen int, out []uint32, bs *BurstScratch, bc *BlockCache) {
+	c.SumBurst32(flat, msgLen, out, bs, bc)
+	for i := range out {
+		out[i] >>= 3
+	}
 }
 
 // Sum29 computes the 29-bit truncation used for IPv4 stamping: the
@@ -174,6 +365,22 @@ func (c *CMAC) Sum32(msg []byte) uint32 {
 // Sum32With is Sum32 with caller-provided scratch buffers.
 func (c *CMAC) Sum32With(msg []byte, s *Scratch) uint32 {
 	m := c.SumWith(msg, s)
+	return mac32(&m)
+}
+
+// Sum29Cached is Sum29With with an optional first-block cache.
+func (c *CMAC) Sum29Cached(msg []byte, s *Scratch, bc *BlockCache) uint32 {
+	return c.Sum32Cached(msg, s, bc) >> 3
+}
+
+// Sum32Cached is Sum32With with an optional first-block cache.
+func (c *CMAC) Sum32Cached(msg []byte, s *Scratch, bc *BlockCache) uint32 {
+	m := c.SumCached(msg, s, bc)
+	return mac32(&m)
+}
+
+// mac32 extracts the 32-bit truncation (big-endian leading 4 bytes).
+func mac32(m *[BlockSize]byte) uint32 {
 	return uint32(m[0])<<24 | uint32(m[1])<<16 | uint32(m[2])<<8 | uint32(m[3])
 }
 

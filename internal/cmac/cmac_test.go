@@ -207,6 +207,142 @@ func TestPropertyPrefixDistinct(t *testing.T) {
 	}
 }
 
+// Regression: Verify must reject a wrong-length mac up front (it used
+// to burn a full CMAC computation before looking at len(mac)).
+func TestVerifyWrongLengthMAC(t *testing.T) {
+	c, _ := New(rfcKey)
+	mac := c.Sum(rfcMsg[:16])
+	long := append(mac[:], 0x00)
+	for _, cand := range [][]byte{nil, {}, mac[:1], mac[:15], long} {
+		if c.Verify(rfcMsg[:16], cand) {
+			t.Errorf("Verify accepted %d-byte mac", len(cand))
+		}
+	}
+	if !c.Verify(rfcMsg[:16], mac[:]) {
+		t.Error("Verify rejected correct mac")
+	}
+}
+
+// SumCached must be bit-identical to SumWith for every length and
+// cache state.
+func TestSumCachedMatchesSum(t *testing.T) {
+	c, _ := New(rfcKey)
+	var s Scratch
+	var bc BlockCache
+	msg := make([]byte, 100)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	for n := 0; n <= len(msg); n++ {
+		want := c.Sum(msg[:n])
+		for pass := 0; pass < 2; pass++ { // cold then warm cache
+			if got := c.SumCached(msg[:n], &s, &bc); got != want {
+				t.Fatalf("len %d pass %d: SumCached = %x, want %x", n, pass, got, want)
+			}
+		}
+		if got := c.SumCached(msg[:n], &s, nil); got != want {
+			t.Fatalf("len %d: SumCached(nil cache) = %x, want %x", n, got, want)
+		}
+	}
+}
+
+func TestBlockCacheBehavior(t *testing.T) {
+	c, _ := New(rfcKey)
+	var s Scratch
+	var bc BlockCache
+	msg := make([]byte, 21) // 2 blocks: first block cacheable
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	c.SumCached(msg, &s, &bc)
+	if bc.Misses() != 1 || bc.Hits() != 0 {
+		t.Fatalf("cold: hits=%d misses=%d, want 0/1", bc.Hits(), bc.Misses())
+	}
+	// Same leading block, different tail: still a hit.
+	msg[20] ^= 0xff
+	c.SumCached(msg, &s, &bc)
+	if bc.Hits() != 1 {
+		t.Fatalf("warm: hits=%d, want 1", bc.Hits())
+	}
+	// A different CMAC instance over the same key bytes must miss:
+	// entries are tagged by instance pointer, which is how key-table
+	// snapshot swaps invalidate the cache.
+	c2, _ := New(rfcKey)
+	c2.SumCached(msg, &s, &bc)
+	if bc.Misses() != 2 {
+		t.Fatalf("rotated key: misses=%d, want 2", bc.Misses())
+	}
+	bc.Reset()
+	if bc.Hits() != 0 || bc.Misses() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	// Single-block messages never touch the cache.
+	c.SumCached(msg[:10], &s, &bc)
+	if bc.Hits()+bc.Misses() != 0 {
+		t.Fatal("single-block message consulted the cache")
+	}
+}
+
+// SumBurst must be bit-identical to per-message Sum32/Sum29 across
+// message lengths (single-block, exact-multiple, padded) and burst
+// sizes (empty, partial lane group, multiple groups), cached or not.
+func TestSumBurstMatchesSerial(t *testing.T) {
+	c, _ := New(rfcKey)
+	var bs BurstScratch
+	var bc BlockCache
+	for _, msgLen := range []int{1, 5, 15, 16, 17, 21, 32, 40, 47, 48, 100} {
+		for _, n := range []int{0, 1, 3, 8, 9, 16, 23, 64} {
+			flat := make([]byte, n*msgLen)
+			for i := range flat {
+				flat[i] = byte(i*13 + msgLen)
+			}
+			// Repeat some leading blocks so the cache path gets hits.
+			if n > 4 && msgLen >= 17 {
+				copy(flat[2*msgLen:], flat[:16])
+				copy(flat[3*msgLen:], flat[:16])
+			}
+			out := make([]uint32, n)
+			for _, cache := range []*BlockCache{nil, &bc} {
+				c.SumBurst32(flat, msgLen, out, &bs, cache)
+				for i := 0; i < n; i++ {
+					want := c.Sum32(flat[i*msgLen : (i+1)*msgLen])
+					if out[i] != want {
+						t.Fatalf("msgLen=%d n=%d cache=%v msg %d: burst %08x, serial %08x",
+							msgLen, n, cache != nil, i, out[i], want)
+					}
+				}
+				c.SumBurst29(flat, msgLen, out, &bs, cache)
+				for i := 0; i < n; i++ {
+					want := c.Sum29(flat[i*msgLen : (i+1)*msgLen])
+					if out[i] != want {
+						t.Fatalf("msgLen=%d n=%d cache=%v msg %d: burst29 %08x, serial %08x",
+							msgLen, n, cache != nil, i, out[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSumBurstPanics(t *testing.T) {
+	c, _ := New(rfcKey)
+	var bs BurstScratch
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("msgLen=0", func() {
+		c.SumBurst32(nil, 0, make([]uint32, 1), &bs, nil)
+	})
+	mustPanic("short flat", func() {
+		c.SumBurst32(make([]byte, 20), 21, make([]uint32, 1), &bs, nil)
+	})
+}
+
 func BenchmarkSum21B(b *testing.B) {
 	// 21 bytes is the IPv4 msg size (§V-E).
 	c, _ := New(rfcKey)
@@ -234,4 +370,62 @@ func BenchmarkSum1500B(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c.Sum(msg)
 	}
+}
+
+// benchBurst packs n copies of distinct 21-byte v4-shaped messages; if
+// sharedPrefix, all share the leading 16 bytes (flow locality → cache
+// hits), else every first block differs (hostile shape).
+func benchBurst(b *testing.B, n int, sharedPrefix, cached bool) {
+	c, _ := New(rfcKey)
+	const msgLen = 21
+	flat := make([]byte, n*msgLen)
+	for i := 0; i < n; i++ {
+		m := flat[i*msgLen : (i+1)*msgLen]
+		for j := range m {
+			m[j] = byte(j)
+		}
+		if sharedPrefix {
+			m[18] = byte(i) // vary only the tail
+		} else {
+			m[0] = byte(i)
+			m[1] = byte(i >> 8)
+		}
+	}
+	var bs BurstScratch
+	var bc BlockCache
+	cache := &bc
+	if !cached {
+		cache = nil
+	}
+	out := make([]uint32, n)
+	b.SetBytes(int64(n * msgLen))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SumBurst29(flat, msgLen, out, &bs, cache)
+	}
+	b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds()/1e6, "Mmacs/s")
+}
+
+func BenchmarkSumBurst64x21B(b *testing.B)       { benchBurst(b, 64, false, false) }
+func BenchmarkSumBurst64x21BCached(b *testing.B) { benchBurst(b, 64, true, true) }
+func BenchmarkSumBurst64x21BCold(b *testing.B)   { benchBurst(b, 64, false, true) }
+
+func BenchmarkSumSerial64x21B(b *testing.B) {
+	c, _ := New(rfcKey)
+	const msgLen = 21
+	flat := make([]byte, 64*msgLen)
+	for i := range flat {
+		flat[i] = byte(i)
+	}
+	var s Scratch
+	b.SetBytes(64 * msgLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			c.Sum29With(flat[j*msgLen:(j+1)*msgLen], &s)
+		}
+	}
+	b.ReportMetric(float64(b.N*64)/b.Elapsed().Seconds()/1e6, "Mmacs/s")
 }

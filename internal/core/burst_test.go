@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"discs/internal/lpm"
+	"discs/internal/packet"
+	"discs/internal/topology"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := []struct{ n, want uint64 }{
+		{0, 1},
+		{1, 1},
+		{2, 2},
+		{3, 4},
+		{5, 8},
+		{1 << 20, 1 << 20},
+		{1<<20 + 1, 1 << 21},
+		{1 << 63, 1 << 63},
+		// Overflow boundary: anything above the largest power of two
+		// clamps instead of looping forever (p would shift to 0).
+		{1<<63 + 1, 1 << 63},
+		{^uint64(0), 1 << 63},
+	}
+	for _, tc := range cases {
+		if got := nextPow2(tc.n); got != tc.want {
+			t.Errorf("nextPow2(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+var (
+	burstKey3 = func() []byte { k := make([]byte, 16); k[0] = 3; return k }()
+	burstKey4 = func() []byte { k := make([]byte, 16); k[0] = 4; return k }()
+	burstKeyN = func() []byte { k := make([]byte, 16); k[0] = 9; return k }()
+)
+
+func burstPfx2AS(t *testing.T) *lpm.Table[topology.ASN] {
+	t.Helper()
+	tbl := testPfx2AS(t)
+	for asn, p := range map[topology.ASN]string{
+		1: "2001:db8:1::/48", 3: "2001:db8:3::/48",
+	} {
+		if err := tbl.Insert(netip.MustParsePrefix(p), asn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// burstSetup builds a two-family scenario rich enough to drive every
+// burst-path branch:
+//
+//	peer (AS1): DP filter + CDP stamp toward 10.3/16 (key AS3), CDP
+//	stamp toward 10.4/16 (key AS4 — forces mid-burst key-run splits)
+//	and toward 2001:db8:3::/48 (key AS3, v6 family splits).
+//	victim (AS3): CDP verify on 10.3/16 and 2001:db8:3::/48 (strict),
+//	CDP verify on 10.4/16 with an always-in-grace tolerance
+//	(erase-only path, which consumes scrub-RNG draws).
+func burstSetup(t *testing.T, mtu int) (peer, victim *BorderRouter) {
+	t.Helper()
+	v4strict := netip.MustParsePrefix("10.3.0.0/16")
+	v4grace := netip.MustParsePrefix("10.4.0.0/16")
+	v6strict := netip.MustParsePrefix("2001:db8:3::/48")
+
+	pt := NewTables(1, burstPfx2AS(t))
+	pt.In[TableOutDst].Install(v4strict, OpDPFilter, t0, time.Hour, 0)
+	pt.In[TableOutDst].Install(v4strict, OpCDPStamp, t0, time.Hour, 0)
+	pt.In[TableOutDst].Install(v4grace, OpCDPStamp, t0, time.Hour, 0)
+	pt.In[TableOutDst].Install(v6strict, OpCDPStamp, t0, time.Hour, 0)
+	pt.Keys.SetStampKey(3, burstKey3)
+	pt.Keys.SetStampKey(4, burstKey4)
+	peer = NewBorderRouterWithOptions(RouterOptions{Tables: pt, Seed: 7, ExternalMTU: mtu,
+		RouterAddr: netip.MustParseAddr("2001:db8:1::1")})
+
+	vt := NewTables(3, burstPfx2AS(t))
+	vt.In[TableInDst].Install(v4strict, OpCDPVerify, t0, time.Hour, 0)
+	vt.In[TableInDst].Install(v6strict, OpCDPVerify, t0, time.Hour, 0)
+	// Grace tolerance larger than the elapsed time at t0+1m keeps this
+	// prefix permanently in its head tolerance: erase-only.
+	vt.In[TableInDst].Install(v4grace, OpCDPVerify, t0, time.Hour, 30*time.Minute)
+	vt.Keys.SetVerifyKey(1, burstKey3)
+	victim = NewBorderRouterWithOptions(RouterOptions{Tables: vt, Seed: 8})
+	return peer, victim
+}
+
+// burstPacketMix generates a deterministic pseudo-random traffic mix
+// hitting stamping, filtering, grace, MTU, fault and both-family paths.
+func burstPacketMix(seed int64, n int) []MarkCarrier {
+	rng := rand.New(rand.NewSource(seed))
+	pkts := make([]MarkCarrier, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0: // genuine v4 toward the strict prefix
+			p := samplePacketV4()
+			p.Src = netip.MustParseAddr(fmt.Sprintf("10.1.%d.%d", rng.Intn(4), 1+rng.Intn(250)))
+			p.Dst = netip.MustParseAddr(fmt.Sprintf("10.3.0.%d", 1+rng.Intn(250)))
+			pkts = append(pkts, V4{p})
+		case 1: // spoofed v4 (non-local source, DP filter drop)
+			p := samplePacketV4()
+			p.Src = netip.MustParseAddr(fmt.Sprintf("10.2.0.%d", 1+rng.Intn(250)))
+			pkts = append(pkts, V4{p})
+		case 2: // v4 toward the graced prefix (stamped with key AS4)
+			p := samplePacketV4()
+			p.Src = netip.MustParseAddr(fmt.Sprintf("10.1.1.%d", 1+rng.Intn(250)))
+			p.Dst = netip.MustParseAddr(fmt.Sprintf("10.4.0.%d", 1+rng.Intn(250)))
+			pkts = append(pkts, V4{p})
+		case 3: // v4 toward uncovered space: pass untouched both ways
+			p := samplePacketV4()
+			p.Src = netip.MustParseAddr(fmt.Sprintf("10.1.2.%d", 1+rng.Intn(250)))
+			p.Dst = netip.MustParseAddr(fmt.Sprintf("10.9.0.%d", 1+rng.Intn(250)))
+			pkts = append(pkts, V4{p})
+		case 4: // unknown source AS
+			p := samplePacketV4()
+			p.Src = netip.MustParseAddr(fmt.Sprintf("192.168.0.%d", 1+rng.Intn(250)))
+			p.Dst = netip.MustParseAddr("10.3.0.9")
+			pkts = append(pkts, V4{p})
+		case 5: // genuine v6
+			p := samplePacketV6()
+			p.Src = netip.MustParseAddr(fmt.Sprintf("2001:db8:1::%d", 1+rng.Intn(250)))
+			p.Dst = netip.MustParseAddr(fmt.Sprintf("2001:db8:3::%d", 1+rng.Intn(250)))
+			pkts = append(pkts, V6{p})
+		case 6: // v6 already carrying a (bogus) DISCS option: outbound
+			// stamp fails after computing its MAC; inbound fails verify.
+			p := samplePacketV6()
+			p.Src = netip.MustParseAddr(fmt.Sprintf("2001:db8:1::%d", 1+rng.Intn(250)))
+			p.Dst = netip.MustParseAddr(fmt.Sprintf("2001:db8:3::%d", 1+rng.Intn(250)))
+			if err := p.StampV6(0xdeadbeef); err != nil {
+				panic(err)
+			}
+			pkts = append(pkts, V6{p})
+		default: // oversized v6 (too-big drop when an MTU is set)
+			p := samplePacketV6()
+			p.Src = netip.MustParseAddr(fmt.Sprintf("2001:db8:1::%d", 1+rng.Intn(250)))
+			p.Dst = netip.MustParseAddr(fmt.Sprintf("2001:db8:3::%d", 1+rng.Intn(250)))
+			p.Payload = make([]byte, 1400)
+			pkts = append(pkts, V6{p})
+		}
+	}
+	return pkts
+}
+
+func marshalCarrier(t *testing.T, c MarkCarrier) []byte {
+	t.Helper()
+	var b []byte
+	var err error
+	switch w := c.(type) {
+	case V4:
+		b, err = w.P.Marshal()
+	case V6:
+		b, err = w.P.Marshal()
+	default:
+		t.Fatalf("unknown carrier %T", c)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// runBurstDifferential drives the same traffic through a serial pair
+// and a batch pair and requires bit-identical verdicts, packet bytes,
+// stats and alarm-sample sequences. mutate, when non-nil, runs between
+// the outbound and inbound halves on both victims (rekey windows,
+// mark corruption, alarm mode).
+func runBurstDifferential(t *testing.T, seed int64, n, mtu int, mutate func(r *BorderRouter, pkts []MarkCarrier)) {
+	t.Helper()
+	serialPeer, serialVictim := burstSetup(t, mtu)
+	batchPeer, batchVictim := burstSetup(t, mtu)
+	now := t0.Add(time.Minute)
+
+	var serialAlarms, batchAlarms []AlarmSample
+	serialVictim.OnAlarm = func(a AlarmSample) { serialAlarms = append(serialAlarms, a) }
+	batchVictim.OnAlarm = func(a AlarmSample) { batchAlarms = append(batchAlarms, a) }
+	var serialICMP, batchICMP int
+	serialPeer.OnPacketTooBig = func(*packet.IPv6) { serialICMP++ }
+	batchPeer.OnPacketTooBig = func(*packet.IPv6) { batchICMP++ }
+
+	serialPkts := burstPacketMix(seed, n)
+	batchPkts := burstPacketMix(seed, n)
+
+	// Outbound.
+	serialVerdicts := make([]Verdict, 0, n)
+	for _, p := range serialPkts {
+		serialVerdicts = append(serialVerdicts, serialPeer.ProcessOutbound(p, now))
+	}
+	batchVerdicts := batchPeer.ProcessOutboundBatch(batchPkts, now, nil)
+	for i := range serialVerdicts {
+		if serialVerdicts[i] != batchVerdicts[i] {
+			t.Fatalf("outbound pkt %d: serial=%v batch=%v", i, serialVerdicts[i], batchVerdicts[i])
+		}
+	}
+	if s, b := serialPeer.Stats(), batchPeer.Stats(); s != b {
+		t.Fatalf("outbound stats diverge:\nserial %+v\nbatch  %+v", s, b)
+	}
+	if serialICMP != batchICMP {
+		t.Fatalf("ICMP too-big callbacks: serial %d, batch %d", serialICMP, batchICMP)
+	}
+
+	if mutate != nil {
+		mutate(serialVictim, serialPkts)
+		mutate(batchVictim, batchPkts)
+	}
+
+	// Inbound: surviving packets only.
+	var serialIn, batchIn []MarkCarrier
+	for i, v := range serialVerdicts {
+		if !v.Dropped() {
+			serialIn = append(serialIn, serialPkts[i])
+			batchIn = append(batchIn, batchPkts[i])
+		}
+	}
+	sv := make([]Verdict, 0, len(serialIn))
+	for _, p := range serialIn {
+		sv = append(sv, serialVictim.ProcessInbound(p, now))
+	}
+	bv := batchVictim.ProcessInboundBatch(batchIn, now, nil)
+	for i := range sv {
+		if sv[i] != bv[i] {
+			t.Fatalf("inbound pkt %d: serial=%v batch=%v", i, sv[i], bv[i])
+		}
+	}
+	if s, b := serialVictim.Stats(), batchVictim.Stats(); s != b {
+		t.Fatalf("inbound stats diverge:\nserial %+v\nbatch  %+v", s, b)
+	}
+	if len(serialAlarms) != len(batchAlarms) {
+		t.Fatalf("alarm samples: serial %d, batch %d", len(serialAlarms), len(batchAlarms))
+	}
+	for i := range serialAlarms {
+		if serialAlarms[i] != batchAlarms[i] {
+			t.Fatalf("alarm sample %d: serial %+v, batch %+v", i, serialAlarms[i], batchAlarms[i])
+		}
+	}
+	// Packet bytes must match bit for bit — marks, erasures (which
+	// consume the same RNG draws in the same order) and v6 options.
+	for i := range serialIn {
+		sb := marshalCarrier(t, serialIn[i])
+		bb := marshalCarrier(t, batchIn[i])
+		if string(sb) != string(bb) {
+			t.Fatalf("inbound pkt %d bytes diverge after processing", i)
+		}
+	}
+}
+
+// The burst path must be observationally identical to serial
+// processing across families, key splits, grace windows and MTU drops.
+func TestBurstMatchesSerialMixed(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runBurstDifferential(t, seed, 256, 0, nil)
+		})
+	}
+}
+
+// Same, with an external MTU forcing too-big drops and ICMP errors.
+func TestBurstMatchesSerialMTU(t *testing.T) {
+	runBurstDifferential(t, 5, 256, 1280, nil)
+}
+
+// Same, in alarm mode: failures pass with alarm samples whose sequence
+// (including SrcAS resolution) must match serial exactly.
+func TestBurstMatchesSerialAlarmMode(t *testing.T) {
+	runBurstDifferential(t, 6, 256, 0, func(r *BorderRouter, pkts []MarkCarrier) {
+		r.SetAlarmMode(true)
+		// Corrupt some marks so the alarm path actually fires.
+		for i, p := range pkts {
+			if w, ok := p.(V4); ok && i%3 == 0 {
+				w.P.SetMark(w.P.Mark() ^ 0x15555)
+			}
+		}
+	})
+}
+
+// Same, inside a rekey window: the victim rotates to a new current key
+// while in-flight marks carry the old one, exercising the burst path's
+// previous-key retry (two MACs per packet, like serial).
+func TestBurstMatchesSerialRekeyWindow(t *testing.T) {
+	runBurstDifferential(t, 7, 256, 0, func(r *BorderRouter, pkts []MarkCarrier) {
+		r.Tables.Keys.SetVerifyKey(1, burstKeyN)
+	})
+}
+
+// Fault-shaped inputs: corrupted marks without alarm mode (drops), on
+// top of the mix's pre-stamped v6 duplicates and unknown sources.
+func TestBurstMatchesSerialCorruptedMarks(t *testing.T) {
+	runBurstDifferential(t, 8, 256, 0, func(r *BorderRouter, pkts []MarkCarrier) {
+		for i, p := range pkts {
+			switch w := p.(type) {
+			case V4:
+				if i%2 == 0 {
+					w.P.SetMark(w.P.Mark() ^ 1)
+				}
+			case V6:
+				if i%5 == 0 {
+					w.P.UnstampV6() // arrive unmarked: fails with zero MACs
+				}
+			}
+		}
+	})
+}
+
+// A dedicated pipeline must be reusable across routers and bursts: the
+// caches are keyed by key/table pointers, so switching routers between
+// bursts cannot leak state. (This is the netsim usage pattern.)
+func TestBurstPipelineReuseAcrossRouters(t *testing.T) {
+	peerA, victimA := burstSetup(t, 0)
+	peerB, victimB := burstSetup(t, 0)
+	serialPeer, serialVictim := burstSetup(t, 0)
+	now := t0.Add(time.Minute)
+	bp := NewBurstPipeline()
+
+	for round := 0; round < 4; round++ {
+		peer, victim := peerA, victimA
+		if round%2 == 1 {
+			peer, victim = peerB, victimB
+		}
+		pkts := burstPacketMix(int64(100+round), 64)
+		ref := burstPacketMix(int64(100+round), 64)
+
+		got := bp.Outbound(peer, pkts, now, nil)
+		want := make([]Verdict, 0, len(ref))
+		for _, p := range ref {
+			want = append(want, serialPeer.ProcessOutbound(p, now))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d outbound pkt %d: pipeline=%v serial=%v", round, i, got[i], want[i])
+			}
+		}
+		var in, refIn []MarkCarrier
+		for i, v := range want {
+			if !v.Dropped() {
+				in = append(in, pkts[i])
+				refIn = append(refIn, ref[i])
+			}
+		}
+		got = bp.Inbound(victim, in, now, nil)
+		want = want[:0]
+		for _, p := range refIn {
+			want = append(want, serialVictim.ProcessInbound(p, now))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d inbound pkt %d: pipeline=%v serial=%v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Idle tables (no active invocation anywhere) must take the burst fast
+// path and still count processed packets.
+func TestBurstIdleFastPath(t *testing.T) {
+	tb := NewTables(1, burstPfx2AS(t))
+	r := NewBorderRouter(tb, 1)
+	pkts := burstPacketMix(9, 32)
+	out := r.ProcessOutboundBatch(pkts, t0.Add(time.Minute), nil)
+	in := r.ProcessInboundBatch(pkts, t0.Add(time.Minute), nil)
+	for i := range pkts {
+		if out[i] != VerdictPass || in[i] != VerdictPass {
+			t.Fatalf("pkt %d: out=%v in=%v, want pass/pass", i, out[i], in[i])
+		}
+	}
+	if s := r.Stats(); s.OutProcessed != 32 || s.InProcessed != 32 || s.MACsComputed != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

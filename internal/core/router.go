@@ -309,8 +309,13 @@ type RouterOptions struct {
 	TraceSampleEvery int
 }
 
-// nextPow2 rounds n up to the next power of two (minimum 1).
+// nextPow2 rounds n up to the next power of two (minimum 1). Inputs
+// above 1<<63 — the largest uint64 power of two — clamp to 1<<63: the
+// doubling would otherwise overflow p to zero and never terminate.
 func nextPow2(n uint64) uint64 {
+	if n > 1<<63 {
+		return 1 << 63
+	}
 	p := uint64(1)
 	for p < n {
 		p <<= 1
@@ -380,23 +385,17 @@ func (r *BorderRouter) ProcessOutbound(p MarkCarrier, now time.Time) Verdict {
 }
 
 // ProcessOutboundBatch processes a burst of outbound packets against a
-// single coherent snapshot of the tables, amortizing snapshot loads,
-// CMAC scratch buffers and counter flushes across the burst. Verdicts
+// single coherent snapshot of the tables through the fused
+// BurstPipeline: one snapshot load and counter flush per burst,
+// memoized LPM/key lookups, and interleaved CMAC scheduling. Verdicts
 // are appended to dst (pass a reused buffer to keep the call
 // allocation-free) and returned. Every packet in the burst sees the
 // same table/key state; a concurrent controller mutation applies to
-// the next burst.
+// the next burst. Results are bit-identical to per-packet processing.
 func (r *BorderRouter) ProcessOutboundBatch(pkts []MarkCarrier, now time.Time, dst []Verdict) []Verdict {
-	st := r.Tables.loadOut()
-	nowN := now.UnixNano()
-	var d routerDeltas
-	var s cmac.Scratch
-	for _, p := range pkts {
-		v := r.processOutbound(&st, p, nowN, &d, &s)
-		r.maybeSample(p, v)
-		dst = append(dst, v)
-	}
-	d.flush(&r.m)
+	bp := pipelinePool.Get().(*BurstPipeline)
+	dst = bp.Outbound(r, pkts, now, dst)
+	pipelinePool.Put(bp)
 	return dst
 }
 
@@ -469,16 +468,9 @@ func (r *BorderRouter) ProcessInbound(p MarkCarrier, now time.Time) Verdict {
 // ProcessInboundBatch is the inbound counterpart of
 // ProcessOutboundBatch.
 func (r *BorderRouter) ProcessInboundBatch(pkts []MarkCarrier, now time.Time, dst []Verdict) []Verdict {
-	st := r.Tables.loadIn()
-	nowN := now.UnixNano()
-	var d routerDeltas
-	var s cmac.Scratch
-	for _, p := range pkts {
-		v := r.processInbound(&st, p, nowN, &d, &s)
-		r.maybeSample(p, v)
-		dst = append(dst, v)
-	}
-	d.flush(&r.m)
+	bp := pipelinePool.Get().(*BurstPipeline)
+	dst = bp.Inbound(r, pkts, now, dst)
+	pipelinePool.Put(bp)
 	return dst
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -56,6 +57,12 @@ func (s *funcSnapshot) idleAt(nowN int64) bool {
 }
 
 func (s *funcSnapshot) activeOps(addr netip.Addr, nowN int64) (active, grace OpSet) {
+	if s.n == 0 {
+		// Empty table: skip even the trie-root walk. Snapshots where
+		// only the *other* table of a direction has entries hit this on
+		// every packet.
+		return 0, 0
+	}
 	wins, ok := s.tbl.LookupVal(addr)
 	if !ok {
 		return 0, 0
@@ -350,6 +357,151 @@ func (t *Tables) genInTuple(st *inState, src, dst netip.Addr, nowN int64) InTupl
 func (t *Tables) GenOutTuple(src, dst netip.Addr, now time.Time) OutTuple {
 	st := t.loadOut()
 	return t.genOutTuple(&st, src, dst, now.UnixNano())
+}
+
+// pfxMemoSize is the number of direct-mapped slots in the Pfx2AS memo
+// (8 KiB-ish of addresses — resident for a pinned worker).
+const pfxMemoSize = 512
+
+// memo roles: one last-result slot per function table, so a burst with
+// flow locality (repeated sources or one victim destination) resolves
+// its per-packet op sets without re-walking the tries.
+const (
+	memoOutSrc = iota
+	memoOutDst
+	memoInSrc
+	memoInDst
+	memoRoles
+)
+
+// tupleMemo caches the LPM-heavy pieces of tuple generation for the
+// burst path. Two lifetimes coexist:
+//
+//   - The Pfx2AS memo persists across bursts (the mapping is stable for
+//     the life of a Tables); it is tagged with the *lpm.Table it was
+//     filled from, so swapping in a new table invalidates it wholesale.
+//   - The per-role op-set and stamp-key memos are only coherent against
+//     one (snapshot, nowN) pair and are cleared by beginBurst.
+//
+// A tupleMemo is single-goroutine state; core.BurstPipeline embeds one
+// per worker.
+type tupleMemo struct {
+	pfxTbl  *lpm.Table[topology.ASN]
+	pfxAddr [pfxMemoSize]netip.Addr
+	pfxASN  [pfxMemoSize]topology.ASN
+	pfxOK   [pfxMemoSize]bool
+	pfxSet  [pfxMemoSize]bool
+
+	opsAddr   [memoRoles]netip.Addr
+	opsOK     [memoRoles]bool
+	opsActive [memoRoles]OpSet
+	opsGrace  [memoRoles]OpSet
+
+	keyAS  topology.ASN
+	keyVal *cmac.CMAC
+	keyOK  bool
+}
+
+// beginBurst invalidates the snapshot-scoped memos; the Pfx2AS memo
+// survives.
+func (m *tupleMemo) beginBurst() {
+	m.opsOK = [memoRoles]bool{}
+	m.keyOK = false
+}
+
+// activeOps is funcSnapshot.activeOps behind the role's last-result
+// memo.
+func (m *tupleMemo) activeOps(role int, s *funcSnapshot, addr netip.Addr, nowN int64) (active, grace OpSet) {
+	if s.n == 0 {
+		return 0, 0
+	}
+	if m.opsOK[role] && m.opsAddr[role] == addr {
+		return m.opsActive[role], m.opsGrace[role]
+	}
+	active, grace = s.activeOps(addr, nowN)
+	m.opsOK[role], m.opsAddr[role] = true, addr
+	m.opsActive[role], m.opsGrace[role] = active, grace
+	return active, grace
+}
+
+// addrSlot hashes an address to a Pfx2AS memo slot.
+func addrSlot(a netip.Addr) uint32 {
+	var h uint64
+	if a.Is4() {
+		b := a.As4()
+		h = uint64(binary.BigEndian.Uint32(b[:]))
+	} else {
+		b := a.As16()
+		h = binary.LittleEndian.Uint64(b[0:8]) ^ binary.LittleEndian.Uint64(b[8:16])
+	}
+	h *= 0x9e3779b97f4a7c15
+	return uint32(h>>40) & (pfxMemoSize - 1)
+}
+
+// srcASMemo is srcAS behind the direct-mapped memo.
+func (t *Tables) srcASMemo(m *tupleMemo, a netip.Addr) (topology.ASN, bool) {
+	if m.pfxTbl != t.Pfx2AS {
+		m.pfxSet = [pfxMemoSize]bool{}
+		m.pfxTbl = t.Pfx2AS
+	}
+	s := addrSlot(a)
+	if m.pfxSet[s] && m.pfxAddr[s] == a {
+		return m.pfxASN[s], m.pfxOK[s]
+	}
+	asn, ok := t.Pfx2AS.LookupVal(a)
+	m.pfxSet[s], m.pfxAddr[s] = true, a
+	m.pfxASN[s], m.pfxOK[s] = asn, ok
+	return asn, ok
+}
+
+// genInTupleMemo is genInTuple with memoized lookups. The caller has
+// already handled the both-tables-idle early return once per burst.
+func (t *Tables) genInTupleMemo(st *inState, m *tupleMemo, src, dst netip.Addr, nowN int64) InTuple {
+	srcOps, srcGrace := m.activeOps(memoInSrc, st.src, src, nowN)
+	dstOps, dstGrace := m.activeOps(memoInDst, st.dst, dst, nowN)
+	verify := srcOps.Has(OpCSPVerify) || dstOps.Has(OpCDPVerify)
+	if !verify {
+		return InTuple{}
+	}
+	erase := true
+	if srcOps.Has(OpCSPVerify) && !srcGrace.Has(OpCSPVerify) {
+		erase = false
+	}
+	if dstOps.Has(OpCDPVerify) && !dstGrace.Has(OpCDPVerify) {
+		erase = false
+	}
+	asn, known := t.srcASMemo(m, src)
+	return InTuple{Verify: true, EraseOnly: erase, SrcAS: asn, SrcKnown: known}
+}
+
+// genOutTupleMemo is genOutTuple with memoized lookups; same contract
+// as genInTupleMemo.
+func (t *Tables) genOutTupleMemo(st *outState, m *tupleMemo, src, dst netip.Addr, nowN int64) OutTuple {
+	srcOps, _ := m.activeOps(memoOutSrc, st.src, src, nowN)
+	dstOps, _ := m.activeOps(memoOutDst, st.dst, dst, nowN)
+	var tup OutTuple
+	if srcOps == 0 && dstOps == 0 {
+		return tup
+	}
+	srcAS, srcKnown := t.srcASMemo(m, src)
+	local := srcKnown && srcAS == t.LocalAS
+	if !local && (srcOps.Has(OpSPFilter) || dstOps.Has(OpDPFilter)) {
+		tup.Drop = true
+		return tup
+	}
+	dstAS, _ := t.srcASMemo(m, dst)
+	tup.DstAS = dstAS
+	if srcOps.Has(OpCSPStamp) || dstOps.Has(OpCDPStamp) {
+		key := m.keyVal
+		if !m.keyOK || m.keyAS != dstAS {
+			key = st.keys.stamp[dstAS]
+			m.keyOK, m.keyAS, m.keyVal = true, dstAS, key
+		}
+		if (srcOps.Has(OpCSPStamp) && key != nil) || dstOps.Has(OpCDPStamp) {
+			tup.Stamp, tup.Key = true, key
+		}
+	}
+	return tup
 }
 
 func (t *Tables) genOutTuple(st *outState, src, dst netip.Addr, nowN int64) OutTuple {

@@ -1,11 +1,20 @@
 // Package lpm provides longest-prefix-match tables over IPv4 and IPv6
-// prefixes, built on binary tries.
+// prefixes, built on multibit tries.
 //
 // DISCS border routers and controllers use several LPM tables (§V-A of
 // the paper): the Pfx2AS mapping table and the four function tables
 // (In-Src, In-Dst, Out-Src, Out-Dst). All of them need exact-prefix
 // insert/delete and longest-prefix lookup by address; this package
 // provides a single generic implementation.
+//
+// The trie uses a 4-bit stride with controlled prefix expansion: each
+// node covers one address nibble, prefixes whose length is not a
+// multiple of four are expanded into the 2^(4-r) slots they cover, and
+// a lookup inspects at most 8 nodes for IPv4 (32 for IPv6) instead of
+// one per bit. The expansion bookkeeping (the exact entry list per
+// node) makes insert and delete a little dearer, which is the right
+// trade: DISCS mutates tables on control-plane events and looks them
+// up for every packet.
 package lpm
 
 import (
@@ -13,6 +22,12 @@ import (
 	"net/netip"
 	"sort"
 )
+
+// stride is the number of address bits consumed per trie level.
+const stride = 4
+
+// fanout is the number of child slots per node (2^stride).
+const fanout = 1 << stride
 
 // Table is a longest-prefix-match table mapping prefixes to values of
 // type V. IPv4 and IPv6 prefixes live in separate tries inside the same
@@ -23,13 +38,31 @@ import (
 // New.
 type Table[V any] struct {
 	v4, v6 *node[V]
-	n      int
+	// def4/def6 hold the zero-length prefixes (0.0.0.0/0, ::/0), which
+	// have no nibble to expand into.
+	def4, def6       V
+	defSet4, defSet6 bool
+	n                int
 }
 
+// entry is one exact prefix terminating in a node: a prefix of length
+// 4·depth+r (r in 1..4) whose last r bits are the top bits of suffix.
+type entry[V any] struct {
+	suffix uint8 // the prefix's bits within this node's nibble, left-aligned, low bits zero
+	r      uint8 // number of meaningful suffix bits, 1..4
+	val    V
+}
+
+// node covers one 4-bit stride of the address space. vals/rlen are the
+// expanded view consulted by lookups: slot s holds the longest prefix
+// terminating in this node that covers s (rlen is its length relative
+// to the node, 0 = none). exact is the authoritative entry list the
+// expansion is recomputed from on delete.
 type node[V any] struct {
-	child [2]*node[V]
-	val   V
-	set   bool
+	child [fanout]*node[V]
+	vals  [fanout]V
+	rlen  [fanout]uint8
+	exact []entry[V]
 }
 
 // New creates an empty table.
@@ -60,17 +93,53 @@ func Canon(p netip.Prefix) (netip.Prefix, error) {
 	return p.Masked(), nil
 }
 
-// bit returns bit i (0 = most significant) of the address.
-func bit(a netip.Addr, i int) int {
-	b := a.AsSlice()
-	return int(b[i/8]>>(7-i%8)) & 1
-}
-
 func (t *Table[V]) root(a netip.Addr) *node[V] {
 	if a.Is4() {
 		return t.v4
 	}
 	return t.v6
+}
+
+// addrBytes extracts the address bytes once up front; nibble i of the
+// address is then two shifts away.
+func addrBytes(a netip.Addr) (buf [16]byte, nibbles int) {
+	if a.Is4() {
+		b4 := a.As4()
+		copy(buf[:4], b4[:])
+		return buf, 8
+	}
+	return a.As16(), 32
+}
+
+// nibble returns 4-bit group i (0 = most significant) of buf.
+func nibble(buf *[16]byte, i int) uint8 {
+	return buf[i>>1] >> (4 - (i&1)<<2) & 0x0f
+}
+
+// walkTo descends (creating nodes when create is set) to the node a
+// prefix of length bits terminates in, returning the node, the suffix
+// nibble index, and the per-node remainder r in 1..4. bits must be > 0.
+func (t *Table[V]) walkTo(a netip.Addr, bits int, create bool) (n *node[V], nib uint8, r uint8) {
+	buf, _ := addrBytes(a)
+	depth := (bits - 1) / stride
+	n = t.root(a)
+	for i := 0; i < depth; i++ {
+		b := nibble(&buf, i)
+		if n.child[b] == nil {
+			if !create {
+				return nil, 0, 0
+			}
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	return n, nibble(&buf, depth), uint8(bits - depth*stride)
+}
+
+// covered returns the slot range [base, base+count) an entry expands
+// into.
+func covered(suffix, r uint8) (base, count int) {
+	return int(suffix), 1 << (stride - r)
 }
 
 // Insert adds or replaces the value for an exact prefix.
@@ -79,19 +148,56 @@ func (t *Table[V]) Insert(p netip.Prefix, v V) error {
 	if err != nil {
 		return err
 	}
-	n := t.root(p.Addr())
-	for i := 0; i < p.Bits(); i++ {
-		b := bit(p.Addr(), i)
-		if n.child[b] == nil {
-			n.child[b] = &node[V]{}
+	a := p.Addr()
+	if p.Bits() == 0 {
+		if a.Is4() {
+			if !t.defSet4 {
+				t.n++
+			}
+			t.def4, t.defSet4 = v, true
+		} else {
+			if !t.defSet6 {
+				t.n++
+			}
+			t.def6, t.defSet6 = v, true
 		}
-		n = n.child[b]
+		return nil
 	}
-	if !n.set {
+	n, nib, r := t.walkTo(a, p.Bits(), true)
+	suffix := nib & (0xf0 >> r)
+	replaced := false
+	for i := range n.exact {
+		if n.exact[i].suffix == suffix && n.exact[i].r == r {
+			n.exact[i].val, replaced = v, true
+			break
+		}
+	}
+	if !replaced {
+		n.exact = append(n.exact, entry[V]{suffix: suffix, r: r, val: v})
 		t.n++
 	}
-	n.val, n.set = v, true
+	base, count := covered(suffix, r)
+	for s := base; s < base+count; s++ {
+		if n.rlen[s] <= r {
+			n.vals[s], n.rlen[s] = v, r
+		}
+	}
 	return nil
+}
+
+// recompute rebuilds the expanded slots an entry covered from the
+// node's remaining exact entries (the rare path: delete only).
+func (n *node[V]) recompute(base, count int) {
+	for s := base; s < base+count; s++ {
+		var zero V
+		n.vals[s], n.rlen[s] = zero, 0
+		for i := range n.exact {
+			e := &n.exact[i]
+			if e.r >= n.rlen[s] && int(e.suffix) <= s && s < int(e.suffix)+1<<(stride-e.r) {
+				n.vals[s], n.rlen[s] = e.val, e.r
+			}
+		}
+	}
 }
 
 // Delete removes an exact prefix. It reports whether the prefix was
@@ -102,20 +208,39 @@ func (t *Table[V]) Delete(p netip.Prefix) bool {
 	if err != nil {
 		return false
 	}
-	n := t.root(p.Addr())
-	for i := 0; i < p.Bits(); i++ {
-		n = n.child[bit(p.Addr(), i)]
-		if n == nil {
-			return false
+	a := p.Addr()
+	if p.Bits() == 0 {
+		var zero V
+		if a.Is4() {
+			if !t.defSet4 {
+				return false
+			}
+			t.def4, t.defSet4 = zero, false
+		} else {
+			if !t.defSet6 {
+				return false
+			}
+			t.def6, t.defSet6 = zero, false
 		}
+		t.n--
+		return true
 	}
-	if !n.set {
+	n, nib, r := t.walkTo(a, p.Bits(), false)
+	if n == nil {
 		return false
 	}
-	var zero V
-	n.val, n.set = zero, false
-	t.n--
-	return true
+	suffix := nib & (0xf0 >> r)
+	for i := range n.exact {
+		if n.exact[i].suffix == suffix && n.exact[i].r == r {
+			n.exact[i] = n.exact[len(n.exact)-1]
+			n.exact = n.exact[:len(n.exact)-1]
+			base, count := covered(suffix, r)
+			n.recompute(base, count)
+			t.n--
+			return true
+		}
+	}
+	return false
 }
 
 // Get returns the value stored for the exact prefix.
@@ -125,14 +250,24 @@ func (t *Table[V]) Get(p netip.Prefix) (V, bool) {
 	if err != nil {
 		return zero, false
 	}
-	n := t.root(p.Addr())
-	for i := 0; i < p.Bits(); i++ {
-		n = n.child[bit(p.Addr(), i)]
-		if n == nil {
-			return zero, false
+	a := p.Addr()
+	if p.Bits() == 0 {
+		if a.Is4() {
+			return t.def4, t.defSet4
+		}
+		return t.def6, t.defSet6
+	}
+	n, nib, r := t.walkTo(a, p.Bits(), false)
+	if n == nil {
+		return zero, false
+	}
+	suffix := nib & (0xf0 >> r)
+	for i := range n.exact {
+		if n.exact[i].suffix == suffix && n.exact[i].r == r {
+			return n.exact[i].val, true
 		}
 	}
-	return n.val, n.set
+	return zero, false
 }
 
 // Lookup performs a longest-prefix match for the address and returns
@@ -148,34 +283,35 @@ func (t *Table[V]) Lookup(a netip.Addr) (V, netip.Prefix, bool) {
 
 // lookupVal is the allocation-free core of Lookup: it returns the
 // longest-match value and prefix length, or length -1 when nothing
-// matched. The address bytes are extracted once up front instead of per
-// trie level — this runs for every packet on the DISCS forwarding path.
+// matched. This runs for every packet on the DISCS forwarding path: one
+// node per address nibble, each visit an expanded-slot load and a child
+// load, with no per-bit branching.
 func (t *Table[V]) lookupVal(a netip.Addr) (V, int) {
-	var zero V
+	var best V
+	bestLen := -1
 	if !a.IsValid() {
-		return zero, -1
+		return best, -1
 	}
 	a = a.Unmap()
-	var buf [16]byte
-	maxBits := 128
+	buf, nibbles := addrBytes(a)
+	var n *node[V]
 	if a.Is4() {
-		b4 := a.As4()
-		copy(buf[:4], b4[:])
-		maxBits = 32
+		if t.defSet4 {
+			best, bestLen = t.def4, 0
+		}
+		n = t.v4
 	} else {
-		buf = a.As16()
+		if t.defSet6 {
+			best, bestLen = t.def6, 0
+		}
+		n = t.v6
 	}
-	n := t.root(a)
-	bestLen := -1
-	var best V
-	for i := 0; ; i++ {
-		if n.set {
-			bestLen, best = i, n.val
+	for i := 0; i < nibbles; i++ {
+		nib := buf[i>>1] >> (4 - (i&1)<<2) & 0x0f
+		if r := n.rlen[nib]; r > 0 {
+			best, bestLen = n.vals[nib], i*stride+int(r)
 		}
-		if i == maxBits {
-			break
-		}
-		n = n.child[buf[i>>3]>>(7-i&7)&1]
+		n = n.child[nib]
 		if n == nil {
 			break
 		}
@@ -199,40 +335,47 @@ func (t *Table[V]) Contains(a netip.Addr) bool {
 // Walk visits every (prefix, value) pair in the table in unspecified
 // order. Returning false from fn stops the walk.
 func (t *Table[V]) Walk(fn func(p netip.Prefix, v V) bool) {
+	mk := func(addr [16]byte, bits int, v6 bool) netip.Prefix {
+		if v6 {
+			return netip.PrefixFrom(netip.AddrFrom16(addr), bits)
+		}
+		var a4 [4]byte
+		copy(a4[:], addr[:4])
+		return netip.PrefixFrom(netip.AddrFrom4(a4), bits)
+	}
 	var rec func(n *node[V], addr [16]byte, depth int, v6 bool) bool
 	rec = func(n *node[V], addr [16]byte, depth int, v6 bool) bool {
-		if n == nil {
-			return true
-		}
-		if n.set {
-			var p netip.Prefix
-			if v6 {
-				p = netip.PrefixFrom(netip.AddrFrom16(addr), depth)
-			} else {
-				var a4 [4]byte
-				copy(a4[:], addr[:4])
-				p = netip.PrefixFrom(netip.AddrFrom4(a4), depth)
-			}
-			if !fn(p, n.val) {
+		for i := range n.exact {
+			e := &n.exact[i]
+			a := addr
+			a[depth>>1] |= e.suffix << (4 - (depth&1)<<2)
+			if !fn(mk(a, depth*stride+int(e.r), v6), e.val) {
 				return false
 			}
 		}
-		if n.child[0] != nil && !rec(n.child[0], addr, depth+1, v6) {
-			return false
-		}
-		if n.child[1] != nil {
-			addr[depth/8] |= 1 << (7 - depth%8)
-			if !rec(n.child[1], addr, depth+1, v6) {
+		for b := 0; b < fanout; b++ {
+			c := n.child[b]
+			if c == nil {
+				continue
+			}
+			a := addr
+			a[depth>>1] |= uint8(b) << (4 - (depth&1)<<2)
+			if !rec(c, a, depth+1, v6) {
 				return false
 			}
 		}
 		return true
 	}
 	var a [16]byte
+	if t.defSet4 && !fn(mk(a, 0, false), t.def4) {
+		return
+	}
 	if !rec(t.v4, a, 0, false) {
 		return
 	}
-	a = [16]byte{}
+	if t.defSet6 && !fn(mk(a, 0, true), t.def6) {
+		return
+	}
 	rec(t.v6, a, 0, true)
 }
 
