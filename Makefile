@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet vet-obs check bench bench-dataplane bench-obs bench-topo bench-topo-report bench-paper bench-paper-report bench-snapshot bench-snapshot-report diff-paper fuzz report figures cost sim examples cover clean
+.PHONY: all build test test-race vet vet-obs check node-smoke bench bench-dataplane bench-obs bench-topo bench-topo-report bench-paper bench-paper-report bench-snapshot bench-snapshot-report diff-paper fuzz report figures cost sim examples cover clean
 
 all: build check
 
@@ -31,8 +31,16 @@ vet-obs:
 
 # The pre-merge gate: static analysis, the full suite under the race
 # detector (with shuffled test order to catch order-dependent tests),
-# and the paper-scale topology and end-to-end budgets.
-check: vet vet-obs test-race bench-topo bench-paper bench-snapshot bench-dataplane-gate
+# the service-mode loopback smoke run, and the paper-scale topology and
+# end-to-end budgets.
+check: vet vet-obs test-race node-smoke bench-topo bench-paper bench-snapshot bench-dataplane-gate
+
+# Off-simulator smoke: boot a 3-node loopback fleet over TCP+TLS,
+# deploy DP+CDP, push legit/spoofed/raw flows, and verify the victim's
+# live /metrics shows them verified/blocked/dropped (self-checking —
+# nonzero exit on any miss).
+node-smoke:
+	$(GO) run ./cmd/discs-node -loadgen -nodes 3 -flows 25 -timeout 45s
 
 # Per-figure/table reproduction benches (bench_test.go at the root).
 bench:

@@ -29,6 +29,16 @@ import (
 // paperInternet caches the 44 036-AS synthetic Internet across benches.
 var paperInternet *topology.Topology
 
+// mustRouter builds a border router from options; bench/test setup is
+// static, so an options error is a harness bug worth a panic.
+func mustRouter(o core.RouterOptions) *core.BorderRouter {
+	r, err := core.NewBorderRouterWithOptions(o)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
 func paperScale(b *testing.B) (*topology.Topology, *eval.Ratios) {
 	b.Helper()
 	if paperInternet == nil {
@@ -243,12 +253,12 @@ func dataPlanePair(b testing.TB) (peer, victim *core.BorderRouter, now time.Time
 	pt.In[core.TableOutDst].Install(v, core.OpDPFilter, t0, time.Hour, 0)
 	pt.In[core.TableOutDst].Install(v, core.OpCDPStamp, t0, time.Hour, 0)
 	pt.Keys.SetStampKey(3, key)
-	peer = core.NewBorderRouter(pt, 1)
+	peer = mustRouter(core.RouterOptions{Tables: pt, Seed: 1})
 
 	vt := core.NewTables(3, tp.Pfx2AS())
 	vt.In[core.TableInDst].Install(v, core.OpCDPVerify, t0, time.Hour, 0)
 	vt.Keys.SetVerifyKey(1, key)
-	victim = core.NewBorderRouter(vt, 2)
+	victim = mustRouter(core.RouterOptions{Tables: vt, Seed: 2})
 	return peer, victim, t0.Add(time.Minute)
 }
 
@@ -367,14 +377,14 @@ func manyFlowsSetup(b testing.TB) (peer *core.BorderRouter, victims [16]*core.Bo
 		pt.In[core.TableOutDst].Install(vicPfx(k), core.OpCDPStamp, t0, time.Hour, 0)
 		pt.Keys.SetStampKey(topology.ASN(201+k), key)
 	}
-	peer = core.NewBorderRouter(pt, 1)
+	peer = mustRouter(core.RouterOptions{Tables: pt, Seed: 1})
 	for k := 0; k < 16; k++ {
 		key := make([]byte, 16)
 		key[0] = byte(k + 1)
 		vt := core.NewTables(topology.ASN(201+k), tp.Pfx2AS())
 		vt.In[core.TableInDst].Install(vicPfx(k), core.OpCDPVerify, t0, time.Hour, 0)
 		vt.Keys.SetVerifyKey(1, key)
-		victims[k] = core.NewBorderRouter(vt, int64(2+k))
+		victims[k] = mustRouter(core.RouterOptions{Tables: vt, Seed: int64(2 + k)})
 	}
 	return peer, victims, t0.Add(time.Minute)
 }
@@ -465,7 +475,7 @@ func idleRouter(tb testing.TB) *core.BorderRouter {
 	tp.AddPrefix(3, netip.MustParsePrefix("10.3.0.0/16"))
 	tab := core.NewTables(1, tp.Pfx2AS())
 	tab.Keys.SetStampKey(3, make([]byte, 16))
-	return core.NewBorderRouter(tab, 1)
+	return mustRouter(core.RouterOptions{Tables: tab, Seed: 1})
 }
 
 // BenchmarkStampVerifyV4 measures software data-plane throughput for
@@ -681,7 +691,7 @@ func BenchmarkAblationOnDemand(b *testing.B) {
 			tab.In[core.TableOutDst].Install(netip.MustParsePrefix("10.3.0.0/16"),
 				core.OpCDPStamp, t0, time.Hour, 0)
 		}
-		return core.NewBorderRouter(tab, 1)
+		return mustRouter(core.RouterOptions{Tables: tab, Seed: 1})
 	}
 	now := time.Unix(0, 0).UTC().Add(time.Minute)
 	pkt := func() *packet.IPv4 {
@@ -728,7 +738,7 @@ func BenchmarkAblationDPFirst(b *testing.B) {
 		if withDP {
 			tab.In[core.TableOutDst].Install(v, core.OpDPFilter, t0, time.Hour, 0)
 		}
-		r := core.NewBorderRouter(tab, 1)
+		r := mustRouter(core.RouterOptions{Tables: tab, Seed: 1})
 		now := t0.Add(time.Minute)
 		for i := 0; i < 1000; i++ {
 			p := &packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP,

@@ -34,12 +34,18 @@ func main() {
 	pt := core.NewTables(1, pfx)
 	pt.In[core.TableOutDst].Install(v, core.OpCDPStamp, t0, time.Hour, 0)
 	pt.Keys.SetStampKey(3, key)
-	peer := core.NewBorderRouter(pt, 1)
+	peer, err := core.NewBorderRouterWithOptions(core.RouterOptions{Tables: pt, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	vt := core.NewTables(3, pfx)
 	vt.In[core.TableInDst].Install(v, core.OpCDPVerify, t0, time.Hour, 0)
 	vt.Keys.SetVerifyKey(1, key)
-	victim := core.NewBorderRouter(vt, 2)
+	victim, err := core.NewBorderRouterWithOptions(core.RouterOptions{Tables: vt, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	now := t0.Add(time.Minute)
 
 	// Workload: 300 pps of verified collaborator traffic + a 5000 pps

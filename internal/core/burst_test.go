@@ -75,7 +75,7 @@ func burstSetup(t *testing.T, mtu int) (peer, victim *BorderRouter) {
 	pt.In[TableOutDst].Install(v6strict, OpCDPStamp, t0, time.Hour, 0)
 	pt.Keys.SetStampKey(3, burstKey3)
 	pt.Keys.SetStampKey(4, burstKey4)
-	peer = NewBorderRouterWithOptions(RouterOptions{Tables: pt, Seed: 7, ExternalMTU: mtu,
+	peer = mustRouterOpts(RouterOptions{Tables: pt, Seed: 7, ExternalMTU: mtu,
 		RouterAddr: netip.MustParseAddr("2001:db8:1::1")})
 
 	vt := NewTables(3, burstPfx2AS(t))
@@ -85,7 +85,7 @@ func burstSetup(t *testing.T, mtu int) (peer, victim *BorderRouter) {
 	// prefix permanently in its head tolerance: erase-only.
 	vt.In[TableInDst].Install(v4grace, OpCDPVerify, t0, time.Hour, 30*time.Minute)
 	vt.Keys.SetVerifyKey(1, burstKey3)
-	victim = NewBorderRouterWithOptions(RouterOptions{Tables: vt, Seed: 8})
+	victim = mustRouterOpts(RouterOptions{Tables: vt, Seed: 8})
 	return peer, victim
 }
 
@@ -356,7 +356,7 @@ func TestBurstPipelineReuseAcrossRouters(t *testing.T) {
 // path and still count processed packets.
 func TestBurstIdleFastPath(t *testing.T) {
 	tb := NewTables(1, burstPfx2AS(t))
-	r := NewBorderRouter(tb, 1)
+	r := testRouter(tb, 1)
 	pkts := burstPacketMix(9, 32)
 	out := r.ProcessOutboundBatch(pkts, t0.Add(time.Minute), nil)
 	in := r.ProcessInboundBatch(pkts, t0.Add(time.Minute), nil)

@@ -13,6 +13,7 @@ import (
 	"discs/internal/obs"
 	"discs/internal/securechan"
 	"discs/internal/topology"
+	"discs/internal/transport"
 )
 
 // Directory maps controller names to their static public keys and
@@ -230,6 +231,13 @@ type Controller struct {
 	AS   topology.ASN
 	Name string
 
+	// I/O seam: conn carries outbound frames to peer controllers, rt
+	// provides the clock and timers. In simulations they are simConn
+	// and nodeRuntime over the netsim node below; in service mode they
+	// are a real transport and the wall clock, and sim/node are nil.
+	conn FrameSender
+	rt   Runtime
+
 	sim     *netsim.Simulator
 	node    *netsim.Node
 	id      *securechan.Identity
@@ -376,16 +384,25 @@ type campaign struct {
 	end    time.Time
 }
 
-// ControllerOptions configures a Controller. AS, Name, Sim, Node, Dir
-// and Topo are required; everything else has a usable zero value.
+// ControllerOptions configures a Controller. AS, Name, Dir and Topo
+// are always required, plus exactly one I/O binding: Sim+Node for
+// simulation mode, or Conn+Runtime for service mode. Everything else
+// has a usable zero value. Validation failures are *OptionError.
 type ControllerOptions struct {
 	AS   topology.ASN
 	Name string
 	// Sim is the simulator the controller schedules on; Node must be a
-	// dedicated netsim node — its handler is taken over.
+	// dedicated netsim node — its handler is taken over. Both are
+	// required in simulation mode (Conn nil) and ignored otherwise.
 	Sim  *netsim.Simulator
 	Node *netsim.Node
-	Dir  *Directory
+	// Conn and Runtime bind the controller to a real transport and the
+	// wall clock instead of a simulator (service mode). The host owns
+	// serialization: Runtime callbacks and HandleFrame must never run
+	// concurrently with each other or with API calls.
+	Conn    FrameSender
+	Runtime Runtime
+	Dir     *Directory
 	// Topo is the RPKI ownership oracle.
 	Topo *topology.Topology
 	// Config tunes protocol behaviour (DefaultConfig when zero values
@@ -394,8 +411,13 @@ type ControllerOptions struct {
 	// Seed drives all randomized delays and key generation
 	// deterministically.
 	Seed int64
+	// Identity overrides the rng-derived securechan identity; service
+	// mode passes a persistent identity so peers can pin the public key
+	// out of band. Nil derives one from Seed.
+	Identity *securechan.Identity
 	// Registry receives the controller's metrics and trace events; nil
 	// falls back to Config.Registry, then to the simulator's registry.
+	// In service mode one of the first two must be set.
 	Registry *obs.Registry
 	// Scope prefixes the controller's metric names (e.g. "as7."
 	// publishes "as7.ctrl.msgs_sent"). Empty derives "as<N>." from AS.
@@ -404,17 +426,46 @@ type ControllerOptions struct {
 
 // NewControllerWithOptions creates a controller from an options struct.
 func NewControllerWithOptions(o ControllerOptions) (*Controller, error) {
+	if o.Name == "" {
+		return nil, optErr("ControllerOptions", "Name", "required")
+	}
+	if o.Dir == nil {
+		return nil, optErr("ControllerOptions", "Dir", "required")
+	}
+	if o.Topo == nil {
+		return nil, optErr("ControllerOptions", "Topo", "required")
+	}
+	if o.Conn == nil {
+		if o.Sim == nil {
+			return nil, optErr("ControllerOptions", "Sim", "required in simulation mode (Conn nil)")
+		}
+		if o.Node == nil {
+			return nil, optErr("ControllerOptions", "Node", "required in simulation mode (Conn nil)")
+		}
+		if o.Runtime != nil {
+			return nil, optErr("ControllerOptions", "Runtime", "set without Conn: bind both or neither")
+		}
+	} else if o.Runtime == nil {
+		return nil, optErr("ControllerOptions", "Runtime", "required in service mode (Conn set)")
+	}
 	rng := rand.New(rand.NewSource(o.Seed))
-	id, err := securechan.NewIdentity(o.Name, rng)
-	if err != nil {
-		return nil, err
+	id := o.Identity
+	if id == nil {
+		var err error
+		id, err = securechan.NewIdentity(o.Name, rng)
+		if err != nil {
+			return nil, err
+		}
 	}
 	reg := o.Registry
 	if reg == nil {
 		reg = o.Config.Registry
 	}
-	if reg == nil {
+	if reg == nil && o.Sim != nil {
 		reg = o.Sim.Registry()
+	}
+	if reg == nil {
+		return nil, optErr("ControllerOptions", "Registry", "required in service mode (no simulator to fall back to)")
 	}
 	scope := o.Scope
 	if scope == "" {
@@ -425,7 +476,8 @@ func NewControllerWithOptions(o ControllerOptions) (*Controller, error) {
 	}
 	c := &Controller{
 		AS: o.AS, Name: o.Name,
-		sim: o.Sim, node: o.Node, id: id, dir: o.Dir, topo: o.Topo,
+		conn: o.Conn, rt: o.Runtime,
+		id: id, dir: o.Dir, topo: o.Topo,
 		rng: rng, cfg: o.Config,
 		Blacklist:   make(map[topology.ASN]bool),
 		peers:       make(map[topology.ASN]*peerState),
@@ -435,23 +487,17 @@ func NewControllerWithOptions(o ControllerOptions) (*Controller, error) {
 		m:           newCtrlMetrics(reg.Scope(scope)),
 		trace:       reg.Tracer(),
 	}
-	o.Node.SetHandler(netsim.HandlerFunc(c.receive))
-	if err := o.Dir.Register(&DirEntry{Name: o.Name, ASN: o.AS, Pub: id.Public(), Node: o.Node}); err != nil {
+	var dirNode *netsim.Node
+	if o.Conn == nil {
+		c.sim, c.node = o.Sim, o.Node
+		c.conn, c.rt = simConn{c}, nodeRuntime{o.Node}
+		o.Node.SetHandler(netsim.HandlerFunc(c.receive))
+		dirNode = o.Node
+	}
+	if err := o.Dir.Register(&DirEntry{Name: o.Name, ASN: o.AS, Pub: id.Public(), Node: dirNode}); err != nil {
 		return nil, err
 	}
 	return c, nil
-}
-
-// NewController creates a controller publishing metrics into the
-// simulator's registry under scope "as<N>.".
-//
-// Deprecated: use NewControllerWithOptions.
-func NewController(as topology.ASN, name string, sim *netsim.Simulator, node *netsim.Node,
-	dir *Directory, topo *topology.Topology, cfg Config, seed int64) (*Controller, error) {
-	return NewControllerWithOptions(ControllerOptions{
-		AS: as, Name: name, Sim: sim, Node: node, Dir: dir, Topo: topo,
-		Config: cfg, Seed: seed,
-	})
 }
 
 // Stats returns the controller's unified metrics snapshot, with the
@@ -534,16 +580,17 @@ func (c *Controller) Peers() []topology.ASN {
 	return out
 }
 
-// now converts the simulated clock to the wall-clock domain used by
-// the data-plane tables. It reads the node clock, not the global
-// simulator clock: under a sharded backend the two can differ by up to
-// one lookahead window while an event executes.
-func (c *Controller) now() time.Time { return time.Unix(0, 0).UTC().Add(c.node.Now()) }
+// now converts the runtime clock to the wall-clock domain used by the
+// data-plane tables. In simulations it reads the node clock, not the
+// global simulator clock: under a sharded backend the two can differ
+// by up to one lookahead window while an event executes.
+func (c *Controller) now() time.Time { return time.Unix(0, 0).UTC().Add(c.rt.Now()) }
 
-// after arms a node-scoped timer: crashing the controller kills it, as
-// a real process crash would. All controller timers go through this
-// (or the background variants) so Crash leaves nothing armed.
-func (c *Controller) after(d time.Duration, fn func()) { c.node.After(d, fn) }
+// after arms a runtime timer. In simulations timers are node-scoped:
+// crashing the controller kills them, as a real process crash would.
+// All controller timers go through this (or the background variants)
+// so Crash leaves nothing armed.
+func (c *Controller) after(d time.Duration, fn func()) { c.rt.After(d, fn) }
 
 // Crash models a controller process crash: the netsim node goes down
 // (in-flight frames toward it are discarded, every armed timer dies)
@@ -553,7 +600,9 @@ func (c *Controller) after(d time.Duration, fn func()) { c.node.After(d, fn) }
 // cache) and the campaign journal. Border routers are separate boxes:
 // their key and function tables keep enforcing installed windows.
 func (c *Controller) Crash() {
-	c.node.Crash()
+	if c.node != nil {
+		c.node.Crash()
+	}
 	c.m.crashes.Inc()
 	c.m.peersEstablished.Set(0)
 	c.trace.Emit(obs.Event{Kind: obs.EvCtrlCrash, AS: uint32(c.AS)})
@@ -568,7 +617,9 @@ func (c *Controller) Crash() {
 // over the abbreviated resumption handshake and active campaigns are
 // re-driven from the journal.
 func (c *Controller) Restart() {
-	c.node.Restart()
+	if c.node != nil {
+		c.node.Restart()
+	}
 	c.trace.Emit(obs.Event{Kind: obs.EvCtrlRestart, AS: uint32(c.AS)})
 	if c.anyTableEntries() {
 		c.armPurge()
@@ -690,7 +741,7 @@ func (c *Controller) startHandshake(p *peerState, full bool) {
 				p.resumer = res
 				c.m.resumesInitiated.Inc()
 				c.trace.Emit(obs.Event{Kind: obs.EvHandshakeResume, AS: uint32(c.AS), Peer: uint32(p.asn)})
-				c.sendFrame(p, &ctrlFrame{Kind: frameResumeHello, From: c.Name, Data: res.Hello()})
+				c.sendFrame(p, frameResumeHello, res.Hello())
 				return
 			}
 		}
@@ -706,7 +757,7 @@ func (c *Controller) startHandshake(p *peerState, full bool) {
 	p.initiator = ini
 	c.m.handshakesInitiated.Inc()
 	c.trace.Emit(obs.Event{Kind: obs.EvHandshakeFull, AS: uint32(c.AS), Peer: uint32(p.asn)})
-	c.sendFrame(p, &ctrlFrame{Kind: frameHello, From: c.Name, Data: ini.Hello()})
+	c.sendFrame(p, frameHello, ini.Hello())
 }
 
 // stalled reports whether the peer state machine is waiting on remote
@@ -811,42 +862,47 @@ func mustEncode(m *ControlMsg) []byte {
 	return b
 }
 
-func (c *Controller) sendFrame(p *peerState, f *ctrlFrame) {
-	ent := c.dir.Lookup(p.ctrlName)
-	if ent == nil {
-		return
-	}
-	if l := c.linkTo(ent.Node); l != nil {
-		if l.Send(c.node, f) {
-			c.m.msgsSent.Inc()
-		}
+// sendFrame pushes one control frame toward p over the I/O seam.
+// Delivery is best-effort (false from Send mirrors a frame dropped on
+// a netsim link); the retry machinery owns recovery.
+func (c *Controller) sendFrame(p *peerState, kind frameKind, data []byte) {
+	if c.conn.Send(p.ctrlName, transport.Frame{Kind: uint8(kind), From: c.Name, Data: data}) {
+		c.m.msgsSent.Inc()
 	}
 }
 
 func (c *Controller) sendRecord(p *peerState, record []byte) {
-	c.sendFrame(p, &ctrlFrame{Kind: frameRecord, From: c.Name, Data: record})
+	c.sendFrame(p, frameRecord, record)
 }
 
-// receive dispatches incoming controller frames.
+// receive dispatches incoming controller frames in simulation mode; it
+// is the netsim node handler. Service mode enters the same dispatch
+// through HandleFrame.
 func (c *Controller) receive(_ *netsim.Node, _ *netsim.Link, msg netsim.Message) {
 	f, ok := msg.(*ctrlFrame)
 	if !ok {
 		return
 	}
+	c.handleFrame(f.Kind, f.From, f.Data)
+}
+
+// handleFrame is the transport-independent inbound dispatch: one frame
+// from the named peer controller, already deframed by the host.
+func (c *Controller) handleFrame(kind frameKind, from string, data []byte) {
 	c.m.msgsRecv.Inc()
-	ent := c.dir.Lookup(f.From)
+	ent := c.dir.Lookup(from)
 	if ent == nil {
 		return
 	}
 	p := c.peers[ent.ASN]
-	switch f.Kind {
+	switch kind {
 	case frameHello:
 		// Respond even if we have not yet decided to peer: transport
 		// security is independent of the peering policy decision.
 		if p == nil {
-			p = c.newPeer(ent.ASN, f.From)
+			p = c.newPeer(ent.ASN, from)
 		}
-		reply, sess, err := securechan.Respond(c.id, ent.Pub, f.Data, c.rng)
+		reply, sess, err := securechan.Respond(c.id, ent.Pub, data, c.rng)
 		if err != nil {
 			return
 		}
@@ -857,12 +913,12 @@ func (c *Controller) receive(_ *netsim.Node, _ *netsim.Link, msg netsim.Message)
 		// ends of one handshake cache the same value, so later
 		// abbreviated exchanges agree (§VI-C session cache).
 		c.resumeCache[ent.ASN] = sess.ResumptionSecret()
-		c.sendFrame(p, &ctrlFrame{Kind: frameReply, From: c.Name, Data: reply})
+		c.sendFrame(p, frameReply, reply)
 	case frameReply:
 		if p == nil || p.initiator == nil {
 			return
 		}
-		sess, err := p.initiator.Finish(f.Data)
+		sess, err := p.initiator.Finish(data)
 		if err != nil {
 			// A stale or forged reply (e.g. for a handshake we already
 			// abandoned): keep waiting for the right one.
@@ -872,43 +928,43 @@ func (c *Controller) receive(_ *netsim.Node, _ *netsim.Link, msg netsim.Message)
 		sess.SetMeter(c.m.bytesSealed, c.m.bytesOpened)
 		p.out = sess
 		c.resumeCache[p.asn] = sess.ResumptionSecret()
-		for _, data := range p.pendingOut {
-			c.sendRecord(p, p.out.Seal(data))
+		for _, d := range p.pendingOut {
+			c.sendRecord(p, p.out.Seal(d))
 		}
 		p.pendingOut = nil
 	case frameResumeHello:
 		if p == nil {
-			p = c.newPeer(ent.ASN, f.From)
+			p = c.newPeer(ent.ASN, from)
 		}
 		secret, ok := c.resumeCache[ent.ASN]
 		if !ok {
 			// Secret stale (lost with a crash that predates the cache
 			// entry, or never established): make the peer fall back.
-			c.sendFrame(p, &ctrlFrame{Kind: frameResumeReject, From: c.Name})
+			c.sendFrame(p, frameResumeReject, nil)
 			return
 		}
-		reply, sess, err := securechan.ResumeRespond(secret, f.Data, c.rng)
+		reply, sess, err := securechan.ResumeRespond(secret, data, c.rng)
 		if err != nil {
-			c.sendFrame(p, &ctrlFrame{Kind: frameResumeReject, From: c.Name})
+			c.sendFrame(p, frameResumeReject, nil)
 			return
 		}
 		c.m.resumesResponded.Inc()
 		sess.SetMeter(c.m.bytesSealed, c.m.bytesOpened)
 		p.in = sess
-		c.sendFrame(p, &ctrlFrame{Kind: frameResumeReply, From: c.Name, Data: reply})
+		c.sendFrame(p, frameResumeReply, reply)
 	case frameResumeReply:
 		if p == nil || p.resumer == nil {
 			return
 		}
-		sess, err := p.resumer.Finish(f.Data)
+		sess, err := p.resumer.Finish(data)
 		if err != nil {
 			return // corrupted or forged; retry machinery re-drives
 		}
 		p.resumer = nil
 		sess.SetMeter(c.m.bytesSealed, c.m.bytesOpened)
 		p.out = sess
-		for _, data := range p.pendingOut {
-			c.sendRecord(p, p.out.Seal(data))
+		for _, d := range p.pendingOut {
+			c.sendRecord(p, p.out.Seal(d))
 		}
 		p.pendingOut = nil
 	case frameResumeReject:
@@ -928,7 +984,7 @@ func (c *Controller) receive(_ *netsim.Node, _ *netsim.Link, msg netsim.Message)
 		if p == nil || p.in == nil {
 			return
 		}
-		plain, err := p.in.Open(f.Data)
+		plain, err := p.in.Open(data)
 		if err != nil {
 			return
 		}
@@ -1020,7 +1076,7 @@ func (c *Controller) handleMsg(p *peerState, m *ControlMsg) {
 // --- liveness (heartbeats, dead-peer detection, recovery) -----------------
 
 func (c *Controller) markAlive(p *peerState) {
-	p.lastSeen = c.node.Now() // node clock: exact under sharded backends
+	p.lastSeen = c.rt.Now() // node clock: exact under sharded backends
 	p.missed = 0
 }
 
@@ -1033,7 +1089,7 @@ func (c *Controller) armHeartbeat(p *peerState) {
 	}
 	p.hbArmed = true
 	c.markAlive(p)
-	c.node.AfterBackground(c.cfg.HeartbeatInterval, func() { c.heartbeatTick(p) })
+	c.rt.AfterBackground(c.cfg.HeartbeatInterval, func() { c.heartbeatTick(p) })
 }
 
 func (c *Controller) heartbeatTick(p *peerState) {
@@ -1041,7 +1097,7 @@ func (c *Controller) heartbeatTick(p *peerState) {
 		p.hbArmed = false
 		return
 	}
-	if c.node.Now()-p.lastSeen >= c.cfg.HeartbeatInterval {
+	if c.rt.Now()-p.lastSeen >= c.cfg.HeartbeatInterval {
 		p.missed++
 		c.m.heartbeatMisses.Inc()
 		c.trace.Emit(obs.Event{Kind: obs.EvHeartbeatMiss, AS: uint32(c.AS), Peer: uint32(p.asn)})
@@ -1060,7 +1116,7 @@ func (c *Controller) heartbeatTick(p *peerState) {
 		// the peer declares us dead.
 		c.armRetry(p)
 	}
-	c.node.AfterBackground(c.cfg.HeartbeatInterval, func() { c.heartbeatTick(p) })
+	c.rt.AfterBackground(c.cfg.HeartbeatInterval, func() { c.heartbeatTick(p) })
 }
 
 // declarePeerDead executes graceful degradation: the peer's key state
@@ -1103,7 +1159,7 @@ func (c *Controller) armReconnect(p *peerState) {
 	p.probeArmed = true
 	d := c.cfg.ReconnectInterval +
 		time.Duration(c.rng.Int63n(int64(c.cfg.ReconnectInterval)/2+1))
-	c.node.AfterBackground(d, func() { c.reconnectTick(p) })
+	c.rt.AfterBackground(d, func() { c.reconnectTick(p) })
 }
 
 // reconnectTick probes a dead peer: the peering request doubles as the
@@ -1275,7 +1331,7 @@ func (c *Controller) armPurge() {
 		return
 	}
 	c.purgeArmed = true
-	c.node.AfterBackground(c.cfg.PurgeInterval, func() { c.purgeTick() })
+	c.rt.AfterBackground(c.cfg.PurgeInterval, func() { c.purgeTick() })
 }
 
 func (c *Controller) purgeTick() {

@@ -92,7 +92,10 @@ func newFuzzEnv(tb testing.TB) *fuzzEnv {
 		tb.Fatal(err)
 	}
 	dir := NewDirectory()
-	c, err := NewController(1, "ctrl.a", sim, na, dir, topology.New(), DefaultConfig(), 1)
+	c, err := NewControllerWithOptions(ControllerOptions{
+		AS: 1, Name: "ctrl.a", Sim: sim, Node: na, Dir: dir,
+		Topo: topology.New(), Config: DefaultConfig(), Seed: 1,
+	})
 	if err != nil {
 		tb.Fatal(err)
 	}

@@ -21,7 +21,7 @@ func mtuRouter(t *testing.T, mtu int) *BorderRouter {
 	tab.In[TableOutDst].Install(netip.MustParsePrefix("2001:db8:3::/48"),
 		OpCDPStamp, t0, time.Hour, 0)
 	tab.Keys.SetStampKey(3, make([]byte, 16))
-	r := NewBorderRouter(tab, 1)
+	r := testRouter(tab, 1)
 	r.ExternalMTU = mtu
 	r.RouterAddr = netip.MustParseAddr("2001:db8:1::1")
 	return r
@@ -121,7 +121,7 @@ func TestMTUIgnoresIPv4(t *testing.T) {
 	tab.In[TableOutDst].Install(netip.MustParsePrefix("10.3.0.0/16"),
 		OpCDPStamp, t0, time.Hour, 0)
 	tab.Keys.SetStampKey(3, make([]byte, 16))
-	r := NewBorderRouter(tab, 1)
+	r := testRouter(tab, 1)
 	r.ExternalMTU = 100 // absurdly small
 	now := t0.Add(time.Minute)
 

@@ -153,7 +153,7 @@ func TestFailedV6StampCountsMAC(t *testing.T) {
 	tables := NewTables(1, pfx)
 	tables.In[TableOutDst].Install(netip.MustParsePrefix("2001:db8:3::/48"), OpCDPStamp, t0, time.Hour, 0)
 	tables.Keys.SetStampKey(3, key)
-	r := NewBorderRouter(tables, 1)
+	r := testRouter(tables, 1)
 
 	q := samplePacketV6()
 	q.Src = netip.MustParseAddr("2001:db8:1::10")

@@ -324,7 +324,17 @@ func nextPow2(n uint64) uint64 {
 }
 
 // NewBorderRouterWithOptions creates a router from an options struct.
-func NewBorderRouterWithOptions(o RouterOptions) *BorderRouter {
+// Validation failures are *OptionError.
+func NewBorderRouterWithOptions(o RouterOptions) (*BorderRouter, error) {
+	if o.Tables == nil {
+		return nil, optErr("RouterOptions", "Tables", "required")
+	}
+	if o.ExternalMTU < 0 {
+		return nil, optErr("RouterOptions", "ExternalMTU", "must be >= 0")
+	}
+	if o.TraceSampleEvery < 0 {
+		return nil, optErr("RouterOptions", "TraceSampleEvery", "must be >= 0")
+	}
 	reg := o.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -341,17 +351,7 @@ func NewBorderRouterWithOptions(o RouterOptions) *BorderRouter {
 		r.trace = reg.Tracer()
 		r.sampleMask = nextPow2(uint64(o.TraceSampleEvery)) - 1
 	}
-	return r
-}
-
-// NewBorderRouter creates a router around the given tables with a
-// private metrics registry. seed feeds the random bits used to scrub
-// IPv4 marks after verification.
-//
-// Deprecated: use NewBorderRouterWithOptions to share a registry and
-// enable tracing.
-func NewBorderRouter(tables *Tables, seed int64) *BorderRouter {
-	return NewBorderRouterWithOptions(RouterOptions{Tables: tables, Seed: seed})
+	return r, nil
 }
 
 // maybeSample emits a sampled packet-decision trace event. The nil

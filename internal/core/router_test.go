@@ -30,6 +30,22 @@ func samplePacketV6() *packet.IPv6 {
 	}
 }
 
+// mustRouterOpts builds a router from options; test setup is static,
+// so an options error is a harness bug worth a panic.
+func mustRouterOpts(o RouterOptions) *BorderRouter {
+	r, err := NewBorderRouterWithOptions(o)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// testRouter keeps the brevity of the removed positional constructor
+// for the many tests that need nothing but tables and a seed.
+func testRouter(tables *Tables, seed int64) *BorderRouter {
+	return mustRouterOpts(RouterOptions{Tables: tables, Seed: seed})
+}
+
 // peerVictimSetup builds the canonical CDP scenario:
 //
 //	AS1 (peer, runs DP+CDP stamping) — AS3 (victim, verifies)
@@ -45,12 +61,12 @@ func peerVictimSetup(t *testing.T) (peer, victim *BorderRouter) {
 	peerTables.In[TableOutDst].Install(v, OpDPFilter, t0, time.Hour, 0)
 	peerTables.In[TableOutDst].Install(v, OpCDPStamp, t0, time.Hour, 0)
 	peerTables.Keys.SetStampKey(3, key)
-	peer = NewBorderRouter(peerTables, 1)
+	peer = testRouter(peerTables, 1)
 
 	victimTables := NewTables(3, testPfx2AS(t))
 	victimTables.In[TableInDst].Install(v, OpCDPVerify, t0, time.Hour, 0)
 	victimTables.Keys.SetVerifyKey(1, key)
-	victim = NewBorderRouter(victimTables, 2)
+	victim = testRouter(victimTables, 2)
 	return peer, victim
 }
 
@@ -82,12 +98,12 @@ func TestCDPEndToEndV6(t *testing.T) {
 	peerTables := NewTables(1, pfx)
 	peerTables.In[TableOutDst].Install(v6pfx, OpCDPStamp, t0, time.Hour, 0)
 	peerTables.Keys.SetStampKey(3, key)
-	peer := NewBorderRouter(peerTables, 1)
+	peer := testRouter(peerTables, 1)
 
 	victimTables := NewTables(3, pfx)
 	victimTables.In[TableInDst].Install(v6pfx, OpCDPVerify, t0, time.Hour, 0)
 	victimTables.Keys.SetVerifyKey(1, key)
-	victim := NewBorderRouter(victimTables, 2)
+	victim := testRouter(victimTables, 2)
 
 	now := t0.Add(time.Minute)
 	p := samplePacketV6()
@@ -172,7 +188,7 @@ func TestGraceIntervalErasesWithoutDropping(t *testing.T) {
 	victimTables := NewTables(3, testPfx2AS(t))
 	victimTables.In[TableInDst].Install(v, OpCDPVerify, t0, time.Hour, 30*time.Second)
 	victimTables.Keys.SetVerifyKey(1, key)
-	victim := NewBorderRouter(victimTables, 2)
+	victim := testRouter(victimTables, 2)
 
 	// Unstamped packet arrives during the head grace interval: passes,
 	// mark fields erased, no drop (§IV-E1 tolerance).
@@ -196,7 +212,7 @@ func TestSPDropsReflectionRequests(t *testing.T) {
 	tables := NewTables(1, testPfx2AS(t))
 	v := netip.MustParsePrefix("10.3.0.0/16")
 	tables.In[TableOutSrc].Install(v, OpSPFilter, t0, time.Hour, 0)
-	r := NewBorderRouter(tables, 1)
+	r := testRouter(tables, 1)
 	now := t0.Add(time.Minute)
 
 	p := samplePacketV4()
@@ -216,13 +232,13 @@ func TestCSPVerifyAtPeer(t *testing.T) {
 	victimTables := NewTables(3, testPfx2AS(t))
 	victimTables.In[TableOutSrc].Install(v, OpCSPStamp, t0, time.Hour, 0)
 	victimTables.Keys.SetStampKey(2, key)
-	victim := NewBorderRouter(victimTables, 1)
+	victim := testRouter(victimTables, 1)
 
 	// Peer AS2 verifies inbound traffic claiming the victim's source.
 	peerTables := NewTables(2, testPfx2AS(t))
 	peerTables.In[TableInSrc].Install(v, OpCSPVerify, t0, time.Hour, 0)
 	peerTables.Keys.SetVerifyKey(3, key)
-	peer := NewBorderRouter(peerTables, 2)
+	peer := testRouter(peerTables, 2)
 
 	now := t0.Add(time.Minute)
 
@@ -272,7 +288,7 @@ func TestNoProcessingWithoutInvocation(t *testing.T) {
 	// passes and no crypto runs.
 	tables := NewTables(1, testPfx2AS(t))
 	tables.Keys.SetStampKey(3, make([]byte, 16))
-	r := NewBorderRouter(tables, 1)
+	r := testRouter(tables, 1)
 	now := t0.Add(time.Minute)
 
 	p := samplePacketV4()
@@ -303,7 +319,7 @@ func TestExpiredInvocationStopsProcessing(t *testing.T) {
 
 func TestICMPScrubCounters(t *testing.T) {
 	tables := NewTables(1, testPfx2AS(t))
-	r := NewBorderRouter(tables, 1)
+	r := testRouter(tables, 1)
 	orig := samplePacketV4()
 	orig.Src = netip.MustParseAddr("10.1.0.10")
 	orig.SetMark(0xabcde)

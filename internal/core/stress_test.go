@@ -41,11 +41,11 @@ func TestSnapshotChurnNoTornVerdicts(t *testing.T) {
 
 	peerTables := NewTables(1, pfx)
 	peerTables.Keys.SetStampKey(3, key)
-	peer := NewBorderRouter(peerTables, 1)
+	peer := testRouter(peerTables, 1)
 
 	victimTables := NewTables(3, pfx)
 	victimTables.Keys.SetVerifyKey(1, key)
-	victim := NewBorderRouter(victimTables, 2)
+	victim := testRouter(victimTables, 2)
 
 	now := t0.Add(time.Minute)
 	done := make(chan struct{})

@@ -36,32 +36,62 @@ type deployRecord struct {
 	seed int64
 }
 
-// NewSystem creates a system around a converged (or to-be-converged)
-// BGP network. All subsystems publish into one registry: cfg.Registry
-// when set, otherwise the network simulator's. The simulator's
-// counters (including everything BGP convergence already accumulated)
-// are re-homed into it, so one snapshot covers the whole system.
-func NewSystem(net *bgp.Network, cfg Config) *System {
+// SystemOptions configures a System. Net is required; Config tunes
+// protocol behaviour for every controller the system deploys.
+// Validation failures are *OptionError.
+type SystemOptions struct {
+	// Net is the converged (or to-be-converged) BGP network the system
+	// wires DISCS into (required).
+	Net *bgp.Network
+	// Config is handed to every deployed controller; its Registry field
+	// also selects the unified metrics registry (see below).
+	Config Config
+}
+
+// NewSystemWithOptions creates a system from an options struct. All
+// subsystems publish into one registry: Config.Registry when set,
+// otherwise the network simulator's. The simulator's counters
+// (including everything BGP convergence already accumulated) are
+// re-homed into it, so one snapshot covers the whole system.
+func NewSystemWithOptions(o SystemOptions) (*System, error) {
+	if o.Net == nil {
+		return nil, optErr("SystemOptions", "Net", "required")
+	}
+	cfg := o.Config
 	reg := cfg.Registry
 	if reg == nil {
-		reg = net.Sim.Registry()
+		reg = o.Net.Sim.Registry()
 	} else {
-		net.Sim.MoveToRegistry(reg)
+		o.Net.Sim.MoveToRegistry(reg)
 	}
 	if cfg.TraceCapacity > 0 {
 		reg.SetTraceCapacity(cfg.TraceCapacity)
 	}
 	// Topology routing-cache gauges (tree count, hit rate) join the
 	// same registry.
-	net.Topo.PublishMetrics(reg)
+	o.Net.Topo.PublishMetrics(reg)
 	return &System{
-		Net:         net,
+		Net:         o.Net,
 		Dir:         NewDirectory(),
 		Controllers: make(map[topology.ASN]*Controller),
 		Routers:     make(map[topology.ASN]*BorderRouter),
 		cfg:         cfg,
 		reg:         reg,
+	}, nil
+}
+
+// NewSystem creates a system around a converged (or to-be-converged)
+// BGP network.
+//
+// Deprecated: use NewSystemWithOptions. This shim keeps existing
+// callers compiling for one release and panics only on a nil network —
+// the single case NewSystemWithOptions rejects.
+func NewSystem(net *bgp.Network, cfg Config) *System {
+	s, err := NewSystemWithOptions(SystemOptions{Net: net, Config: cfg})
+	if err != nil {
+		panic(err)
 	}
+	return s
 }
 
 // Registry returns the unified registry every subsystem publishes
@@ -163,11 +193,14 @@ func (s *System) deployNode(asn topology.ASN, seed int64) (*Controller, *bgp.Spe
 		return nil, nil, err
 	}
 	tables := NewTables(asn, s.Net.Topo.Pfx2AS())
-	router := NewBorderRouterWithOptions(RouterOptions{
+	router, err := NewBorderRouterWithOptions(RouterOptions{
 		Tables: tables, Seed: effSeed ^ 0x5eed,
 		Registry: s.reg, Scope: scope, AS: asn,
 		TraceSampleEvery: s.cfg.TraceSampleEvery,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	ctrl.AttachRouter(router)
 	s.Controllers[asn] = ctrl
 	s.Routers[asn] = router

@@ -27,7 +27,10 @@ func TestAlarmExportPipeline(t *testing.T) {
 	tab.In[core.TableInDst].Install(v, core.OpCDPVerify, t0, time.Hour, 0)
 	tab.Keys.SetVerifyKey(1, make([]byte, 16))
 	tab.Keys.SetVerifyKey(2, make([]byte, 16))
-	router := core.NewBorderRouter(tab, 1)
+	router, err := core.NewBorderRouterWithOptions(core.RouterOptions{Tables: tab, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	router.SetAlarmMode(true)
 
 	coll, err := NewCollector(1)

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) rendered straight
+// from a Snapshot, using nothing outside the stdlib. This is the
+// export seam the discs-node admin listener serves on /metrics.
+//
+// Mapping rules:
+//
+//   - Every metric family is prefixed with the given namespace
+//     ("discs" in the node binary), and dots become underscores:
+//     "netsim.delivered" → "discs_netsim_delivered".
+//   - The per-AS scope convention ("as<N>.ctrl.msgs_sent") becomes a
+//     label instead of a family per AS:
+//     discs_ctrl_msgs_sent{as="7"}. Fleet-wide aggregation is then a
+//     sum() over the label, the Prometheus-native spelling of
+//     Snapshot.Sum.
+//   - Characters outside [a-zA-Z0-9_:] are replaced with '_', and a
+//     leading digit gets a '_' prefix, per the metric-name grammar.
+//   - Histograms render cumulative le-bucket counts (obs buckets are
+//     per-bin), plus the _sum and _count series.
+//
+// Families are emitted in sorted order with one HELP/TYPE header each,
+// and series within a family are sorted by label, so output is
+// deterministic and diffable in golden tests.
+
+// promFamily collects the series of one rendered metric family.
+type promFamily struct {
+	name   string
+	typ    string // "counter" | "gauge" | "histogram"
+	help   string
+	series []promSeries
+}
+
+type promSeries struct {
+	suffix string // "", "_bucket", "_sum", "_count"
+	labels string // rendered label set incl. braces, or ""
+	value  string
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. namespace prefixes every family name ("discs" recommended);
+// empty means no prefix.
+func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
+	fams := make(map[string]*promFamily)
+	add := func(raw, typ, suffix, labels, value string) {
+		name, as := splitASScope(raw)
+		fam := promName(namespace, name)
+		f := fams[fam]
+		if f == nil {
+			f = &promFamily{name: fam, typ: typ, help: fmt.Sprintf("DISCS metric %s.", name)}
+			fams[fam] = f
+		}
+		lbl := labels
+		if as != "" {
+			switch {
+			case lbl == "":
+				lbl = fmt.Sprintf(`{as=%q}`, as)
+			default:
+				lbl = fmt.Sprintf(`{as=%q,%s`, as, lbl[1:])
+			}
+		}
+		f.series = append(f.series, promSeries{suffix: suffix, labels: lbl, value: value})
+	}
+
+	for name, v := range s.Counters {
+		add(name, "counter", "", "", fmt.Sprintf("%d", v))
+	}
+	for name, v := range s.Gauges {
+		add(name, "gauge", "", "", fmt.Sprintf("%d", v))
+	}
+	for name, h := range s.Histograms {
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			add(name, "histogram", "_bucket", fmt.Sprintf(`{le=%q}`, le), fmt.Sprintf("%d", cum))
+		}
+		add(name, "histogram", "_sum", "", fmt.Sprintf("%d", h.Sum))
+		add(name, "histogram", "_count", "", fmt.Sprintf("%d", h.Count))
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		sort.Slice(f.series, func(i, j int) bool {
+			a, b := f.series[i], f.series[j]
+			if a.suffix != b.suffix {
+				return a.suffix < b.suffix
+			}
+			return a.labels < b.labels
+		})
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, sr := range f.series {
+			if _, err := fmt.Fprintf(w, "%s%s%s %s\n", f.name, sr.suffix, sr.labels, sr.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// splitASScope recognizes the repo-wide "as<N>." scope prefix and
+// lifts it into a label value, returning the remaining metric name.
+// Names without the prefix pass through with an empty AS.
+func splitASScope(name string) (rest, as string) {
+	if len(name) < 4 || name[0] != 'a' || name[1] != 's' {
+		return name, ""
+	}
+	i := 2
+	for i < len(name) && name[i] >= '0' && name[i] <= '9' {
+		i++
+	}
+	if i == 2 || i >= len(name) || name[i] != '.' || i+1 >= len(name) {
+		return name, ""
+	}
+	return name[i+1:], name[2:i]
+}
+
+// promName sanitizes a dotted metric name into the Prometheus
+// metric-name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(namespace, name string) string {
+	var b strings.Builder
+	b.Grow(len(namespace) + 1 + len(name))
+	if namespace != "" {
+		b.WriteString(namespace)
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package securechan
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestErrorChains pins the sentinel wrapped by every error path of the
+// handshake, resumption and record layers, so transport code can rely
+// on errors.Is across refactors.
+func TestErrorChains(t *testing.T) {
+	alice, err := NewIdentity("ctrl.as1", detRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewIdentity("ctrl.as2", detRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Handshake frame-length errors.
+	if _, _, err := Respond(bob, alice.Public(), make([]byte, HelloLen-1), detRand(3)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short hello: err = %v, want ErrBadFrame", err)
+	}
+	ini, err := NewInitiator(alice, bob.Public(), detRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ini.Finish(make([]byte, ReplyLen+1)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("long reply: err = %v, want ErrBadFrame", err)
+	}
+
+	// Handshake authentication: a reply MACed by the wrong responder
+	// identity fails with ErrAuth.
+	mallory, err := NewIdentity("ctrl.evil", detRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged, _, err := Respond(mallory, alice.Public(), ini.Hello(), detRand(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ini.Finish(forged); !errors.Is(err, ErrAuth) {
+		t.Fatalf("forged reply: err = %v, want ErrAuth", err)
+	}
+
+	// Record layer: truncated, replayed, and corrupted records.
+	client, server := handshake(t)
+	if _, err := server.Open(make([]byte, Overhead-1)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short record: err = %v, want ErrBadFrame", err)
+	}
+	rec := client.Seal([]byte("campaign"))
+	if _, err := server.Open(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Open(rec); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replayed record: err = %v, want ErrReplay", err)
+	}
+	bad := append([]byte(nil), client.Seal([]byte("campaign 2"))...)
+	bad[len(bad)-1] ^= 0x80
+	if _, err := server.Open(bad); !errors.Is(err, ErrAuth) {
+		t.Fatalf("corrupted record: err = %v, want ErrAuth", err)
+	}
+
+	// Resumption: frame lengths and a responder without the secret.
+	secret := client.ResumptionSecret()
+	if _, _, err := ResumeRespond(secret, make([]byte, ResumeHelloLen+3), detRand(7)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad resume hello: err = %v, want ErrBadFrame", err)
+	}
+	res, err := NewResumer(secret, detRand(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Finish(make([]byte, ResumeReplyLen-2)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad resume reply: err = %v, want ErrBadFrame", err)
+	}
+	var stale [16]byte
+	stale[0] = 0xff
+	reply, _, err := ResumeRespond(stale, res.Hello(), detRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Finish(reply); !errors.Is(err, ErrAuth) {
+		t.Fatalf("stale-secret resumption: err = %v, want ErrAuth", err)
+	}
+
+	// The sentinels are distinct classes: no accidental wrapping of one
+	// in another.
+	for _, e := range []error{ErrBadFrame, ErrAuth, ErrReplay} {
+		n := 0
+		for _, other := range []error{ErrBadFrame, ErrAuth, ErrReplay} {
+			if errors.Is(e, other) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("sentinel %v matches %d sentinels, want 1", e, n)
+		}
+	}
+}

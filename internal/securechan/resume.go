@@ -2,7 +2,6 @@ package securechan
 
 import (
 	"crypto/sha256"
-	"errors"
 	"fmt"
 	"io"
 )
@@ -48,7 +47,7 @@ func (r *Resumer) Hello() []byte { return r.nonce[:] }
 // and returns the reply frame plus the responder's session.
 func ResumeRespond(secret [16]byte, hello []byte, rand io.Reader) (reply []byte, sess *Session, err error) {
 	if len(hello) != ResumeHelloLen {
-		return nil, nil, fmt.Errorf("securechan: resume hello length %d", len(hello))
+		return nil, nil, fmt.Errorf("resume hello length %d, want %d: %w", len(hello), ResumeHelloLen, ErrBadFrame)
 	}
 	var nonce [nonceLen]byte
 	if _, err := io.ReadFull(rand, nonce[:]); err != nil {
@@ -72,7 +71,7 @@ func ResumeRespond(secret [16]byte, hello []byte, rand io.Reader) (reply []byte,
 // valid transcript MAC.
 func (r *Resumer) Finish(reply []byte) (*Session, error) {
 	if len(reply) != ResumeReplyLen {
-		return nil, fmt.Errorf("securechan: resume reply length %d", len(reply))
+		return nil, fmt.Errorf("resume reply length %d, want %d: %w", len(reply), ResumeReplyLen, ErrBadFrame)
 	}
 	serverNonce := reply[:nonceLen]
 	mac := reply[nonceLen:]
@@ -82,7 +81,7 @@ func (r *Resumer) Finish(reply []byte) (*Session, error) {
 		return nil, err
 	}
 	if subtleCompare(mac, want) == 0 {
-		return nil, errors.New("securechan: resumption authentication failed")
+		return nil, fmt.Errorf("resumption: %w", ErrAuth)
 	}
 	return newSession(keys, true)
 }

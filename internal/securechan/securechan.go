@@ -26,7 +26,6 @@ import (
 	"crypto/ecdh"
 	"crypto/sha256"
 	"encoding/binary"
-	"errors"
 	"fmt"
 
 	"discs/internal/obs"
@@ -122,7 +121,7 @@ func (ini *Initiator) Hello() []byte {
 // the expected static key of the initiator.
 func Respond(id *Identity, initiatorStaticPub, hello []byte, rand io.Reader) (reply []byte, sess *Session, err error) {
 	if len(hello) != HelloLen {
-		return nil, nil, fmt.Errorf("securechan: hello length %d", len(hello))
+		return nil, nil, fmt.Errorf("hello length %d, want %d: %w", len(hello), HelloLen, ErrBadFrame)
 	}
 	clientEphPub, err := ecdh.X25519().NewPublicKey(hello[:pubLen])
 	if err != nil {
@@ -173,7 +172,7 @@ func Respond(id *Identity, initiatorStaticPub, hello []byte, rand io.Reader) (re
 // established session.
 func (ini *Initiator) Finish(reply []byte) (*Session, error) {
 	if len(reply) != ReplyLen {
-		return nil, fmt.Errorf("securechan: reply length %d", len(reply))
+		return nil, fmt.Errorf("reply length %d, want %d: %w", len(reply), ReplyLen, ErrBadFrame)
 	}
 	serverEphPub, err := ecdh.X25519().NewPublicKey(reply[:pubLen])
 	if err != nil {
@@ -201,7 +200,7 @@ func (ini *Initiator) Finish(reply []byte) (*Session, error) {
 		return nil, err
 	}
 	if subtleCompare(mac, want) == 0 {
-		return nil, errors.New("securechan: handshake authentication failed")
+		return nil, fmt.Errorf("handshake: %w", ErrAuth)
 	}
 	return newSession(keys, true)
 }
@@ -343,16 +342,16 @@ func (s *Session) Seal(plaintext []byte) []byte {
 // retry machinery re-drives them.)
 func (s *Session) Open(record []byte) ([]byte, error) {
 	if len(record) < Overhead {
-		return nil, errors.New("securechan: record too short")
+		return nil, fmt.Errorf("record length %d, want >= %d: %w", len(record), Overhead, ErrBadFrame)
 	}
 	seq := binary.BigEndian.Uint64(record[:8])
 	if seq < s.recvSeq {
-		return nil, fmt.Errorf("securechan: sequence %d, want >= %d (replay)", seq, s.recvSeq)
+		return nil, fmt.Errorf("record sequence %d, want >= %d: %w", seq, s.recvSeq, ErrReplay)
 	}
 	body := record[:len(record)-macLen]
 	tag := record[len(record)-macLen:]
 	if !s.mac.Verify(body, tag) {
-		return nil, errors.New("securechan: record authentication failed")
+		return nil, fmt.Errorf("record: %w", ErrAuth)
 	}
 	var iv [16]byte
 	binary.BigEndian.PutUint64(iv[8:], seq)

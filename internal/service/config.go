@@ -1,0 +1,193 @@
+// Package service runs DISCS as a real long-lived process: one DAS
+// controller plus its border-router data plane, bound to the wall
+// clock and a TCP(+TLS) transport instead of the discrete-event
+// simulator. It is the host behind cmd/discs-node: JSON config, an
+// admin HTTP endpoint (Prometheus /metrics, /healthz liveness), config
+// reload, and a loopback fleet harness for end-to-end runs over real
+// sockets.
+//
+// The controller code is exactly the one the simulator runs — the
+// service binds it to the core I/O seam (core.FrameSender +
+// core.Runtime) and serializes every entry point (inbound frames,
+// timers, API calls) under one mutex, which is the thread-safety
+// contract of service-mode core.ControllerOptions.
+package service
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"discs/internal/core"
+	"discs/internal/securechan"
+	"discs/internal/topology"
+)
+
+// PeerConfig names one remote DAS controller: its directory identity
+// (name, AS, securechan public key) and where to dial it.
+type PeerConfig struct {
+	Name string `json:"name"`
+	AS   uint32 `json:"as"`
+	Addr string `json:"addr"`
+	// Pub is the peer's hex-encoded securechan (X25519) public key,
+	// pinned out of band — the service has no BGP to discover it from.
+	Pub string `json:"pub"`
+}
+
+// Config is the JSON configuration of one discs-node process.
+type Config struct {
+	// Name is this controller's directory name (e.g. "ctrl.as7").
+	Name string `json:"name"`
+	// AS is the autonomous system this node serves.
+	AS uint32 `json:"as"`
+	// Listen is the transport bind address; ":0" picks a free port.
+	Listen string `json:"listen"`
+	// Admin is the admin HTTP bind address (/metrics, /healthz).
+	// Empty disables the admin endpoint.
+	Admin string `json:"admin"`
+	// TLS wraps the transport in TLS (see transport.TCPOptions.TLS).
+	TLS bool `json:"tls"`
+	// Seed derives the node's securechan identity and all randomized
+	// protocol delays. Treat it as the node's secret key material.
+	Seed int64 `json:"seed"`
+
+	// Prefixes is the RPKI ownership oracle: ASN (decimal string, JSON
+	// keys are strings) to owned prefixes. It must cover this node's
+	// own AS and every AS whose traffic the data plane classifies.
+	Prefixes map[string][]string `json:"prefixes"`
+	// Peers are the remote DAS controllers to peer with.
+	Peers []PeerConfig `json:"peers"`
+
+	// Protocol pacing, in milliseconds; zero values take the service
+	// defaults (DefaultConfig scaled for wall-clock operation).
+	PeeringDelayMaxMS int `json:"peering_delay_max_ms"`
+	RetryIntervalMS   int `json:"retry_interval_ms"`
+	HeartbeatMS       int `json:"heartbeat_ms"`
+	DeadAfterMisses   int `json:"dead_after_misses"`
+	ReconnectMS       int `json:"reconnect_ms"`
+	// GraceMS overrides the cryptographic-invocation grace interval
+	// (core.DefaultGrace when zero; loopback harnesses shrink it so
+	// strict verification starts promptly).
+	GraceMS int `json:"grace_ms"`
+}
+
+// LoadConfig reads and validates a JSON config file.
+func LoadConfig(path string) (Config, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		return Config{}, fmt.Errorf("service: parse %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("service: %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// Validate checks structural sanity without binding anything.
+func (c Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("config: name required")
+	}
+	if c.AS == 0 {
+		return fmt.Errorf("config: as required")
+	}
+	if c.Listen == "" {
+		return fmt.Errorf("config: listen required")
+	}
+	if _, err := c.topology(); err != nil {
+		return err
+	}
+	for _, p := range c.Peers {
+		if p.Name == "" || p.AS == 0 {
+			return fmt.Errorf("config: peer %q needs name and as", p.Name)
+		}
+		if _, err := p.pub(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// topology builds the ownership oracle from the Prefixes map.
+func (c Config) topology() (*topology.Topology, error) {
+	tp := topology.New()
+	// Sorted ASN order keeps construction deterministic.
+	asns := make([]int, 0, len(c.Prefixes))
+	byASN := make(map[int][]string, len(c.Prefixes))
+	for key, pfxs := range c.Prefixes {
+		asn, err := strconv.Atoi(key)
+		if err != nil || asn <= 0 {
+			return nil, fmt.Errorf("config: bad ASN key %q in prefixes", key)
+		}
+		asns = append(asns, asn)
+		byASN[asn] = pfxs
+	}
+	sort.Ints(asns)
+	for _, asn := range asns {
+		if _, err := tp.AddAS(topology.ASN(asn)); err != nil {
+			return nil, fmt.Errorf("config: %w", err)
+		}
+		for _, s := range byASN[asn] {
+			pfx, err := netip.ParsePrefix(s)
+			if err != nil {
+				return nil, fmt.Errorf("config: AS%d prefix %q: %w", asn, s, err)
+			}
+			if err := tp.AddPrefix(topology.ASN(asn), pfx); err != nil {
+				return nil, fmt.Errorf("config: %w", err)
+			}
+		}
+	}
+	return tp, nil
+}
+
+// pub decodes the pinned peer public key.
+func (p PeerConfig) pub() ([]byte, error) {
+	b, err := hex.DecodeString(p.Pub)
+	if err != nil || len(b) != 32 {
+		return nil, fmt.Errorf("config: peer %s: bad public key %q", p.Name, p.Pub)
+	}
+	return b, nil
+}
+
+// coreConfig maps the service pacing knobs onto the controller Config.
+func (c Config) coreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	ms := func(v int, def time.Duration) time.Duration {
+		if v > 0 {
+			return time.Duration(v) * time.Millisecond
+		}
+		return def
+	}
+	cfg.PeeringDelayMax = ms(c.PeeringDelayMaxMS, cfg.PeeringDelayMax)
+	cfg.RetryInterval = ms(c.RetryIntervalMS, cfg.RetryInterval)
+	cfg.RetryJitter = cfg.RetryInterval / 2
+	cfg.HeartbeatInterval = ms(c.HeartbeatMS, cfg.HeartbeatInterval)
+	if c.DeadAfterMisses > 0 {
+		cfg.DeadAfterMisses = c.DeadAfterMisses
+	}
+	cfg.ReconnectInterval = ms(c.ReconnectMS, cfg.ReconnectInterval)
+	cfg.Grace = ms(c.GraceMS, cfg.Grace)
+	return cfg
+}
+
+// NodeIdentity derives the securechan identity a node with this name
+// and seed will assume. The fleet harness (and any out-of-band key
+// distribution) uses it to compute the Pub field of PeerConfig.
+func NodeIdentity(name string, seed int64) (*securechan.Identity, error) {
+	return securechan.NewIdentity(name, rand.New(rand.NewSource(seed)))
+}
+
+// PubHex renders an identity's public key for PeerConfig.Pub.
+func PubHex(id *securechan.Identity) string {
+	return hex.EncodeToString(id.Public())
+}

@@ -1,0 +1,346 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"discs/internal/bgp"
+	"discs/internal/core"
+	"discs/internal/obs"
+	"discs/internal/packet"
+	"discs/internal/topology"
+	"discs/internal/transport"
+)
+
+// FrameKindData is the transport frame kind carrying one marshaled
+// IPv4 packet between node data planes. It sits above the control
+// frame range (core.IsControlFrameKind) so both planes multiplex onto
+// one connection, the way con-con records and forwarded traffic share
+// the one Internet in the paper's deployment.
+const FrameKindData uint8 = 0x80
+
+// Node metric names, published under the node's "as<N>." scope next to
+// the ctrl.* and router.* families.
+const (
+	MetricNodeRxDelivered = "node.rx_delivered"
+	MetricNodeRxDropped   = "node.rx_dropped"
+	MetricNodeRxMalformed = "node.rx_malformed"
+)
+
+// Node hosts one DAS as a live process: controller, border-router data
+// plane, TCP(+TLS) transport and admin HTTP. All controller and router
+// table access is serialized under mu — the event loop the simulator
+// used to provide, rebuilt on a mutex.
+type Node struct {
+	mu     sync.Mutex
+	cfg    Config
+	ctrl   *core.Controller
+	router *core.BorderRouter
+	dir    *core.Directory
+	tr     *transport.TCP
+	reg    *obs.Registry
+	start  time.Time
+	closed bool
+
+	rxDelivered *obs.Counter
+	rxDropped   *obs.Counter
+	rxMalformed *obs.Counter
+
+	admin *adminServer
+}
+
+// wallRuntime binds a controller to the wall clock: Now is the offset
+// since node start (the service analogue of simulated time), timers
+// are time.AfterFunc callbacks re-serialized onto the node's event
+// loop. After and AfterBackground coincide — a real process has no
+// run-to-quiescence to preserve.
+type wallRuntime struct{ n *Node }
+
+func (r wallRuntime) Now() time.Duration { return time.Since(r.n.start) }
+func (r wallRuntime) After(d time.Duration, fn func()) {
+	time.AfterFunc(d, func() { r.n.do(fn) })
+}
+func (r wallRuntime) AfterBackground(d time.Duration, fn func()) { r.After(d, fn) }
+
+// do runs fn on the node's event loop unless the node is closed. Timer
+// callbacks outliving Close become no-ops, mirroring how crashing a
+// simulated node kills its pending timers.
+func (n *Node) do(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.closed {
+		fn()
+	}
+}
+
+// NewNode builds a node from config: binds the transport and admin
+// listeners (so Addr/AdminAddr are concrete even with ":0" configs),
+// constructs the controller in service mode and registers the pinned
+// peer directory entries. Nothing runs until Start.
+func NewNode(cfg Config) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := cfg.topology()
+	if err != nil {
+		return nil, err
+	}
+	id, err := NodeIdentity(cfg.Name, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := transport.NewTCP(transport.TCPOptions{Addr: cfg.Listen, TLS: cfg.TLS})
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:   cfg,
+		dir:   core.NewDirectory(),
+		tr:    tr,
+		reg:   obs.NewRegistry(),
+		start: time.Now(),
+	}
+	scope := fmt.Sprintf("as%d.", cfg.AS)
+	sc := n.reg.Scope(scope)
+	n.rxDelivered = sc.Counter(MetricNodeRxDelivered)
+	n.rxDropped = sc.Counter(MetricNodeRxDropped)
+	n.rxMalformed = sc.Counter(MetricNodeRxMalformed)
+
+	ctrl, err := core.NewControllerWithOptions(core.ControllerOptions{
+		AS: topology.ASN(cfg.AS), Name: cfg.Name,
+		Conn: tr, Runtime: wallRuntime{n},
+		Dir: n.dir, Topo: topo,
+		Config: cfg.coreConfig(), Seed: cfg.Seed,
+		Identity: id, Registry: n.reg, Scope: scope,
+	})
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	n.ctrl = ctrl
+	router, err := core.NewBorderRouterWithOptions(core.RouterOptions{
+		Tables: core.NewTables(topology.ASN(cfg.AS), topo.Pfx2AS()),
+		Seed:   cfg.Seed ^ 0x5eed, Registry: n.reg, Scope: scope,
+		AS: topology.ASN(cfg.AS),
+	})
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	n.router = router
+	ctrl.AttachRouter(router)
+
+	if err := n.registerPeers(cfg.Peers); err != nil {
+		tr.Close()
+		return nil, err
+	}
+	if cfg.Admin != "" {
+		admin, err := newAdminServer(cfg.Admin, n)
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		n.admin = admin
+	}
+	return n, nil
+}
+
+// registerPeers pins peer directory entries and transport addresses.
+// Entries are registered once (the directory rejects duplicates);
+// addresses update freely.
+func (n *Node) registerPeers(peers []PeerConfig) error {
+	for _, p := range peers {
+		if p.Addr != "" {
+			n.tr.SetPeer(p.Name, p.Addr)
+		}
+		if n.dir.Lookup(p.Name) != nil {
+			continue
+		}
+		pub, err := p.pub()
+		if err != nil {
+			return err
+		}
+		if err := n.dir.Register(&core.DirEntry{
+			Name: p.Name, ASN: topology.ASN(p.AS), Pub: pub,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start begins operation: the transport delivers frames to the event
+// loop, the admin endpoint serves, and the pinned peers are announced
+// to the controller as static DISCS-Ads (the service-mode stand-in for
+// BGP discovery), which kicks off peering, key negotiation and
+// heartbeats.
+func (n *Node) Start() error {
+	if err := n.tr.Start(n.handleFrame); err != nil {
+		return err
+	}
+	if n.admin != nil {
+		n.admin.serve()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, p := range n.cfg.Peers {
+		n.ctrl.HandleAd(bgp.DISCSAd{Origin: topology.ASN(p.AS), Controller: p.Name})
+	}
+	return nil
+}
+
+// handleFrame is the transport inbound path: control frames go to the
+// controller state machine, data frames through the border router's
+// inbound processing — both on the event loop.
+func (n *Node) handleFrame(f transport.Frame) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	switch {
+	case core.IsControlFrameKind(f.Kind):
+		n.ctrl.HandleFrame(f)
+	case f.Kind == FrameKindData:
+		p, err := packet.ParseIPv4(f.Data)
+		if err != nil {
+			n.rxMalformed.Inc()
+			return
+		}
+		if v := n.router.ProcessInbound(core.V4{P: p}, n.Now()); v.Dropped() {
+			n.rxDropped.Inc()
+		} else {
+			n.rxDelivered.Inc()
+		}
+	}
+}
+
+// Now is the node's data-plane clock: the same epoch-offset mapping
+// the controller uses, so invocation windows line up.
+func (n *Node) Now() time.Time {
+	return time.Unix(0, 0).UTC().Add(time.Since(n.start))
+}
+
+// SendPacket pushes one IPv4 packet out through this AS's border
+// router toward the named peer node: outbound processing (DP filter,
+// CDP stamp, ...) first, then the wire. It returns the outbound
+// verdict and whether the frame went out.
+func (n *Node) SendPacket(dst string, p *packet.IPv4) (core.Verdict, bool) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return core.VerdictDrop, false
+	}
+	v := n.router.ProcessOutbound(core.V4{P: p}, n.Now())
+	n.mu.Unlock()
+	if v.Dropped() {
+		return v, false
+	}
+	b, err := p.Marshal()
+	if err != nil {
+		return v, false
+	}
+	return v, n.tr.Send(dst, transport.Frame{Kind: FrameKindData, From: n.cfg.Name, Data: b})
+}
+
+// InjectRaw ships a packet to the named peer without outbound
+// processing — the loadgen's model of spoofed traffic entering from a
+// legacy (non-DISCS) AS that runs no egress filtering.
+func (n *Node) InjectRaw(dst string, p *packet.IPv4) bool {
+	b, err := p.Marshal()
+	if err != nil {
+		return false
+	}
+	return n.tr.Send(dst, transport.Frame{Kind: FrameKindData, From: n.cfg.Name, Data: b})
+}
+
+// Invoke requests protection, serialized with the event loop (the
+// service-mode spelling of Controller.Invoke).
+func (n *Node) Invoke(invs ...core.Invocation) (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return 0, fmt.Errorf("service: node closed")
+	}
+	return n.ctrl.Invoke(invs...)
+}
+
+// Do runs fn serialized with the node's event loop; fn may touch the
+// controller and router freely.
+func (n *Node) Do(fn func(c *core.Controller, r *core.BorderRouter)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fn(n.ctrl, n.router)
+}
+
+// Reload applies a changed config. Only the peer set is live-reloadable
+// — new peers are pinned and announced, existing peers' addresses are
+// repointed. Identity-defining fields must not change.
+func (n *Node) Reload(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Name != n.Name() || cfg.AS != n.AS() {
+		return fmt.Errorf("service: reload cannot change node identity (%s/AS%d)", n.Name(), n.AS())
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return fmt.Errorf("service: node closed")
+	}
+	if err := n.registerPeers(cfg.Peers); err != nil {
+		return err
+	}
+	n.cfg.Peers = cfg.Peers
+	for _, p := range cfg.Peers {
+		n.ctrl.HandleAd(bgp.DISCSAd{Origin: topology.ASN(p.AS), Controller: p.Name})
+	}
+	return nil
+}
+
+// Close shuts the node down: admin endpoint, transport, then the event
+// loop is sealed so late timer callbacks and frames are dropped.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	if n.admin != nil {
+		n.admin.close()
+	}
+	return n.tr.Close()
+}
+
+// Name returns the node's controller name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// AS returns the node's AS number.
+func (n *Node) AS() uint32 { return n.cfg.AS }
+
+// Addr returns the transport's bound address.
+func (n *Node) Addr() string { return n.tr.Addr() }
+
+// AdminAddr returns the admin HTTP address ("" when disabled).
+func (n *Node) AdminAddr() string {
+	if n.admin == nil {
+		return ""
+	}
+	return n.admin.addr()
+}
+
+// Registry exposes the node's metrics registry.
+func (n *Node) Registry() *obs.Registry { return n.reg }
+
+// Stats snapshots the node's metrics.
+func (n *Node) Stats() obs.Snapshot { return n.reg.Snapshot() }
+
+// PeersEstablished reports how many configured peers are established.
+func (n *Node) PeersEstablished() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.ctrl.Peers())
+}

@@ -1,0 +1,257 @@
+package transport
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPOptions configures a TCP transport endpoint.
+type TCPOptions struct {
+	// Addr is the listen address ("127.0.0.1:0" picks a free port; the
+	// bound address is available from Addr() immediately after NewTCP).
+	Addr string
+	// TLS wraps every connection in TLS. Certificates are ephemeral and
+	// self-signed: the transport provides confidentiality on the wire,
+	// while authentication rides on the securechan X25519 handshake the
+	// controllers run inside it — a man in the middle can drop or
+	// corrupt frames (which the control plane already tolerates) but
+	// cannot forge or read control messages.
+	TLS bool
+	// DialTimeout bounds connection establishment and per-frame writes;
+	// 0 means 3s. A slow or dead peer costs one timeout, then the frame
+	// is reported dropped and the controller's retry machinery owns it.
+	DialTimeout time.Duration
+}
+
+// TCP is the real-socket Transport: length-prefixed frames over
+// TCP (optionally TLS), one lazily-dialed connection per peer, with
+// the drop-on-error delivery contract of the package doc. Peers are
+// named endpoints registered in an address book (SetPeer); Send to an
+// unregistered peer reports a drop.
+type TCP struct {
+	opts     TCPOptions
+	ln       net.Listener
+	tlsConf  *tls.Config
+	handler  Handler
+	handlerM sync.RWMutex
+
+	mu      sync.Mutex
+	peers   map[string]string   // name -> dial address
+	conns   map[string]net.Conn // name -> established outbound conn
+	inbound map[net.Conn]bool   // accepted conns, closed with the transport
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// NewTCP binds the listen address and returns the endpoint. The
+// listener is live (so Addr() is concrete and peers can already dial
+// in), but inbound frames are not consumed until Start.
+func NewTCP(o TCPOptions) (*TCP, error) {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	t := &TCP{
+		opts:    o,
+		peers:   make(map[string]string),
+		conns:   make(map[string]net.Conn),
+		inbound: make(map[net.Conn]bool),
+	}
+	ln, err := net.Listen("tcp", o.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", o.Addr, err)
+	}
+	if o.TLS {
+		cert, err := ephemeralCert()
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		t.tlsConf = &tls.Config{
+			Certificates: []tls.Certificate{cert},
+			// Self-signed by design: endpoint authentication happens in
+			// the securechan handshake riding on this transport.
+			InsecureSkipVerify: true,
+			MinVersion:         tls.VersionTLS13,
+		}
+		ln = tls.NewListener(ln, t.tlsConf)
+	}
+	t.ln = ln
+	return t, nil
+}
+
+// Addr returns the bound listen address (concrete port even when the
+// options said ":0").
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetPeer registers (or updates) the dial address for a named peer.
+func (t *TCP) SetPeer(name, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.peers[name] != addr {
+		t.peers[name] = addr
+		// A stale connection to the old address would silently eat
+		// frames; drop it and let the next Send redial.
+		if c, ok := t.conns[name]; ok {
+			c.Close()
+			delete(t.conns, name)
+		}
+	}
+}
+
+// Start begins accepting connections and delivering inbound frames to
+// h. Frames are handed to h from per-connection goroutines; the host
+// serializes them onto its event loop.
+func (t *TCP) Start(h Handler) error {
+	t.handlerM.Lock()
+	if t.handler != nil {
+		t.handlerM.Unlock()
+		return fmt.Errorf("transport: Start called twice")
+	}
+	t.handler = h
+	t.handlerM.Unlock()
+
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			conn, err := t.ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			t.mu.Lock()
+			if t.closed {
+				t.mu.Unlock()
+				conn.Close()
+				return
+			}
+			t.inbound[conn] = true
+			t.mu.Unlock()
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				t.serve(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+// serve drains one inbound connection until EOF or error. Errors are
+// not reported anywhere: a torn connection is indistinguishable from
+// frame loss, which the control plane tolerates by design.
+func (t *TCP) serve(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		t.handlerM.RLock()
+		h := t.handler
+		t.handlerM.RUnlock()
+		if h != nil {
+			h(f)
+		}
+	}
+}
+
+// Send delivers f to the named peer, dialing on first use. False means
+// the frame was dropped: unknown peer, dial failure, write failure, or
+// transport closed. A failed write tears the cached connection down so
+// the next Send redials.
+func (t *TCP) Send(peer string, f Frame) bool {
+	buf, err := AppendFrame(nil, f)
+	if err != nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	conn, ok := t.conns[peer]
+	if !ok {
+		addr, known := t.peers[peer]
+		if !known {
+			return false
+		}
+		conn, err = t.dial(addr)
+		if err != nil {
+			return false
+		}
+		t.conns[peer] = conn
+	}
+	conn.SetWriteDeadline(time.Now().Add(t.opts.DialTimeout))
+	if _, err := conn.Write(buf); err != nil {
+		conn.Close()
+		delete(t.conns, peer)
+		return false
+	}
+	return true
+}
+
+func (t *TCP) dial(addr string) (net.Conn, error) {
+	d := net.Dialer{Timeout: t.opts.DialTimeout}
+	if t.tlsConf != nil {
+		return tls.DialWithDialer(&d, "tcp", addr, t.tlsConf)
+	}
+	return d.Dial("tcp", addr)
+}
+
+// Close shuts the listener and every connection down and waits for the
+// serve goroutines to drain. Subsequent Sends report false.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	err := t.ln.Close()
+	for name, c := range t.conns {
+		c.Close()
+		delete(t.conns, name)
+	}
+	for c := range t.inbound {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}
+
+// ephemeralCert builds a throwaway self-signed certificate for the
+// TLS record layer (see TCPOptions.TLS for why self-signed is sound
+// here).
+func ephemeralCert() (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "discs-node"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * time.Hour),
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}, nil
+}

@@ -1,0 +1,119 @@
+// Package transport is the controller-to-controller I/O seam of the
+// DISCS reproduction: the same frame vocabulary the in-simulator
+// wiring uses, abstracted so the core control plane can run over real
+// sockets unchanged.
+//
+// A Transport moves opaque frames between named controller endpoints
+// with the delivery contract of the securechan record layer: frames
+// may be lost or arrive late, but arrive intact and at most once per
+// send. Nothing here retries — the controller state machines already
+// re-drive idempotent exchanges on loss (they were built for a
+// fault-injecting simulator), so a real transport is allowed to drop a
+// frame whenever a connection is down and simply report it.
+//
+// Two implementations exist:
+//
+//   - the in-sim adapter (internal/core, simConn), which maps Send to
+//     a netsim link delivery and keeps bit-identical simulation
+//     behavior;
+//   - TCP (tcp.go in this package), stdlib TCP+TLS with
+//     length-prefixed frames, lazy dialing and drop-on-error
+//     semantics, for running DISCS as a real multi-process service.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame is one transport unit: a frame kind (the core control plane
+// defines the values — handshake hellos, protected records, data-plane
+// payloads), the sender's controller name, and an opaque payload.
+type Frame struct {
+	Kind uint8
+	From string
+	Data []byte
+}
+
+// Handler consumes inbound frames. Transports may invoke it from
+// internal goroutines; serialization onto the controller's event loop
+// is the host's responsibility.
+type Handler func(Frame)
+
+// Transport moves frames between named controller endpoints.
+type Transport interface {
+	// Start begins delivering inbound frames to h. It must be called
+	// exactly once, before the first Send.
+	Start(h Handler) error
+	// Send delivers f to the named peer, best-effort: false means the
+	// frame was dropped (unknown peer, connection down, transport
+	// closed) and the caller's retry machinery owns recovery.
+	Send(peer string, f Frame) bool
+	// Close stops the transport; subsequent Sends report false.
+	Close() error
+}
+
+// Stream framing shared by the TCP implementation and its tests:
+// a 4-byte big-endian payload length, then kind (1 byte), sender-name
+// length (1 byte), sender name, and the payload bytes.
+
+// MaxFrameSize caps the payload length a reader accepts, so a
+// misbehaving peer cannot make a node allocate unbounded memory from
+// a forged length prefix.
+const MaxFrameSize = 1 << 20
+
+// MaxFromLen bounds the sender-name field of the wire format.
+const MaxFromLen = 255
+
+// ErrFrameTooBig reports a frame exceeding MaxFrameSize (or a name
+// exceeding MaxFromLen) on either the write or the read side.
+var ErrFrameTooBig = errors.New("transport: frame too big")
+
+// AppendFrame appends the wire encoding of f to dst and returns the
+// extended slice.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	if len(f.From) > MaxFromLen {
+		return dst, fmt.Errorf("sender name %d bytes: %w", len(f.From), ErrFrameTooBig)
+	}
+	n := 2 + len(f.From) + len(f.Data)
+	if n > MaxFrameSize {
+		return dst, fmt.Errorf("frame payload %d bytes: %w", n, ErrFrameTooBig)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(n))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, f.Kind, byte(len(f.From)))
+	dst = append(dst, f.From...)
+	dst = append(dst, f.Data...)
+	return dst, nil
+}
+
+// ReadFrame reads one frame from r, enforcing MaxFrameSize.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return Frame{}, fmt.Errorf("frame payload %d bytes: %w", n, ErrFrameTooBig)
+	}
+	if n < 2 {
+		return Frame{}, fmt.Errorf("transport: frame payload %d bytes, want >= 2", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, err
+	}
+	fromLen := int(buf[1])
+	if 2+fromLen > len(buf) {
+		return Frame{}, fmt.Errorf("transport: sender name %d bytes overruns %d-byte payload", fromLen, n)
+	}
+	return Frame{
+		Kind: buf[0],
+		From: string(buf[2 : 2+fromLen]),
+		Data: buf[2+fromLen:],
+	}, nil
+}

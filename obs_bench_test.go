@@ -42,7 +42,7 @@ func instrumentedPair(tb testing.TB, sampleEvery int) (reg *obs.Registry, peer, 
 	pt.In[core.TableOutDst].Install(v, core.OpDPFilter, t0, time.Hour, 0)
 	pt.In[core.TableOutDst].Install(v, core.OpCDPStamp, t0, time.Hour, 0)
 	pt.Keys.SetStampKey(3, key)
-	peer = core.NewBorderRouterWithOptions(core.RouterOptions{
+	peer = mustRouter(core.RouterOptions{
 		Tables: pt, Seed: 1, Registry: reg, Scope: "as1.", AS: 1,
 		TraceSampleEvery: sampleEvery,
 	})
@@ -50,7 +50,7 @@ func instrumentedPair(tb testing.TB, sampleEvery int) (reg *obs.Registry, peer, 
 	vt := core.NewTables(3, tp.Pfx2AS())
 	vt.In[core.TableInDst].Install(v, core.OpCDPVerify, t0, time.Hour, 0)
 	vt.Keys.SetVerifyKey(1, key)
-	victim = core.NewBorderRouterWithOptions(core.RouterOptions{
+	victim = mustRouter(core.RouterOptions{
 		Tables: vt, Seed: 2, Registry: reg, Scope: "as3.", AS: 3,
 		TraceSampleEvery: sampleEvery,
 	})
