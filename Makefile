@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet vet-obs check node-smoke bench bench-dataplane bench-obs bench-topo bench-topo-report bench-paper bench-paper-report bench-snapshot bench-snapshot-report diff-paper fuzz report figures cost sim examples cover clean
+.PHONY: all build test test-race vet vet-obs check node-smoke bench bench-dataplane bench-obs bench-topo bench-topo-report bench-paper bench-paper-report bench-snapshot bench-snapshot-report bench-service bench-service-report diff-paper fuzz report figures cost sim examples cover clean
 
 all: build check
 
@@ -33,14 +33,15 @@ vet-obs:
 # detector (with shuffled test order to catch order-dependent tests),
 # the service-mode loopback smoke run, and the paper-scale topology and
 # end-to-end budgets.
-check: vet vet-obs test-race node-smoke bench-topo bench-paper bench-snapshot bench-dataplane-gate
+check: vet vet-obs test-race node-smoke bench-topo bench-paper bench-snapshot bench-dataplane-gate bench-service
 
 # Off-simulator smoke: boot a 3-node loopback fleet over TCP+TLS,
 # deploy DP+CDP, push legit/spoofed/raw flows, and verify the victim's
 # live /metrics shows them verified/blocked/dropped (self-checking —
-# nonzero exit on any miss).
+# nonzero exit on any miss). The -burst phase then pushes packet
+# trains through the batch entry points over the same TLS transport.
 node-smoke:
-	$(GO) run ./cmd/discs-node -loadgen -nodes 3 -flows 25 -timeout 45s
+	$(GO) run ./cmd/discs-node -loadgen -nodes 3 -flows 25 -burst 256 -packets 50000 -timeout 45s
 
 # Per-figure/table reproduction benches (bench_test.go at the root).
 bench:
@@ -57,6 +58,17 @@ bench-dataplane:
 # least half of the committed BENCH_dataplane.json Mpps at 0 allocs/op.
 bench-dataplane-gate:
 	DISCS_DATAPLANE_GATE=1 $(GO) test -run 'TestDataPlaneGate' -count=1 -v .
+
+# Service-plane throughput floor gate: a live 2-node loopback fleet's
+# batch path (packet trains + inbound worker pool) must hold at least
+# half the committed BENCH_service.json Mpps and at least half its
+# committed batch-over-per-packet speedup (itself required ≥5x).
+bench-service:
+	DISCS_SERVICE_GATE=1 $(GO) test -run 'TestServiceGate' -count=1 -v .
+
+# Regenerate BENCH_service.json (end-to-end per-packet vs batch Mpps).
+bench-service-report:
+	DISCS_SERVICE_REPORT=1 $(GO) test -run 'TestServiceReport' -count=1 -v .
 
 # Observability overhead report: instrumented vs plain stamp+verify
 # into BENCH_obs.json. Fails if instrumentation allocates or costs more

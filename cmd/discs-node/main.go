@@ -9,6 +9,7 @@
 //	                                    # a node with that identity will
 //	                                    # assume (for peers' config files)
 //	discs-node -loadgen                 # loopback fleet smoke run
+//	discs-node -loadgen -burst 256      # + high-rate batch phase (Mpps)
 //
 // In serve mode, SIGHUP re-reads the config file and applies the peer
 // set (addresses repointed, new peers announced); SIGINT/SIGTERM shut
@@ -51,6 +52,8 @@ func main() {
 		seed       = flag.Int64("seed", 0, "identity seed for -pubkey")
 		nodes      = flag.Int("nodes", 3, "fleet size for -loadgen (2..16)")
 		flows      = flag.Int("flows", 50, "flows per traffic class for -loadgen")
+		burst      = flag.Int("burst", 0, "after the classic run, push this many packets per burst through the batch path (-loadgen; 0 disables)")
+		packets    = flag.Int("packets", 200000, "total packets for the -burst high-rate phase")
 		useTLS     = flag.Bool("tls", true, "wrap fleet transport in TLS for -loadgen")
 		timeout    = flag.Duration("timeout", 60*time.Second, "overall -loadgen deadline")
 	)
@@ -67,7 +70,7 @@ func main() {
 		}
 		fmt.Println(service.PubHex(id))
 	case *loadgen:
-		if err := runLoadgen(*nodes, *flows, *useTLS, *timeout); err != nil {
+		if err := runLoadgen(*nodes, *flows, *burst, *packets, *useTLS, *timeout); err != nil {
 			log.Fatal(err)
 		}
 	case *configPath != "":
@@ -119,7 +122,7 @@ func serve(path string) error {
 }
 
 // runLoadgen is the self-checking fleet run behind `make node-smoke`.
-func runLoadgen(nodes, flows int, useTLS bool, timeout time.Duration) error {
+func runLoadgen(nodes, flows, burst, packets int, useTLS bool, timeout time.Duration) error {
 	if nodes < 2 || nodes > 16 {
 		return fmt.Errorf("discs-node: -nodes must be in 2..16")
 	}
@@ -188,6 +191,28 @@ func runLoadgen(nodes, flows int, useTLS bool, timeout time.Duration) error {
 		return fmt.Errorf("discs-node: victim /healthz status %d", resp.StatusCode)
 	}
 	log.Printf("discs-node: /metrics verified=%v, /healthz ok — smoke run passed", verified)
+
+	if burst > 0 {
+		// High-rate phase: packet trains through the batch entry points
+		// (ProcessOutboundBatch → FrameKindDataBurst → inbound worker
+		// pool), reporting the achieved source-side rate.
+		before := v.Stats().Get(fmt.Sprintf("as%d.%s", v.AS(), service.MetricNodeRxDelivered))
+		rep := f.LoadgenBurst(src, victim, packets, burst)
+		if rep.Sent != packets || rep.Stamped != rep.Packets {
+			return fmt.Errorf("discs-node: burst phase lost packets: %+v", rep)
+		}
+		want := before + uint64(rep.Sent)
+		for v.Stats().Get(fmt.Sprintf("as%d.%s", v.AS(), service.MetricNodeRxDelivered)) < want {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("discs-node: burst delivery incomplete: %d/%d",
+					v.Stats().Get(fmt.Sprintf("as%d.%s", v.AS(), service.MetricNodeRxDelivered))-before, rep.Sent)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		st, _ := f.Nodes[src].Transport().PeerStats(v.Name())
+		log.Printf("discs-node: burst %d packets in %v — %.3f Mpps, %d train frames, %d wire bytes",
+			rep.Packets, rep.Elapsed.Round(time.Millisecond), rep.Mpps(), st.FramesSent, st.BytesSent)
+	}
 	return nil
 }
 

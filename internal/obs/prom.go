@@ -21,6 +21,11 @@ import (
 //     discs_ctrl_msgs_sent{as="7"}. Fleet-wide aggregation is then a
 //     sum() over the label, the Prometheus-native spelling of
 //     Snapshot.Sum.
+//   - The per-peer suffix convention ("transport.bytes_sent.peer.
+//     ctrl.as9", see transport.PeerMetric) becomes a peer label on the
+//     base family: discs_transport_bytes_sent{peer="ctrl.as9"}. The
+//     peer name is everything after the first ".peer.", so names
+//     containing dots survive intact.
 //   - Characters outside [a-zA-Z0-9_:] are replaced with '_', and a
 //     leading digit gets a '_' prefix, per the metric-name grammar.
 //   - Histograms render cumulative le-bucket counts (obs buckets are
@@ -51,20 +56,26 @@ func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
 	fams := make(map[string]*promFamily)
 	add := func(raw, typ, suffix, labels, value string) {
 		name, as := splitASScope(raw)
+		name, peer := splitPeerSuffix(name)
 		fam := promName(namespace, name)
 		f := fams[fam]
 		if f == nil {
 			f = &promFamily{name: fam, typ: typ, help: fmt.Sprintf("DISCS metric %s.", name)}
 			fams[fam] = f
 		}
-		lbl := labels
+		var parts []string
 		if as != "" {
-			switch {
-			case lbl == "":
-				lbl = fmt.Sprintf(`{as=%q}`, as)
-			default:
-				lbl = fmt.Sprintf(`{as=%q,%s`, as, lbl[1:])
-			}
+			parts = append(parts, fmt.Sprintf("as=%q", as))
+		}
+		if peer != "" {
+			parts = append(parts, fmt.Sprintf("peer=%q", peer))
+		}
+		if labels != "" {
+			parts = append(parts, labels[1:len(labels)-1])
+		}
+		lbl := ""
+		if len(parts) > 0 {
+			lbl = "{" + strings.Join(parts, ",") + "}"
 		}
 		f.series = append(f.series, promSeries{suffix: suffix, labels: lbl, value: value})
 	}
@@ -130,6 +141,19 @@ func splitASScope(name string) (rest, as string) {
 		return name, ""
 	}
 	return name[i+1:], name[2:i]
+}
+
+// splitPeerSuffix recognizes the ".peer.<name>" suffix convention
+// (transport.PeerMetric) and lifts the peer name into a label value,
+// returning the base family name. The split is at the first ".peer.",
+// so peer names containing dots (controller names like "ctrl.as9")
+// pass through whole. Names without the marker are returned unchanged.
+func splitPeerSuffix(name string) (base, peer string) {
+	i := strings.Index(name, ".peer.")
+	if i < 0 || i == 0 || i+6 >= len(name) {
+		return name, ""
+	}
+	return name[:i], name[i+6:]
 }
 
 // promName sanitizes a dotted metric name into the Prometheus

@@ -20,6 +20,11 @@ func TestPrometheusGolden(t *testing.T) {
 	h.Observe(50)
 	h.Observe(150)
 	h.Observe(5000)
+	// Per-peer suffix convention: lifted into a peer label, dotted
+	// peer names intact, composing with the as-scope label.
+	r.Scope("as7.").Counter("transport.bytes_sent.peer.ctrl.as9").Add(640)
+	r.Scope("as7.").Counter("transport.bytes_sent.peer.ctrl.as1002").Add(64)
+	r.Counter("transport.frames_dropped.peer.ctrl.as9").Add(2)
 
 	var b strings.Builder
 	if err := r.Snapshot().WritePrometheus(&b, "discs"); err != nil {
@@ -45,6 +50,13 @@ discs_netsim_delivered 42
 # HELP discs_parsim_workers DISCS metric parsim.workers.
 # TYPE discs_parsim_workers gauge
 discs_parsim_workers -1
+# HELP discs_transport_bytes_sent DISCS metric transport.bytes_sent.
+# TYPE discs_transport_bytes_sent counter
+discs_transport_bytes_sent{as="7",peer="ctrl.as1002"} 64
+discs_transport_bytes_sent{as="7",peer="ctrl.as9"} 640
+# HELP discs_transport_frames_dropped DISCS metric transport.frames_dropped.
+# TYPE discs_transport_frames_dropped counter
+discs_transport_frames_dropped{peer="ctrl.as9"} 2
 # HELP discs_weird_name_1xx_total DISCS metric weird-name.1xx/total.
 # TYPE discs_weird_name_1xx_total counter
 discs_weird_name_1xx_total 1
@@ -72,6 +84,22 @@ func TestPrometheusNameEdgeCases(t *testing.T) {
 		rest, as := splitASScope(c.in)
 		if rest != c.rest || as != c.as {
 			t.Errorf("splitASScope(%q) = (%q, %q), want (%q, %q)", c.in, rest, as, c.rest, c.as)
+		}
+	}
+	peerCases := []struct {
+		in, base, peer string
+	}{
+		{"transport.bytes_sent.peer.ctrl.as9", "transport.bytes_sent", "ctrl.as9"},
+		{"transport.queue_depth.peer.a.b.c", "transport.queue_depth", "a.b.c"},
+		{"transport.bytes_sent", "transport.bytes_sent", ""},
+		{"peer.x", "peer.x", ""},           // marker must not lead
+		{"a.peer.", "a.peer.", ""},         // empty peer name
+		{"ctrl.msgs_sent", "ctrl.msgs_sent", ""},
+	}
+	for _, c := range peerCases {
+		base, peer := splitPeerSuffix(c.in)
+		if base != c.base || peer != c.peer {
+			t.Errorf("splitPeerSuffix(%q) = (%q, %q), want (%q, %q)", c.in, base, peer, c.base, c.peer)
 		}
 	}
 	if got := promName("", "7starts.with.digit"); got != "_7starts_with_digit" {

@@ -75,6 +75,23 @@ type Config struct {
 	// (core.DefaultGrace when zero; loopback harnesses shrink it so
 	// strict verification starts promptly).
 	GraceMS int `json:"grace_ms"`
+
+	// DialTimeoutMS bounds transport dialing and per-batch writes
+	// (transport.TCPOptions.DialTimeout; zero means the transport
+	// default, 3s).
+	DialTimeoutMS int `json:"dial_timeout_ms"`
+	// SendQueue caps each peer's outbound transport queue in frames
+	// (zero means the transport default, 256). A full queue drops
+	// frames rather than blocking the sender.
+	SendQueue int `json:"send_queue"`
+	// InboundWorkers sizes the data-plane worker pool that parses and
+	// batch-verifies inbound data frames off the control-plane mutex
+	// (zero means min(4, GOMAXPROCS)).
+	InboundWorkers int `json:"inbound_workers"`
+	// InboundQueue caps the inbound data-frame queue feeding those
+	// workers (zero means 1024); overflow drops are counted under
+	// node.rx_overflow.
+	InboundQueue int `json:"inbound_queue"`
 }
 
 // LoadConfig reads and validates a JSON config file.

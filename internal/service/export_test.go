@@ -1,0 +1,15 @@
+package service
+
+import (
+	"context"
+	"net"
+)
+
+// SetTestDialHook installs a transport dial override for every node
+// built afterwards and returns a restore func. Tests use it to model
+// unreachable peers whose dials hang until canceled.
+func SetTestDialHook(d func(ctx context.Context, addr string) (net.Conn, error)) func() {
+	old := testDialHook
+	testDialHook = d
+	return func() { testDialHook = old }
+}

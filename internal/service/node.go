@@ -1,7 +1,11 @@
 package service
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
+	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -20,32 +24,66 @@ import (
 // the one Internet in the paper's deployment.
 const FrameKindData uint8 = 0x80
 
+// FrameKindDataBurst carries a packet train: repeated 2-byte
+// big-endian length prefixes, each followed by one marshaled IPv4
+// packet. One train costs one transport frame end to end — one frame
+// encode, one coalesced write, one read, one handler dispatch — and
+// the receiver feeds the whole train to core.ProcessInboundBatch in
+// one call, the service-mode analogue of netsim's link-train delivery.
+const FrameKindDataBurst uint8 = 0x81
+
 // Node metric names, published under the node's "as<N>." scope next to
 // the ctrl.* and router.* families.
 const (
 	MetricNodeRxDelivered = "node.rx_delivered"
 	MetricNodeRxDropped   = "node.rx_dropped"
 	MetricNodeRxMalformed = "node.rx_malformed"
+	// MetricNodeRxOverflow counts inbound data frames dropped because
+	// the data-plane queue was full — backpressure made visible
+	// instead of an unbounded backlog.
+	MetricNodeRxOverflow = "node.rx_overflow"
 )
 
+// inboundItem is one queued unit of inbound data-plane work: a raw
+// packet (FrameKindData) or a whole train (FrameKindDataBurst).
+type inboundItem struct {
+	b     []byte
+	train bool
+}
+
+// inboundBatchItems caps how many queued items one worker iteration
+// drains before processing; a train counts as one item however many
+// packets it carries.
+const inboundBatchItems = 64
+
 // Node hosts one DAS as a live process: controller, border-router data
-// plane, TCP(+TLS) transport and admin HTTP. All controller and router
-// table access is serialized under mu — the event loop the simulator
-// used to provide, rebuilt on a mutex.
+// plane, TCP(+TLS) transport and admin HTTP. Controller and router
+// *table* access is serialized under mu — the event loop the simulator
+// used to provide, rebuilt on a mutex. The data plane is deliberately
+// outside that loop: inbound data frames are queued to a worker pool
+// that parses and batch-verifies them against the router's lock-free
+// table snapshots (DESIGN.md §8), so a burst of traffic never stalls
+// peering, heartbeats or reloads, and vice versa.
 type Node struct {
-	mu     sync.Mutex
-	cfg    Config
-	ctrl   *core.Controller
-	router *core.BorderRouter
-	dir    *core.Directory
-	tr     *transport.TCP
-	reg    *obs.Registry
-	start  time.Time
-	closed bool
+	mu      sync.Mutex
+	cfg     Config
+	ctrl    *core.Controller
+	router  *core.BorderRouter
+	dir     *core.Directory
+	tr      *transport.TCP
+	reg     *obs.Registry
+	start   time.Time
+	started bool
+	closed  bool
+
+	dataCh  chan inboundItem
+	workers int
+	wg      sync.WaitGroup
 
 	rxDelivered *obs.Counter
 	rxDropped   *obs.Counter
 	rxMalformed *obs.Counter
+	rxOverflow  *obs.Counter
 
 	admin *adminServer
 }
@@ -74,6 +112,11 @@ func (n *Node) do(fn func()) {
 	}
 }
 
+// testDialHook, when non-nil, overrides the transport dialer of every
+// node built afterwards — the in-package test seam for hanging dials
+// and fault injection. Nil in production.
+var testDialHook func(ctx context.Context, addr string) (net.Conn, error)
+
 // NewNode builds a node from config: binds the transport and admin
 // listeners (so Addr/AdminAddr are concrete even with ":0" configs),
 // constructs the controller in service mode and registers the pinned
@@ -90,14 +133,9 @@ func NewNode(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr, err := transport.NewTCP(transport.TCPOptions{Addr: cfg.Listen, TLS: cfg.TLS})
-	if err != nil {
-		return nil, err
-	}
 	n := &Node{
 		cfg:   cfg,
 		dir:   core.NewDirectory(),
-		tr:    tr,
 		reg:   obs.NewRegistry(),
 		start: time.Now(),
 	}
@@ -106,6 +144,32 @@ func NewNode(cfg Config) (*Node, error) {
 	n.rxDelivered = sc.Counter(MetricNodeRxDelivered)
 	n.rxDropped = sc.Counter(MetricNodeRxDropped)
 	n.rxMalformed = sc.Counter(MetricNodeRxMalformed)
+	n.rxOverflow = sc.Counter(MetricNodeRxOverflow)
+
+	n.workers = cfg.InboundWorkers
+	if n.workers <= 0 {
+		n.workers = runtime.GOMAXPROCS(0)
+		if n.workers > 4 {
+			n.workers = 4
+		}
+	}
+	queue := cfg.InboundQueue
+	if queue <= 0 {
+		queue = 1024
+	}
+	n.dataCh = make(chan inboundItem, queue)
+
+	tr, err := transport.NewTCP(transport.TCPOptions{
+		Addr: cfg.Listen, TLS: cfg.TLS,
+		DialTimeout: time.Duration(cfg.DialTimeoutMS) * time.Millisecond,
+		SendQueue:   cfg.SendQueue,
+		Registry:    n.reg, Scope: scope,
+		Dial: testDialHook,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.tr = tr
 
 	ctrl, err := core.NewControllerWithOptions(core.ControllerOptions{
 		AS: topology.ASN(cfg.AS), Name: cfg.Name,
@@ -170,12 +234,18 @@ func (n *Node) registerPeers(peers []PeerConfig) error {
 	return nil
 }
 
-// Start begins operation: the transport delivers frames to the event
-// loop, the admin endpoint serves, and the pinned peers are announced
-// to the controller as static DISCS-Ads (the service-mode stand-in for
-// BGP discovery), which kicks off peering, key negotiation and
-// heartbeats.
+// Start begins operation: the data-plane worker pool spins up, the
+// transport delivers frames, the admin endpoint serves, and the pinned
+// peers are announced to the controller as static DISCS-Ads (the
+// service-mode stand-in for BGP discovery), which kicks off peering,
+// key negotiation and heartbeats. Announcing costs no dials: the
+// transport's per-peer workers own connection establishment, so Start
+// returns promptly however many peers are unreachable.
 func (n *Node) Start() error {
+	for i := 0; i < n.workers; i++ {
+		n.wg.Add(1)
+		go n.inboundWorker()
+	}
 	if err := n.tr.Start(n.handleFrame); err != nil {
 		return err
 	}
@@ -184,6 +254,7 @@ func (n *Node) Start() error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.started = true
 	for _, p := range n.cfg.Peers {
 		n.ctrl.HandleAd(bgp.DISCSAd{Origin: topology.ASN(p.AS), Controller: p.Name})
 	}
@@ -191,27 +262,103 @@ func (n *Node) Start() error {
 }
 
 // handleFrame is the transport inbound path: control frames go to the
-// controller state machine, data frames through the border router's
-// inbound processing — both on the event loop.
+// controller state machine on the event loop; data frames and trains
+// bypass the mutex entirely and queue to the data-plane worker pool,
+// dropping (counted) when the queue is full.
 func (n *Node) handleFrame(f transport.Frame) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return
-	}
 	switch {
 	case core.IsControlFrameKind(f.Kind):
-		n.ctrl.HandleFrame(f)
-	case f.Kind == FrameKindData:
-		p, err := packet.ParseIPv4(f.Data)
-		if err != nil {
-			n.rxMalformed.Inc()
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.closed {
 			return
 		}
-		if v := n.router.ProcessInbound(core.V4{P: p}, n.Now()); v.Dropped() {
-			n.rxDropped.Inc()
-		} else {
-			n.rxDelivered.Inc()
+		n.ctrl.HandleFrame(f)
+	case f.Kind == FrameKindData, f.Kind == FrameKindDataBurst:
+		select {
+		case n.dataCh <- inboundItem{b: f.Data, train: f.Kind == FrameKindDataBurst}:
+		default:
+			n.rxOverflow.Inc()
+		}
+	}
+}
+
+// inboundWorker drains the data queue, coalescing queued frames and
+// unpacking trains into one inbound batch per iteration, then runs
+// the batch through the router's fused burst pipeline. Counters are
+// sharded atomics and table snapshots are copy-on-write, so any
+// number of workers runs concurrently with each other and with the
+// control plane.
+func (n *Node) inboundWorker() {
+	defer n.wg.Done()
+	items := make([]inboundItem, 0, inboundBatchItems)
+	carriers := make([]core.MarkCarrier, 0, 256)
+	var verdicts []core.Verdict
+	for first := range n.dataCh {
+		items = append(items[:0], first)
+	drain:
+		for len(items) < inboundBatchItems {
+			select {
+			case it, ok := <-n.dataCh:
+				if !ok {
+					break drain
+				}
+				items = append(items, it)
+			default:
+				break drain
+			}
+		}
+		carriers = carriers[:0]
+		var malformed uint64
+		for _, it := range items {
+			if !it.train {
+				p, err := packet.ParseIPv4(it.b)
+				if err != nil {
+					malformed++
+					continue
+				}
+				carriers = append(carriers, core.V4{P: p})
+				continue
+			}
+			b := it.b
+			for len(b) >= 2 {
+				l := int(binary.BigEndian.Uint16(b))
+				if l == 0 || 2+l > len(b) {
+					malformed++
+					break
+				}
+				p, err := packet.ParseIPv4(b[2 : 2+l])
+				if err != nil {
+					malformed++
+				} else {
+					carriers = append(carriers, core.V4{P: p})
+				}
+				b = b[2+l:]
+			}
+			if len(b) == 1 {
+				malformed++
+			}
+		}
+		if malformed > 0 {
+			n.rxMalformed.Add(malformed)
+		}
+		if len(carriers) == 0 {
+			continue
+		}
+		verdicts = n.router.ProcessInboundBatch(carriers, n.Now(), verdicts[:0])
+		var delivered, dropped uint64
+		for _, v := range verdicts {
+			if v.Dropped() {
+				dropped++
+			} else {
+				delivered++
+			}
+		}
+		if delivered > 0 {
+			n.rxDelivered.Add(delivered)
+		}
+		if dropped > 0 {
+			n.rxDropped.Add(dropped)
 		}
 	}
 }
@@ -225,7 +372,7 @@ func (n *Node) Now() time.Time {
 // SendPacket pushes one IPv4 packet out through this AS's border
 // router toward the named peer node: outbound processing (DP filter,
 // CDP stamp, ...) first, then the wire. It returns the outbound
-// verdict and whether the frame went out.
+// verdict and whether the frame was accepted by the transport.
 func (n *Node) SendPacket(dst string, p *packet.IPv4) (core.Verdict, bool) {
 	n.mu.Lock()
 	if n.closed {
@@ -242,6 +389,67 @@ func (n *Node) SendPacket(dst string, p *packet.IPv4) (core.Verdict, bool) {
 		return v, false
 	}
 	return v, n.tr.Send(dst, transport.Frame{Kind: FrameKindData, From: n.cfg.Name, Data: b})
+}
+
+// maxTrainBytes caps one train frame's payload so it stays well under
+// transport.MaxFrameSize and packs neatly into the transport's
+// coalesced writes.
+const maxTrainBytes = 48 << 10
+
+// SendPacketBatch pushes a packet train toward the named peer: one
+// ProcessOutboundBatch call over the router's fused burst pipeline,
+// then the surviving packets packed into FrameKindDataBurst frames —
+// one transport frame (and at the far end one inbound batch) per
+// train instead of per packet. It returns how many packets were
+// stamped and how many went out in accepted trains.
+func (n *Node) SendPacketBatch(dst string, pkts []*packet.IPv4) (stamped, sent int) {
+	if len(pkts) == 0 {
+		return 0, 0
+	}
+	carriers := make([]core.MarkCarrier, len(pkts))
+	for i, p := range pkts {
+		carriers[i] = core.V4{P: p}
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return 0, 0
+	}
+	verdicts := n.router.ProcessOutboundBatch(carriers, n.Now(), nil)
+	n.mu.Unlock()
+
+	train := make([]byte, 0, maxTrainBytes)
+	pending := 0
+	flush := func() {
+		if pending == 0 {
+			return
+		}
+		if n.tr.Send(dst, transport.Frame{Kind: FrameKindDataBurst, From: n.cfg.Name, Data: train}) {
+			sent += pending
+		}
+		train = train[:0]
+		pending = 0
+	}
+	for i, v := range verdicts {
+		if v.Dropped() {
+			continue
+		}
+		if v == core.VerdictPassStamped {
+			stamped++
+		}
+		b, err := pkts[i].Marshal()
+		if err != nil || len(b) > 0xffff {
+			continue
+		}
+		if len(train)+2+len(b) > maxTrainBytes {
+			flush()
+		}
+		train = binary.BigEndian.AppendUint16(train, uint16(len(b)))
+		train = append(train, b...)
+		pending++
+	}
+	flush()
+	return stamped, sent
 }
 
 // InjectRaw ships a packet to the named peer without outbound
@@ -275,8 +483,11 @@ func (n *Node) Do(fn func(c *core.Controller, r *core.BorderRouter)) {
 }
 
 // Reload applies a changed config. Only the peer set is live-reloadable
-// — new peers are pinned and announced, existing peers' addresses are
-// repointed. Identity-defining fields must not change.
+// — new peers are pinned, existing peers' addresses are repointed, and
+// only peers that are actually new (or whose identity changed) are
+// announced to the controller; an unchanged config reloads as a no-op
+// without re-kicking peering or key negotiation. Identity-defining
+// fields must not change.
 func (n *Node) Reload(cfg Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -292,15 +503,28 @@ func (n *Node) Reload(cfg Config) error {
 	if err := n.registerPeers(cfg.Peers); err != nil {
 		return err
 	}
+	prev := make(map[string]PeerConfig, len(n.cfg.Peers))
+	for _, p := range n.cfg.Peers {
+		prev[p.Name] = p
+	}
 	n.cfg.Peers = cfg.Peers
+	if !n.started {
+		// Start announces the whole pinned set; announcing now would
+		// arm peering timers on a node that isn't serving yet.
+		return nil
+	}
 	for _, p := range cfg.Peers {
+		if old, ok := prev[p.Name]; ok && old.AS == p.AS && old.Pub == p.Pub {
+			continue // address-only change or no-op: SetPeer already handled it
+		}
 		n.ctrl.HandleAd(bgp.DISCSAd{Origin: topology.ASN(p.AS), Controller: p.Name})
 	}
 	return nil
 }
 
-// Close shuts the node down: admin endpoint, transport, then the event
-// loop is sealed so late timer callbacks and frames are dropped.
+// Close shuts the node down: admin endpoint, transport, then the
+// data-plane pool drains and the event loop is sealed so late timer
+// callbacks and frames are dropped.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -312,7 +536,12 @@ func (n *Node) Close() error {
 	if n.admin != nil {
 		n.admin.close()
 	}
-	return n.tr.Close()
+	err := n.tr.Close()
+	// tr.Close waited out every inbound handler, so nothing can send on
+	// the data queue anymore; closing it releases the worker pool.
+	close(n.dataCh)
+	n.wg.Wait()
+	return err
 }
 
 // Name returns the node's controller name.
@@ -337,6 +566,9 @@ func (n *Node) Registry() *obs.Registry { return n.reg }
 
 // Stats snapshots the node's metrics.
 func (n *Node) Stats() obs.Snapshot { return n.reg.Snapshot() }
+
+// Transport exposes the node's TCP transport (per-peer stats, tests).
+func (n *Node) Transport() *transport.TCP { return n.tr }
 
 // PeersEstablished reports how many configured peers are established.
 func (n *Node) PeersEstablished() int {

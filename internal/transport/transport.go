@@ -17,11 +17,13 @@
 //     a netsim link delivery and keeps bit-identical simulation
 //     behavior;
 //   - TCP (tcp.go in this package), stdlib TCP+TLS with
-//     length-prefixed frames, lazy dialing and drop-on-error
-//     semantics, for running DISCS as a real multi-process service.
+//     length-prefixed frames and per-peer asynchronous send workers
+//     (bounded queues, coalesced writes, drop-on-error with backoff
+//     redial), for running DISCS as a real multi-process service.
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -47,9 +49,10 @@ type Transport interface {
 	// Start begins delivering inbound frames to h. It must be called
 	// exactly once, before the first Send.
 	Start(h Handler) error
-	// Send delivers f to the named peer, best-effort: false means the
-	// frame was dropped (unknown peer, connection down, transport
-	// closed) and the caller's retry machinery owns recovery.
+	// Send delivers f to the named peer, best-effort, and must not
+	// block on the peer's health: false means the frame was dropped
+	// (unknown peer, connection down, queue full, transport closed)
+	// and the caller's retry machinery owns recovery.
 	Send(peer string, f Frame) bool
 	// Close stops the transport; subsequent Sends report false.
 	Close() error
@@ -89,6 +92,11 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	dst = append(dst, f.Data...)
 	return dst, nil
 }
+
+// newFrameReader wraps a connection for ReadFrame: buffering means a
+// train of coalesced frames is pulled from the kernel in one read
+// instead of two syscalls per frame.
+func newFrameReader(r io.Reader) io.Reader { return bufio.NewReaderSize(r, 64<<10) }
 
 // ReadFrame reads one frame from r, enforcing MaxFrameSize.
 func ReadFrame(r io.Reader) (Frame, error) {

@@ -1,0 +1,160 @@
+package discs_test
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"discs/internal/benchgate"
+	"discs/internal/packet"
+	"discs/internal/service"
+)
+
+// Service-plane throughput measurement behind `make bench-service`:
+// a real 2-node loopback fleet (TCP sockets, peering, DP+CDP
+// deployed), comparing the per-packet SendPacket path against the
+// batch path (ProcessOutboundBatch → FrameKindDataBurst trains →
+// inbound worker pool). Both numbers are end-to-end: the clock stops
+// when the victim's node.rx_delivered has counted every packet, so
+// receive-side syscalls and verification are priced in.
+
+// serviceBenchReport is the committed BENCH_service.json layout.
+type serviceBenchReport struct {
+	GeneratedBy   string  `json:"generated_by"`
+	NumCPU        int     `json:"num_cpu"`
+	Burst         int     `json:"burst"`
+	PerPktPackets int     `json:"per_packet_packets"`
+	BatchPackets  int     `json:"batch_packets"`
+	PerPacketMpps float64 `json:"per_packet_mpps"`
+	BatchMpps     float64 `json:"batch_mpps"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// serviceFleet boots a protected 2-node fleet ready for traffic.
+func serviceFleet(tb testing.TB) *service.Fleet {
+	tb.Helper()
+	f, err := service.NewFleet(service.FleetOptions{N: 2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(f.Close)
+	if err := f.WaitReady(15 * time.Second); err != nil {
+		tb.Fatal(err)
+	}
+	if err := f.Protect(1, 15*time.Second); err != nil {
+		tb.Fatal(err)
+	}
+	// Let the invocation grace interval lapse so verification is strict.
+	time.Sleep(100 * time.Millisecond)
+	return f
+}
+
+func deliveredCounter(f *service.Fleet) uint64 {
+	v := f.Nodes[1]
+	return v.Stats().Get(fmt.Sprintf("as%d.%s", v.AS(), service.MetricNodeRxDelivered))
+}
+
+func waitDelivered(tb testing.TB, f *service.Fleet, want uint64) {
+	tb.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for deliveredCounter(f) < want {
+		if time.Now().After(deadline) {
+			tb.Fatalf("delivered %d/%d after 30s", deliveredCounter(f), want)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// measurePerPacket drives n packets through the per-packet SendPacket
+// path with the same backpressure handling the burst loadgen uses, and
+// returns the end-to-end Mpps (send start → all n delivered).
+func measurePerPacket(tb testing.TB, f *service.Fleet, n int) float64 {
+	tb.Helper()
+	src, dstName := f.Nodes[0], f.Nodes[1].Name()
+	pkt := &packet.IPv4{
+		TTL: 64, Protocol: 17,
+		Src:     service.FleetAddr(0, 20),
+		Dst:     service.FleetAddr(1, 10),
+		Payload: []byte("burst"),
+	}
+	base := deliveredCounter(f)
+	begin := time.Now()
+	for sent := 0; sent < n; {
+		if _, ok := src.SendPacket(dstName, pkt); ok {
+			sent++
+		} else {
+			time.Sleep(200 * time.Microsecond) // transport backpressure
+		}
+	}
+	waitDelivered(tb, f, base+uint64(n))
+	return float64(n) / time.Since(begin).Seconds() / 1e6
+}
+
+// measureBatch drives n packets through the batch entry points and
+// returns the end-to-end Mpps.
+func measureBatch(tb testing.TB, f *service.Fleet, n, burst int) float64 {
+	tb.Helper()
+	base := deliveredCounter(f)
+	begin := time.Now()
+	rep := f.LoadgenBurst(0, 1, n, burst)
+	if rep.Sent != n {
+		tb.Fatalf("burst loadgen accepted %d/%d packets", rep.Sent, n)
+	}
+	waitDelivered(tb, f, base+uint64(n))
+	return float64(n) / time.Since(begin).Seconds() / 1e6
+}
+
+func measureServiceThroughput(tb testing.TB, perPktN, batchN, burst int) serviceBenchReport {
+	f := serviceFleet(tb)
+	// Interleave a warmup of each shape, then measure.
+	measurePerPacket(tb, f, perPktN/10)
+	measureBatch(tb, f, batchN/10, burst)
+	rep := serviceBenchReport{
+		Burst:         burst,
+		PerPktPackets: perPktN,
+		BatchPackets:  batchN,
+		PerPacketMpps: measurePerPacket(tb, f, perPktN),
+		BatchMpps:     measureBatch(tb, f, batchN, burst),
+	}
+	rep.Speedup = rep.BatchMpps / rep.PerPacketMpps
+	return rep
+}
+
+// TestServiceReport regenerates BENCH_service.json (`make
+// bench-service-report` sets the environment gate).
+func TestServiceReport(t *testing.T) {
+	if os.Getenv("DISCS_SERVICE_REPORT") == "" {
+		t.Skip("set DISCS_SERVICE_REPORT=1 (make bench-service-report) to regenerate BENCH_service.json")
+	}
+	rep := measureServiceThroughput(t, 50_000, 400_000, 256)
+	rep.GeneratedBy = "make bench-service-report"
+	rep.NumCPU = runtime.NumCPU()
+	benchgate.Write(t, "BENCH_service.json", rep)
+	t.Logf("per-packet %.3f Mpps, batch %.3f Mpps — %.1fx", rep.PerPacketMpps, rep.BatchMpps, rep.Speedup)
+}
+
+// TestServiceGate floor-gates the live service data plane against the
+// committed BENCH_service.json (`make check` sets the environment
+// gate): the batch path must hold ≥50% of its committed Mpps, and the
+// batch-over-per-packet speedup must not collapse (≥half the committed
+// ratio, which itself must be ≥5× — the number this PR's pipeline
+// exists to deliver). Wide slack absorbs loaded-machine variance; a
+// re-serialized inbound path or a lost train coalescing shows up as a
+// multiple, not a percentage.
+func TestServiceGate(t *testing.T) {
+	if os.Getenv("DISCS_SERVICE_GATE") == "" {
+		t.Skip("set DISCS_SERVICE_GATE=1 (make check) to run the service throughput floor gate")
+	}
+	var base serviceBenchReport
+	benchgate.Load(t, "BENCH_service.json", "make bench-service-report", &base)
+	if base.Speedup < 5 {
+		t.Fatalf("committed speedup %.2fx < 5x — BENCH_service.json predates the batch pipeline", base.Speedup)
+	}
+	rep := measureServiceThroughput(t, base.PerPktPackets/2, base.BatchPackets/2, base.Burst)
+	benchgate.Floor(t, "service batch path (Mpps)", rep.BatchMpps, base.BatchMpps, 0.5)
+	benchgate.Floor(t, "service batch/per-packet speedup (x)", rep.Speedup, base.Speedup, 0.5)
+	t.Logf("per-packet %.3f Mpps, batch %.3f Mpps — %.1fx (committed %.3f Mpps, %.1fx)",
+		rep.PerPacketMpps, rep.BatchMpps, rep.Speedup, base.BatchMpps, base.Speedup)
+}
