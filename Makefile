@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet vet-obs check node-smoke bench bench-dataplane bench-obs bench-topo bench-topo-report bench-paper bench-paper-report bench-snapshot bench-snapshot-report bench-service bench-service-report diff-paper fuzz report figures cost sim examples cover clean
+.PHONY: all build test test-race vet vet-obs check node-smoke bench bench-dataplane bench-obs bench-topo bench-topo-report bench-paper bench-paper-report bench-snapshot bench-snapshot-report bench-service bench-service-report bench-scenario bench-scenario-report diff-paper fuzz report figures cost sim examples cover clean
 
 all: build check
 
@@ -33,7 +33,7 @@ vet-obs:
 # detector (with shuffled test order to catch order-dependent tests),
 # the service-mode loopback smoke run, and the paper-scale topology and
 # end-to-end budgets.
-check: vet vet-obs test-race node-smoke bench-topo bench-paper bench-snapshot bench-dataplane-gate bench-service
+check: vet vet-obs test-race node-smoke bench-topo bench-paper bench-snapshot bench-dataplane-gate bench-service bench-scenario
 
 # Off-simulator smoke: boot a 3-node loopback fleet over TCP+TLS,
 # deploy DP+CDP, push legit/spoofed/raw flows, and verify the victim's
@@ -106,6 +106,17 @@ bench-snapshot:
 bench-snapshot-report:
 	DISCS_SNAPSHOT_REPORT=1 $(GO) test -run 'TestSnapshotReport' -count=1 -v -timeout 60m .
 
+# Scenario-engine gate: a mid-size declarative campaign (pulse-wave
+# onset, invocation, adaptive rotation, sustain) must finish within
+# budget of the committed BENCH_scenario.json with the exact committed
+# packet volume and dataset shape (the engine is deterministic).
+bench-scenario:
+	DISCS_SCENARIO_BENCH=1 $(GO) test -run 'TestScenarioBudget' -count=1 -v .
+
+# Regenerate BENCH_scenario.json.
+bench-scenario-report:
+	DISCS_SCENARIO_REPORT=1 $(GO) test -run 'TestScenarioReport' -count=1 -v .
+
 # Paper-scale differential: the 44,036-AS scenario at -workers 1 vs 4
 # must produce byte-identical final metrics snapshots. (The mid-size
 # fault-injected differential runs unconditionally in make check.)
@@ -121,7 +132,9 @@ fuzz:
 	$(GO) test ./internal/core/ -fuzz FuzzDecodeControlMsg -fuzztime 15s
 	$(GO) test ./internal/core/ -fuzz FuzzParseInvocation -fuzztime 15s
 	$(GO) test ./internal/core/ -fuzz FuzzCtrlFrame -fuzztime 15s
-	$(GO) test ./internal/flowexport/ -fuzz FuzzUnmarshal -fuzztime 15s
+	$(GO) test ./internal/flowexport/ -fuzz 'FuzzUnmarshal$$' -fuzztime 15s
+	$(GO) test ./internal/flowexport/ -fuzz FuzzUnmarshalLabeled -fuzztime 15s
+	$(GO) test ./internal/scenario/ -fuzz FuzzScenarioConfig -fuzztime 15s
 	$(GO) test ./internal/securechan/ -fuzz FuzzOpen -fuzztime 15s
 	$(GO) test ./internal/securechan/ -fuzz FuzzHandshakeFrames -fuzztime 15s
 	$(GO) test ./internal/snapshot/ -fuzz FuzzRead -fuzztime 15s
@@ -147,6 +160,7 @@ examples:
 	$(GO) run ./examples/priority
 	$(GO) run ./examples/campaign
 	$(GO) run ./examples/observability
+	$(GO) run ./examples/scenario
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"discs/internal/core"
+	"discs/internal/scenario"
 	"discs/internal/service"
 )
 
@@ -56,6 +57,7 @@ func main() {
 		packets    = flag.Int("packets", 200000, "total packets for the -burst high-rate phase")
 		useTLS     = flag.Bool("tls", true, "wrap fleet transport in TLS for -loadgen")
 		timeout    = flag.Duration("timeout", 60*time.Second, "overall -loadgen deadline")
+		scenPath   = flag.String("scenario", "", "with -loadgen: drive the fleet through a declarative scenario spec (JSON) instead of the classic three-class run")
 	)
 	flag.Parse()
 
@@ -69,6 +71,10 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(service.PubHex(id))
+	case *loadgen && *scenPath != "":
+		if err := runScenarioLoadgen(*nodes, *scenPath, *useTLS, *timeout); err != nil {
+			log.Fatal(err)
+		}
 	case *loadgen:
 		if err := runLoadgen(*nodes, *flows, *burst, *packets, *useTLS, *timeout); err != nil {
 			log.Fatal(err)
@@ -214,6 +220,50 @@ func runLoadgen(nodes, flows, burst, packets int, useTLS bool, timeout time.Dura
 			rep.Packets, rep.Elapsed.Round(time.Millisecond), rep.Mpps(), st.FramesSent, st.BytesSent)
 	}
 	return nil
+}
+
+// runScenarioLoadgen boots a fleet and drives it through the
+// service-compatible phases of a declarative scenario spec — the same
+// JSON files discs-sim -scenario runs on the simulator, replayed over
+// real loopback TCP(+TLS) against real border routers.
+func runScenarioLoadgen(nodes int, path string, useTLS bool, timeout time.Duration) error {
+	if nodes < 2 || nodes > 16 {
+		return fmt.Errorf("discs-node: -nodes must be in 2..16")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := scenario.Parse(raw)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(timeout)
+	f, err := service.NewFleet(service.FleetOptions{N: nodes, TLS: useTLS, BaseSeed: time.Now().UnixNano() % 1000})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.WaitReady(time.Until(deadline)); err != nil {
+		return err
+	}
+	victim := nodes - 1
+	log.Printf("discs-node: fleet of %d peered; scenario %q against %s (%s)",
+		nodes, spec.Name, f.Nodes[victim].Name(), service.FleetPrefix(victim))
+
+	reports, err := f.RunScenario(spec, victim, time.Until(deadline))
+	for _, rep := range reports {
+		switch rep.Kind {
+		case scenario.PhaseInvoke:
+			log.Printf("discs-node: phase %-18s invoke: %d peers deployed", rep.Name, rep.Invoked)
+		case scenario.PhaseQuiet:
+			log.Printf("discs-node: phase %-18s quiet", rep.Name)
+		default:
+			log.Printf("discs-node: phase %-18s %s: %d sent, %d stamped, %d blocked at source",
+				rep.Name, rep.Kind, rep.Sent, rep.Stamped, rep.Blocked)
+		}
+	}
+	return err
 }
 
 // scrapeCounter fetches /metrics and extracts one series value.

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -31,19 +32,26 @@ import (
 	"discs/internal/bgp"
 	"discs/internal/cli"
 	"discs/internal/core"
+	"discs/internal/flowexport"
 	"discs/internal/obs"
 	"discs/internal/parsim"
+	"discs/internal/scenario"
 	"discs/internal/snapshot"
 	"discs/internal/topology"
 )
 
-// scenario bundles the attack/invocation-phase knobs shared by a
+// runOpts bundles the attack/invocation-phase knobs shared by a
 // straight-through run and restored cells.
-type scenario struct {
+type runOpts struct {
 	flows, perFlow, waves int
 	interval              time.Duration
 	invoke                string
 	seed                  int64
+	// scenarioPath switches the attack phase to a declarative campaign
+	// (internal/scenario); dataset optionally exports its labeled flow
+	// records. seedOffset shifts the scenario RNG per sweep cell.
+	scenarioPath, dataset string
+	seedOffset            int64
 }
 
 func main() {
@@ -65,6 +73,9 @@ func main() {
 		waves    = flag.Int("waves", 8, "attack waves per run (clock advances by -interval between waves)")
 		sample   = flag.Int("trace-sample", 64, "with -metrics, trace every Nth data-plane packet decision")
 
+		scenarioPath = flag.String("scenario", "", "run a declarative scenario spec (JSON, see examples/scenario) instead of the built-in attack phase")
+		dataset      = flag.String("dataset", "", "with -scenario: write the ground-truth-labeled flow dataset to this path (.csv, or .dfx2 for the binary export)")
+
 		snapPath    = flag.String("snapshot", "", "after deployment settles, write a crash-consistent world snapshot to this path and continue")
 		restorePath = flag.String("restore", "", "boot from a world snapshot instead of generating/converging/deploying (topology, DAS set and seed come from the image)")
 		sweep       = flag.Int("sweep", 0, "with -restore: fork N scenario cells from the image, attack seed varying per cell")
@@ -73,9 +84,10 @@ func main() {
 	seed := topoFlags.Seed
 
 	if *restorePath != "" {
-		runRestored(*restorePath, *workers, *sweep, scenario{
+		runRestored(*restorePath, *workers, *sweep, runOpts{
 			flows: *flows, perFlow: *perFlow, waves: *waves,
 			interval: *interval, invoke: *invoke, seed: seed,
+			scenarioPath: *scenarioPath, dataset: *dataset,
 		})
 		return
 	}
@@ -198,9 +210,10 @@ func main() {
 		fmt.Printf("wrote world snapshot: %s (%.2fs)\n", *snapPath, time.Since(start).Seconds())
 	}
 
-	runAttack(sys, eng, deployers, scenario{
+	runAttack(sys, eng, deployers, runOpts{
 		flows: *flows, perFlow: *perFlow, waves: *waves,
 		interval: *interval, invoke: *invoke, seed: seed,
+		scenarioPath: *scenarioPath, dataset: *dataset,
 	})
 
 	if *metrics != "" {
@@ -215,8 +228,13 @@ func main() {
 
 // runAttack executes the attack/invocation phase — the part of the
 // scenario after the world is deployed and settled, which is exactly
-// where a restored snapshot resumes.
-func runAttack(sys *core.System, eng *parsim.Engine, deployers []topology.ASN, sc scenario) {
+// where a restored snapshot resumes. With -scenario it hands the whole
+// phase to the declarative engine instead.
+func runAttack(sys *core.System, eng *parsim.Engine, deployers []topology.ASN, sc runOpts) {
+	if sc.scenarioPath != "" {
+		runScenario(sys, sc)
+		return
+	}
 	topo := sys.Net.Topo
 	victim := deployers[len(deployers)-1]
 	vc := sys.Controllers[victim]
@@ -362,12 +380,94 @@ func runAttack(sys *core.System, eng *parsim.Engine, deployers []topology.ASN, s
 	}
 }
 
+// runScenario executes a declarative campaign (internal/scenario) on
+// the deployed world: parse the spec, drive every phase, report
+// per-phase outcomes and time-to-mitigation, and optionally export the
+// ground-truth-labeled flow dataset.
+func runScenario(sys *core.System, sc runOpts) {
+	raw, err := os.ReadFile(sc.scenarioPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := scenario.Parse(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := scenario.NewEngine(scenario.Options{Spec: spec, Sys: sys, SeedOffset: sc.seedOffset})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nscenario %q (seed %d+%d) against victim AS%d:\n",
+		res.Scenario, res.Seed, sc.seedOffset, res.Victim)
+	fmt.Printf("  %-3s %-18s %-8s %9s %9s %9s %7s\n",
+		"#", "phase", "kind", "sent", "delivered", "dropped", "drop%")
+	for _, ph := range res.Phases {
+		fmt.Printf("  %-3d %-18s %-8s %9d %9d %9d %6.1f%%",
+			ph.Index, ph.Name, ph.Kind, ph.Sent, ph.Delivered, ph.Dropped, 100*ph.DropRate)
+		switch {
+		case ph.Kind == scenario.PhaseInvoke:
+			fmt.Printf("  invoked at %d peers", ph.InvokedPeers)
+		case ph.Kind == scenario.PhaseDeploy:
+			fmt.Printf("  +%d DAS (ratio %.3f, IncDP %.3f, IncCDP %.3f, eff %.3f)",
+				ph.NewDeployed, ph.DeployedRatio, ph.IncDP, ph.IncCDP, ph.Effectiveness)
+		case ph.Kind == scenario.PhaseAdaptive:
+			fmt.Printf("  rotations %d, probes %d, agents %d live / %d idle",
+				ph.Rotations, ph.ProbesSent, ph.LiveAgents, ph.IdleAgents)
+		case ph.Kind == scenario.PhaseLegit:
+			fmt.Printf("  false positives %d", ph.FalsePositives)
+		}
+		fmt.Println()
+	}
+	if ttm := res.TTM; ttm != nil {
+		switch {
+		case ttm.Recovered:
+			fmt.Printf("time-to-mitigation: detect %v + recover %v = %v (first attack %v, invoked %v, recovered %v)\n",
+				ttm.DetectDelay, ttm.RecoveryDelay, ttm.Total,
+				ttm.FirstAttackAt, ttm.InvokedAt, ttm.RecoveredAt)
+		case ttm.Invoked:
+			fmt.Printf("time-to-mitigation: detected after %v, drop rate never reached the recovery threshold\n", ttm.DetectDelay)
+		default:
+			fmt.Printf("time-to-mitigation: defense never invoked\n")
+		}
+	}
+
+	if sc.dataset != "" {
+		if strings.HasSuffix(sc.dataset, ".dfx2") {
+			b, err := flowexport.MarshalLabeled(res.Scenario, res.Dataset)
+			if err != nil {
+				log.Fatalf("dataset export: %v (use .csv for runs beyond one datagram)", err)
+			}
+			if err := os.WriteFile(sc.dataset, b, 0o644); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			f, err := os.Create(sc.dataset)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := flowexport.WriteLabeledCSV(f, res.Dataset); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("wrote labeled dataset: %s (%d flow records)\n", sc.dataset, len(res.Dataset))
+	}
+}
+
 // runRestored boots one or more scenario cells from a world snapshot:
 // decode the image once, then per cell restore a fresh world, re-drive
 // the crash-recovery journal replay, and run the attack phase with a
 // per-cell attack seed. Restore + replay is seconds where the cold
 // path (generate, converge, deploy) is tens of seconds at paper scale.
-func runRestored(path string, workers, sweep int, sc scenario) {
+func runRestored(path string, workers, sweep int, sc runOpts) {
 	start := time.Now()
 	img, err := snapshot.ReadFile(path)
 	if err != nil {
@@ -397,6 +497,7 @@ func runRestored(path string, workers, sweep int, sc scenario) {
 		deployers := world.Sys.Deployed()
 		cellSc := sc
 		cellSc.seed += int64(cell)
+		cellSc.seedOffset = int64(cell)
 		if cells > 1 {
 			fmt.Printf("\n=== cell %d/%d (attack seed %d) ===\n", cell+1, cells, cellSc.seed)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"discs/internal/core"
 	"discs/internal/packet"
+	"discs/internal/scenario/pulse"
 	"discs/internal/topology"
 )
 
@@ -58,9 +59,18 @@ func Run(sys *core.System, flows []Flow, perFlow int, seed int64) (Result, error
 // batches, and the simulated clock advances by `gap` between waves
 // (firing any timers due in that window — heartbeats, interval
 // recorders). With waves <= 1 or gap <= 0 it degenerates to Run.
+//
+// It is a thin shim over the scenario engine's pulse phase (see
+// internal/scenario/pulse): the historic wave loop that lived here is
+// now the single pacing implementation shared with internal/scenario,
+// and the schedule is identical — a train of `waves` single-sub-wave
+// pulses separated by `gap`.
 func RunPaced(sys *core.System, flows []Flow, perFlow int, seed int64, waves int, gap time.Duration) (Result, error) {
 	if waves < 1 {
 		waves = 1
+	}
+	if gap < 0 {
+		gap = 0
 	}
 	rng := rand.New(rand.NewSource(seed))
 	res := Result{DroppedAt: make(map[topology.ASN]int)}
@@ -74,18 +84,11 @@ func RunPaced(sys *core.System, flows []Flow, perFlow int, seed int64, waves int
 		}
 		pkts[i] = ps
 	}
-	for w := 0; w < waves; w++ {
-		lo, hi := w*perFlow/waves, (w+1)*perFlow/waves
-		for i, f := range flows {
-			for _, p := range pkts[i][lo:hi] {
-				res.tally(f, sys.SendV4(f.Agent, p))
-			}
-		}
-		if gap > 0 && w < waves-1 {
-			sim := sys.Net.Sim
-			sim.Run(sim.Now() + gap)
-		}
-	}
+	bursts := pulse.Train(func(i int) topology.ASN { return flows[i].Agent },
+		pkts, waves, 1, 0, gap)
+	pulse.Run(sys, bursts, func(p pulse.Packet, d core.DeliveryResult) {
+		res.tally(flows[p.Flow], d)
+	})
 	return res, nil
 }
 

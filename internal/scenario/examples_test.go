@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExampleSpecs loads every spec in the curated examples/scenario
+// library, checks it parses and round-trips through the canonical
+// Marshal form, and runs it end to end on a small world.
+func TestExampleSpecs(t *testing.T) {
+	files, err := filepath.Glob("../../examples/scenario/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 4 {
+		t.Fatalf("example library: %d specs, want 4 (%v)", len(files), files)
+	}
+	checks := map[string]func(t *testing.T, res *Result){
+		"pulsewave.json": func(t *testing.T, res *Result) {
+			onset, sustain := res.Phases[1], res.Phases[3]
+			if sustain.DropRate <= onset.DropRate {
+				t.Errorf("invocation did not raise the drop rate: %v -> %v", onset.DropRate, sustain.DropRate)
+			}
+			if res.TTM == nil || !res.TTM.Invoked || !res.TTM.Recovered {
+				t.Errorf("ttm = %+v", res.TTM)
+			}
+			for _, i := range []int{0, 5} {
+				if res.Phases[i].FalsePositives != 0 {
+					t.Errorf("legit phase %d: %d false positives", i, res.Phases[i].FalsePositives)
+				}
+			}
+		},
+		"carpetbomb.json": func(t *testing.T, res *Result) {
+			carpet := res.Phases[2]
+			if carpet.Sent != 40*4*8 {
+				t.Errorf("carpet sent %d", carpet.Sent)
+			}
+			if carpet.DropRate <= res.Phases[0].DropRate {
+				t.Errorf("carpet after DP+CDP not filtered: %v", carpet.DropRate)
+			}
+		},
+		"adaptive-rotation.json": func(t *testing.T, res *Result) {
+			rotate, probe := res.Phases[2], res.Phases[3]
+			if rotate.Rotations == 0 {
+				t.Error("rotate phase never rotated")
+			}
+			if probe.ProbesSent == 0 || probe.LiveAgents+probe.IdleAgents == 0 {
+				t.Errorf("probe phase: %+v", probe)
+			}
+		},
+		"adoption-sweep.json": func(t *testing.T, res *Result) {
+			var ratios []float64
+			for _, ph := range res.Phases {
+				if ph.Kind == PhaseDeploy {
+					if ph.NewDeployed == 0 {
+						t.Errorf("deploy phase %d adopted nothing", ph.Index)
+					}
+					if ph.IncDP <= 0 || ph.Effectiveness <= 0 {
+						t.Errorf("deploy phase %d: incentives %v/%v", ph.Index, ph.IncDP, ph.Effectiveness)
+					}
+					ratios = append(ratios, ph.DeployedRatio)
+				}
+			}
+			for i := 1; i < len(ratios); i++ {
+				if ratios[i] <= ratios[i-1] {
+					t.Errorf("adoption ratio not increasing: %v", ratios)
+				}
+			}
+			first, last := res.Phases[2], res.Phases[len(res.Phases)-1]
+			if last.DropRate < first.DropRate {
+				t.Errorf("adoption lowered the drop rate: %v -> %v", first.DropRate, last.DropRate)
+			}
+		},
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := Parse(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			canon, err := spec.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Parse(canon); err != nil {
+				t.Fatalf("canonical form does not re-parse: %v", err)
+			}
+
+			sys, _ := world(t, 2, 3, 4, 5)
+			eng, err := NewEngine(Options{Spec: spec, Sys: sys})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Phases) != len(spec.Phases) {
+				t.Fatalf("%d phase results for %d phases", len(res.Phases), len(spec.Phases))
+			}
+			for _, ph := range res.Phases {
+				if trafficKind(ph.Kind) && ph.Sent == 0 {
+					t.Errorf("traffic phase %d (%s) sent nothing", ph.Index, ph.Name)
+				}
+			}
+			check, ok := checks[filepath.Base(path)]
+			if !ok {
+				t.Fatalf("no check for %s — add one when adding specs", filepath.Base(path))
+			}
+			check(t, res)
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package service_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"discs/internal/scenario"
+	"discs/internal/service"
+)
+
+// TestFleetRunScenario drives a live loopback fleet through the
+// service-compatible phases of a declarative campaign: spoofed pulse
+// trains claiming the victim's space are clean before invocation and
+// blocked at the source border routers after it, while legit traffic
+// keeps flowing stamped.
+func TestFleetRunScenario(t *testing.T) {
+	f, err := service.NewFleet(service.FleetOptions{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	const victim = 2
+	spec, err := scenario.New("fleet-campaign", 1).
+		Legit("baseline", 4).
+		Pulse("onset", 6, 4, 2, 20*time.Millisecond).
+		Invoke("defend", "DP", "CDP").
+		Pulse("sustain", 6, 4, 2, 20*time.Millisecond).
+		Legit("sanity", 4).
+		Quiet("cooldown", 10*time.Millisecond).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := f.RunScenario(spec, victim, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(spec.Phases) {
+		t.Fatalf("%d phase reports for %d phases", len(reps), len(spec.Phases))
+	}
+
+	baseline, onset, defend, sustain, sanity := reps[0], reps[1], reps[2], reps[3], reps[4]
+	if baseline.Sent == 0 || baseline.Blocked != 0 || baseline.Stamped != 0 {
+		t.Fatalf("baseline legit: %+v, want delivery without stamps before invocation", baseline)
+	}
+	if want := 6 * 4 * 2; onset.Sent != want || onset.Blocked != 0 {
+		t.Fatalf("onset pulse: %+v, want %d sent and none blocked pre-invocation", onset, want)
+	}
+	if defend.Invoked == 0 {
+		t.Fatalf("invoke phase: %+v, want peers invoked", defend)
+	}
+	if sustain.Sent != onset.Sent || sustain.Blocked != sustain.Sent {
+		t.Fatalf("sustain pulse: %+v, want all %d spoofed packets blocked at the source", sustain, sustain.Sent)
+	}
+	if sanity.Stamped != sanity.Sent {
+		t.Fatalf("sanity legit: %+v, want stamping to survive invocation", sanity)
+	}
+}
+
+// TestFleetRunScenarioRejects pins the error paths: topology-dependent
+// phase kinds and reflective vectors point the caller at the
+// simulator, and partial reports stop at the failing phase.
+func TestFleetRunScenarioRejects(t *testing.T) {
+	f, err := service.NewFleet(service.FleetOptions{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	carpet, err := scenario.New("carpet", 1).
+		Legit("pre", 1).
+		Carpet("walk", 2, 2, 1, 0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := f.RunScenario(carpet, 1, 5*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "discs-sim -scenario") {
+		t.Fatalf("carpet on fleet: err = %v, want pointer to the simulator", err)
+	}
+	if len(reps) != 1 {
+		t.Fatalf("got %d partial reports, want the phase before the failure", len(reps))
+	}
+
+	sddos := scenario.New("sddos", 1).Pulse("p", 2, 2, 1, 0)
+	sddosSpec, err := sddos.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sddosSpec.Phases[0].Vector = scenario.VectorSDDoS
+	if _, err := f.RunScenario(sddosSpec, 1, 5*time.Second); err == nil || !strings.Contains(err.Error(), "reflector") {
+		t.Fatalf("sddos on fleet: err = %v, want reflector error", err)
+	}
+
+	ok, err := scenario.New("ok", 1).Legit("pre", 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RunScenario(ok, 7, 5*time.Second); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("bad victim: err = %v", err)
+	}
+}

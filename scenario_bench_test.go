@@ -1,0 +1,166 @@
+// Scenario benchmark gate: a mid-size pulse-wave campaign — onset
+// train, invocation, adaptive rotation, sustain — run end to end
+// through the scenario engine, gated on wall-clock and injection
+// throughput against the committed BENCH_scenario.json. `make
+// bench-scenario` (part of `make check`) enforces the budgets;
+// `make bench-scenario-report` regenerates the file. Env-gated so
+// plain `go test ./...` stays wall-clock independent.
+package discs_test
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"discs/internal/benchgate"
+	"discs/internal/bgp"
+	"discs/internal/core"
+	"discs/internal/parsim"
+	"discs/internal/scenario"
+	"discs/internal/topology"
+)
+
+const (
+	scenarioBenchASes     = 300
+	scenarioBenchPrefixes = 900
+	scenarioBenchDAS      = 10
+	scenarioBenchWorkers  = 4
+)
+
+// scenarioBenchReport is the schema of BENCH_scenario.json.
+type scenarioBenchReport struct {
+	GeneratedBy    string  `json:"generated_by"`
+	CPUs           int     `json:"cpus"`
+	ASes           int     `json:"ases"`
+	DAS            int     `json:"das"`
+	Phases         int     `json:"phases"`
+	PacketsSent    uint64  `json:"packets_sent"`
+	RunS           float64 `json:"run_s"`
+	Kpps           float64 `json:"kpps"`
+	DatasetRecords int     `json:"dataset_records"`
+}
+
+// measureScenarioRun builds the mid-size world, runs the campaign, and
+// returns the measured report. It fails the test if the run degenerates
+// (no mitigation, empty dataset) so the gate also guards correctness.
+func measureScenarioRun(t *testing.T) scenarioBenchReport {
+	t.Helper()
+	topo, err := topology.GenerateInternet(topology.GenConfig{
+		NumASes:      scenarioBenchASes,
+		NumPrefixes:  scenarioBenchPrefixes,
+		ZipfExponent: 1.0,
+		Seed:         17,
+		TierOneCount: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := bgp.BuildNetwork(topo, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.AssignShards(parsim.DefaultShards)
+	eng, err := parsim.New(net.Sim, parsim.Options{
+		Shards: parsim.DefaultShards, Workers: scenarioBenchWorkers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	net.OriginateAll()
+	if err := net.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem(net, core.DefaultConfig())
+	for i, asn := range topo.BySizeDesc()[:scenarioBenchDAS] {
+		if _, err := sys.Deploy(asn, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := scenario.New("bench", 17).
+		Pulse("onset", 200, 10, 4, 250*time.Millisecond).
+		Invoke("defend").
+		Adaptive("rotate", scenario.StrategyRotate, 200, 10, 3, 250*time.Millisecond).
+		Pulse("sustain", 200, 10, 3, 250*time.Millisecond).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seng, err := scenario.NewEngine(scenario.Options{Spec: spec, Sys: sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := seng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runS := time.Since(start).Seconds()
+
+	if res.TTM == nil || !res.TTM.Invoked {
+		t.Fatal("bench campaign never invoked the defense")
+	}
+	if len(res.Dataset) == 0 {
+		t.Fatal("bench campaign exported no dataset")
+	}
+	var sent uint64
+	for _, ph := range res.Phases {
+		sent += uint64(ph.Sent)
+	}
+	rep := scenarioBenchReport{
+		GeneratedBy:    "make bench-scenario-report",
+		CPUs:           runtime.NumCPU(),
+		ASes:           scenarioBenchASes,
+		DAS:            scenarioBenchDAS,
+		Phases:         len(res.Phases),
+		PacketsSent:    sent,
+		RunS:           runS,
+		Kpps:           float64(sent) / runS / 1e3,
+		DatasetRecords: len(res.Dataset),
+	}
+	t.Logf("scenario bench: %d phases, %d packets in %.2fs (%.0f kpps), %d dataset records",
+		rep.Phases, rep.PacketsSent, rep.RunS, rep.Kpps, rep.DatasetRecords)
+	return rep
+}
+
+// TestScenarioBudget is the regression gate `make bench-scenario`
+// (part of `make check`) runs: the mid-size campaign's wall-clock and
+// injection throughput stay within budget of BENCH_scenario.json, and
+// the run's packet volume and dataset shape match exactly — the
+// engine is deterministic, so any drift there is a behavior change.
+func TestScenarioBudget(t *testing.T) {
+	if os.Getenv("DISCS_SCENARIO_BENCH") == "" {
+		t.Skip("set DISCS_SCENARIO_BENCH=1 (make bench-scenario) to run the scenario gate")
+	}
+	var base scenarioBenchReport
+	benchgate.Load(t, "BENCH_scenario.json", "make bench-scenario-report", &base)
+
+	rep := measureScenarioRun(t)
+	if rep.PacketsSent != base.PacketsSent {
+		t.Errorf("packets sent: %d, committed %d — scenario volume changed, regenerate the baseline",
+			rep.PacketsSent, base.PacketsSent)
+	}
+	if rep.DatasetRecords != base.DatasetRecords {
+		t.Errorf("dataset records: %d, committed %d — export shape changed, regenerate the baseline",
+			rep.DatasetRecords, base.DatasetRecords)
+	}
+	// Wide slack: the campaign runs in well under a second, so the
+	// wall-clock budget only guards order-of-magnitude regressions —
+	// the exact-match assertions above catch behavior drift.
+	benchgate.Budget(t, "scenario campaign wall-clock (s)", rep.RunS, base.RunS, 3.0)
+	benchgate.Floor(t, "scenario injection throughput (kpps)", rep.Kpps, base.Kpps, 0.75)
+}
+
+// TestScenarioReport regenerates BENCH_scenario.json
+// (make bench-scenario-report).
+func TestScenarioReport(t *testing.T) {
+	if os.Getenv("DISCS_SCENARIO_REPORT") == "" {
+		t.Skip("set DISCS_SCENARIO_REPORT=1 (make bench-scenario-report) to regenerate BENCH_scenario.json")
+	}
+	benchgate.Write(t, "BENCH_scenario.json", measureScenarioRun(t))
+}
